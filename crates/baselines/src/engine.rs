@@ -1,0 +1,452 @@
+//! The comparator systems of the paper's evaluation (§4.1), re-implemented
+//! on the shared substrate.
+//!
+//! | Paper system    | Here                               | Structure |
+//! |-----------------|------------------------------------|-----------|
+//! | PyTorch         | [`BaselineKind::NoCache`]          | no GPU cache; every lookup/update takes the CPU-involved host path |
+//! | DGL-KE          | [`BaselineKind::NoCache`]          | same engine, KG workload/model |
+//! | HugeCTR         | [`BaselineKind::Cached`]           | sharded multi-GPU cache, `all_to_all` key/embedding exchange (Fig 2b), CPU-involved miss path on commodity GPUs, UVA on datacenter GPUs |
+//! | DGL-KE-cached   | [`BaselineKind::Cached`]           | same engine, KG workload/model |
+//! | PyTorch-UVM     | [`BaselineKind::Uvm`]              | unified-memory paging: a 4 KiB page migrates per embedding |
+//!
+//! All of them are synchronous: updates are aggregated per key in canonical
+//! order and applied to the host store at each step, so every baseline is
+//! bit-identical to the serial reference — matching the paper's note that
+//! "all competitor systems meet the synchronous training consistency".
+//!
+//! The engines run the *numerics* for real (the store genuinely trains) and
+//! account hardware time with the cost model; they have no background
+//! concurrency, so a single thread iterating over the simulated GPUs is
+//! faithful.
+
+use frugal_core::{EmbeddingModel, TrainReport, Workload};
+use frugal_data::Key;
+use frugal_embed::{CachePolicy, GpuCache, GradAggregator, HostStore, Sharding};
+use frugal_sim::{CostModel, HostPath, IterBreakdown, Nanos, RunStats, Topology};
+use std::collections::HashMap;
+
+/// Which baseline architecture to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// No GPU cache; CPU-involved host access for everything
+    /// (PyTorch / DGL-KE).
+    NoCache,
+    /// Sharded multi-GPU cache with all_to_all exchange
+    /// (HugeCTR / DGL-KE-cached).
+    Cached,
+    /// CUDA unified memory paging (PyTorch-UVM).
+    Uvm,
+}
+
+/// Configuration of a baseline engine.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Which system to model.
+    pub kind: BaselineKind,
+    /// Hardware model.
+    pub cost: CostModel,
+    /// Cache size as a fraction of total parameters (Cached only).
+    pub cache_ratio: f64,
+    /// Cache policy (Cached only).
+    pub cache_policy: CachePolicy,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Steps to train.
+    pub steps: u64,
+    /// Parameter-init seed.
+    pub seed: u64,
+}
+
+impl BaselineConfig {
+    /// PyTorch-like (or DGL-KE-like) baseline on `topology`.
+    pub fn pytorch(topology: Topology, steps: u64) -> Self {
+        BaselineConfig {
+            kind: BaselineKind::NoCache,
+            cost: CostModel::new(topology),
+            cache_ratio: 0.0,
+            cache_policy: CachePolicy::StaticHot,
+            lr: 0.1,
+            steps,
+            seed: 42,
+        }
+    }
+
+    /// HugeCTR-like (or DGL-KE-cached-like) baseline on `topology`.
+    pub fn hugectr(topology: Topology, steps: u64) -> Self {
+        BaselineConfig {
+            kind: BaselineKind::Cached,
+            cost: CostModel::new(topology),
+            cache_ratio: 0.05,
+            cache_policy: CachePolicy::StaticHot,
+            lr: 0.1,
+            steps,
+            seed: 42,
+        }
+    }
+
+    /// PyTorch-UVM-like baseline on `topology`.
+    pub fn uvm(topology: Topology, steps: u64) -> Self {
+        BaselineConfig {
+            kind: BaselineKind::Uvm,
+            cost: CostModel::new(topology),
+            cache_ratio: 0.0,
+            cache_policy: CachePolicy::StaticHot,
+            lr: 0.1,
+            steps,
+            seed: 42,
+        }
+    }
+
+    /// Number of GPUs in the configured topology.
+    pub fn n_gpus(&self) -> usize {
+        self.cost.topology().n_gpus()
+    }
+}
+
+/// A baseline training engine.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_baselines::{BaselineConfig, BaselineEngine};
+/// use frugal_core::PullToTarget;
+/// use frugal_data::{KeyDistribution, SyntheticTrace};
+/// use frugal_sim::Topology;
+///
+/// let trace = SyntheticTrace::new(1_000, KeyDistribution::Zipf(0.9), 32, 2, 1)?;
+/// let cfg = BaselineConfig::hugectr(Topology::commodity(2), 10);
+/// let engine = BaselineEngine::new(cfg, 1_000, 8);
+/// let report = engine.run(&trace, &PullToTarget::new(8, 7));
+/// assert!(report.throughput() > 0.0);
+/// # Ok::<(), frugal_data::DistError>(())
+/// ```
+#[derive(Debug)]
+pub struct BaselineEngine {
+    cfg: BaselineConfig,
+    store: HostStore,
+}
+
+impl BaselineEngine {
+    /// Creates an engine with a fresh host store of `n_keys × dim`.
+    pub fn new(cfg: BaselineConfig, n_keys: u64, dim: usize) -> Self {
+        let store = HostStore::new(n_keys, dim, cfg.seed);
+        BaselineEngine { cfg, store }
+    }
+
+    /// The host parameter store (inspect after [`BaselineEngine::run`]).
+    pub fn store(&self) -> &HostStore {
+        &self.store
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &BaselineConfig {
+        &self.cfg
+    }
+
+    /// Trains `workload` with `model` and returns the run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload GPU count differs from the configured
+    /// topology or the model dimension differs from the store.
+    pub fn run(&self, workload: &dyn Workload, model: &dyn EmbeddingModel) -> TrainReport {
+        let cfg = &self.cfg;
+        let n = cfg.n_gpus();
+        assert_eq!(workload.n_gpus(), n, "workload/topology GPU count mismatch");
+        let dim = model.dim();
+        assert_eq!(dim, self.store.dim(), "model/store dim mismatch");
+        let row_bytes = (dim * 4) as u64;
+        let sharding = Sharding::new(n);
+        let n_keys = workload.n_keys();
+        let topo_uva = cfg.cost.topology().supports_host_uva()
+            && !cfg.cost.topology().gpu_spec().is_commodity();
+        let miss_path = if topo_uva {
+            HostPath::Uva // datacenter GPUs: unthrottled UVA (paper §2.3)
+        } else {
+            HostPath::CpuInvolved
+        };
+
+        // Per-GPU caches (Cached only).
+        let mut caches: Vec<GpuCache> = (0..n)
+            .map(|_| {
+                let mut c = GpuCache::new(
+                    sharding.cache_capacity(n_keys, cfg.cache_ratio),
+                    dim,
+                    cfg.cache_policy,
+                );
+                c.set_hot_threshold(sharding.hot_threshold(n_keys, cfg.cache_ratio));
+                c
+            })
+            .collect();
+
+        let mut stats = RunStats::new(workload.samples_per_step());
+        let mut iters = Vec::with_capacity(cfg.steps as usize);
+        let mut total_hits = 0u64;
+        let mut total_misses = 0u64;
+        let mut first_loss = 0.0f32;
+        let mut final_loss = 0.0f32;
+        let cost = &cfg.cost;
+        let batch_per_gpu = workload.samples_per_step() / n as u64;
+
+        for s in 0..cfg.steps {
+            let mut merged = GradAggregator::new(dim);
+            let mut loss_sum = 0.0f32;
+            let mut it = IterBreakdown::default();
+
+            // ---- Per-owner query routing (Cached only): every GPU's keys
+            // are resolved at the owner's cache, as in Fig 2b.
+            let mut per_gpu_unique: Vec<Vec<Key>> = Vec::with_capacity(n);
+            for g in 0..n {
+                let keys = workload.keys(s, g);
+                let mut unique = Vec::with_capacity(keys.len());
+                let mut seen: HashMap<Key, usize> = HashMap::with_capacity(keys.len());
+                for &k in &keys {
+                    seen.entry(k).or_insert_with(|| {
+                        unique.push(k);
+                        unique.len() - 1
+                    });
+                }
+                per_gpu_unique.push(unique);
+            }
+            let mut owner_hits = vec![0u64; n];
+            let mut owner_misses = vec![0u64; n];
+            let mut owner_queries = vec![0u64; n];
+            if cfg.kind == BaselineKind::Cached {
+                let mut routed: Vec<Vec<Key>> = (0..n).map(|_| Vec::new()).collect();
+                let mut routed_seen: Vec<std::collections::HashSet<Key>> =
+                    (0..n).map(|_| std::collections::HashSet::new()).collect();
+                for unique in &per_gpu_unique {
+                    for &k in unique {
+                        let o = sharding.owner(k);
+                        if routed_seen[o].insert(k) {
+                            routed[o].push(k);
+                        }
+                    }
+                }
+                for (o, keys) in routed.iter().enumerate() {
+                    owner_queries[o] = keys.len() as u64;
+                    for &k in keys {
+                        if caches[o].get(&k).is_some() {
+                            owner_hits[o] += 1;
+                        } else {
+                            owner_misses[o] += 1;
+                            if caches[o].admits(k) {
+                                let row = self.store.row_vec(k);
+                                caches[o].insert(k, row);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // ---- Per-GPU forward/backward (real math; values come from the
+            // always-current host store, caches are performance artifacts).
+            for g in 0..n {
+                let keys = workload.keys(s, g);
+                let unique = &per_gpu_unique[g];
+                let u = unique.len() as u64;
+                let mut rows = vec![0.0f32; keys.len() * dim];
+                for (i, &key) in keys.iter().enumerate() {
+                    self.store.read_row(key, &mut rows[i * dim..(i + 1) * dim]);
+                }
+                let grads = model.forward_backward(g, s, &keys, &rows);
+                loss_sum += grads.loss;
+                let mut agg = GradAggregator::new(dim);
+                for (i, &key) in keys.iter().enumerate() {
+                    agg.add(key, &grads.emb_grads[i * dim..(i + 1) * dim]);
+                }
+                merged.merge(agg);
+
+                // ---- Modeled hardware time for GPU g this step.
+                let mut comm = if model.dense_param_bytes() > 0 {
+                    cost.all_to_all(model.dense_param_bytes())
+                } else {
+                    Nanos::ZERO
+                };
+                let host;
+                let mut cache_t = Nanos::ZERO;
+                let mut other = cost.dnn_time(
+                    model.dense_flops_per_sample() * batch_per_gpu as f64,
+                    model.dense_layers().max(1),
+                );
+                match cfg.kind {
+                    BaselineKind::NoCache => {
+                        // Gather + scatter through the CPU for all keys.
+                        host = cost.host_read(HostPath::CpuInvolved, u, row_bytes, n)
+                            + cost.host_write(HostPath::CpuInvolved, u, row_bytes, n);
+                    }
+                    BaselineKind::Uvm => {
+                        host = cost.host_read(HostPath::Uvm, u, row_bytes, n)
+                            + cost.host_write(HostPath::Uvm, u, row_bytes, n);
+                    }
+                    BaselineKind::Cached => {
+                        // Fig 2b pipeline: ➊ bucket keys (CPU), ➋ all_to_all
+                        // keys, ➌ owner cache query, ➍ all_to_all embeddings
+                        // (and gradients on the way back), ➎ reorder (CPU).
+                        let remote =
+                            unique.iter().filter(|&&k| !sharding.is_local(k, g)).count() as u64;
+                        comm += cost.all_to_all(u * 8)
+                            + cost.all_to_all(remote * row_bytes) * 2;
+                        cache_t = cost.cache_query(owner_queries[g]);
+                        host = cost.host_read(miss_path, owner_misses[g], row_bytes, n)
+                            + cost.host_write(miss_path, owner_misses[g], row_bytes, n);
+                        other += Nanos::from_micros_f64(cost.params().cpu_dispatch_us * 2.0);
+                    }
+                }
+                it.comm = it.comm.max(comm);
+                it.host_dram = it.host_dram.max(host);
+                it.cache = it.cache.max(cache_t);
+                it.other = it.other.max(other);
+            }
+
+            // CPU-shared per-iteration software: framework row work and the
+            // coordinated cache update run on the host's service pool, so
+            // they are charged once per step, not per GPU.
+            let total_rows: u64 = per_gpu_unique.iter().map(|u| u.len() as u64).sum();
+            match cfg.kind {
+                BaselineKind::NoCache | BaselineKind::Uvm => {
+                    it.other += cost.framework_nocache(total_rows);
+                }
+                BaselineKind::Cached => {
+                    it.other += cost.framework_cached(total_rows);
+                    it.cache += cost.cache_coordinated_update(total_rows);
+                }
+            }
+
+            model.end_step(s);
+
+            // ---- Synchronous update application (canonical order).
+            for (key, grad) in merged.into_arrival_order() {
+                self.store.write_row(key, |row| {
+                    for (p, &g) in row.iter_mut().zip(&grad) {
+                        *p -= cfg.lr * g;
+                    }
+                });
+                if cfg.kind == BaselineKind::Cached {
+                    let o = sharding.owner(key);
+                    if let Some(row) = caches[o].get_mut(&key) {
+                        for (p, &g) in row.iter_mut().zip(&grad) {
+                            *p -= cfg.lr * g;
+                        }
+                    }
+                }
+            }
+
+            total_hits += owner_hits.iter().sum::<u64>();
+            total_misses += owner_misses.iter().sum::<u64>();
+            let loss = loss_sum / n as f32;
+            if s == 0 {
+                first_loss = loss;
+            }
+            final_loss = loss;
+            iters.push(it);
+        }
+
+        for it in &iters {
+            stats.push(*it);
+        }
+        let hit_ratio = if total_hits + total_misses == 0 {
+            0.0
+        } else {
+            total_hits as f64 / (total_hits + total_misses) as f64
+        };
+        TrainReport {
+            stats,
+            hit_ratio,
+            mean_gentry_update: Nanos::ZERO,
+            violations: 0,
+            races: self.store.race_count(),
+            first_loss,
+            final_loss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frugal_core::{train_serial, PullToTarget};
+    use frugal_data::{KeyDistribution, SyntheticTrace};
+
+    fn trace(n_keys: u64, batch: usize, n: usize) -> SyntheticTrace {
+        SyntheticTrace::new(n_keys, KeyDistribution::Zipf(0.9), batch, n, 3).unwrap()
+    }
+
+    #[test]
+    fn all_baselines_match_serial_reference() {
+        let t = trace(300, 32, 2);
+        let model = PullToTarget::new(4, 1);
+        let serial = train_serial(&t, &model, 15, 0.1, 42);
+        for kind in [BaselineKind::NoCache, BaselineKind::Cached, BaselineKind::Uvm] {
+            let mut cfg = BaselineConfig::pytorch(Topology::commodity(2), 15);
+            cfg.kind = kind;
+            cfg.cache_ratio = 0.1;
+            let engine = BaselineEngine::new(cfg, 300, 4);
+            engine.run(&t, &model);
+            for key in 0..300 {
+                assert_eq!(
+                    engine.store().row_vec(key),
+                    serial.store.row_vec(key),
+                    "{kind:?} diverged at key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_converge() {
+        let t = trace(200, 32, 2);
+        let model = PullToTarget::new(4, 2);
+        let engine = BaselineEngine::new(BaselineConfig::pytorch(Topology::commodity(2), 30), 200, 4);
+        let r = engine.run(&t, &model);
+        assert!(r.final_loss < r.first_loss * 0.7);
+    }
+
+    #[test]
+    fn cached_baseline_gets_hits() {
+        let t = trace(1_000, 128, 2);
+        let model = PullToTarget::new(4, 2);
+        let mut cfg = BaselineConfig::hugectr(Topology::commodity(2), 20);
+        cfg.cache_ratio = 0.1;
+        let engine = BaselineEngine::new(cfg, 1_000, 4);
+        let r = engine.run(&t, &model);
+        assert!(r.hit_ratio > 0.05, "hit ratio {}", r.hit_ratio);
+    }
+
+    #[test]
+    fn uvm_is_dramatically_slower() {
+        // Exp #1: PyTorch-UVM is "two orders of magnitude slower".
+        let t = trace(100_000, 1024, 2);
+        let model = PullToTarget::new(4, 2);
+        let base =
+            BaselineEngine::new(BaselineConfig::pytorch(Topology::commodity(2), 3), 100_000, 4);
+        let uvm = BaselineEngine::new(BaselineConfig::uvm(Topology::commodity(2), 3), 100_000, 4);
+        let tb = base.run(&t, &model).throughput();
+        let tu = uvm.run(&t, &model).throughput();
+        assert!(tb / tu > 20.0, "base {tb} vs uvm {tu}");
+    }
+
+    #[test]
+    fn hugectr_slower_on_commodity_than_datacenter() {
+        // Fig 3a: up to 37% throughput drop on commodity GPUs.
+        let model = PullToTarget::new(4, 2);
+        let t = trace(10_000, 512, 4);
+        let c = BaselineEngine::new(BaselineConfig::hugectr(Topology::commodity(4), 5), 10_000, 4);
+        let d = BaselineEngine::new(BaselineConfig::hugectr(Topology::datacenter(4), 5), 10_000, 4);
+        let tc = c.run(&t, &model).throughput();
+        let td = d.run(&t, &model).throughput();
+        assert!(tc < td, "commodity {tc} should be slower than datacenter {td}");
+        let drop = 1.0 - tc / td;
+        assert!(drop > 0.1, "drop {drop} too small");
+    }
+
+    #[test]
+    fn stall_is_zero_for_baselines() {
+        let t = trace(100, 16, 2);
+        let model = PullToTarget::new(4, 2);
+        let engine = BaselineEngine::new(BaselineConfig::hugectr(Topology::commodity(2), 5), 100, 4);
+        let r = engine.run(&t, &model);
+        assert_eq!(r.mean_stall(), Nanos::ZERO);
+        assert_eq!(r.mean_gentry_update, Nanos::ZERO);
+    }
+}

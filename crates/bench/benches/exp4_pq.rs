@@ -1,0 +1,8 @@
+//! `cargo bench --bench exp4_pq` — regenerates this paper artifact.
+
+fn main() {
+    let scale = frugal_bench::env_scale();
+    for table in frugal_bench::experiments::exp4_pq(&scale) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,8 @@
+//! `cargo bench --bench exp5_breakdown` — regenerates this paper artifact.
+
+fn main() {
+    let scale = frugal_bench::env_scale();
+    for table in frugal_bench::experiments::exp5_breakdown(&scale) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,8 @@
+//! `cargo bench --bench exp6_kg` — regenerates this paper artifact.
+
+fn main() {
+    let scale = frugal_bench::env_scale();
+    for table in frugal_bench::experiments::exp6_kg(&scale) {
+        println!("{table}");
+    }
+}

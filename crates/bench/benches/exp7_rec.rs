@@ -1,0 +1,8 @@
+//! `cargo bench --bench exp7_rec` — regenerates this paper artifact.
+
+fn main() {
+    let scale = frugal_bench::env_scale();
+    for table in frugal_bench::experiments::exp7_rec(&scale) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,8 @@
+//! `cargo bench --bench exp8_scalability` — regenerates this paper artifact.
+
+fn main() {
+    let scale = frugal_bench::env_scale();
+    for table in frugal_bench::experiments::exp8_scalability(&scale) {
+        println!("{table}");
+    }
+}

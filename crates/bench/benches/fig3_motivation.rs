@@ -1,0 +1,8 @@
+//! `cargo bench --bench fig3_motivation` — regenerates this paper artifact.
+
+fn main() {
+    let scale = frugal_bench::env_scale();
+    for table in frugal_bench::experiments::fig3_motivation(&scale) {
+        println!("{table}");
+    }
+}

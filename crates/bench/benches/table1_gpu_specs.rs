@@ -1,0 +1,5 @@
+//! `cargo bench --bench table1_gpu_specs` — paper Table 1.
+
+fn main() {
+    println!("{}", frugal_bench::experiments::table1_gpu_specs());
+}

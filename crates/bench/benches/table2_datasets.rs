@@ -1,0 +1,5 @@
+//! `cargo bench --bench table2_datasets` — paper Table 2.
+
+fn main() {
+    println!("{}", frugal_bench::experiments::table2_datasets());
+}

@@ -1,0 +1,274 @@
+//! Exp #6–#9: overall performance (Fig 13–16).
+
+use super::Scale;
+use crate::systems::{run_system, RunOptions, System};
+use crate::table::{fmt_throughput, ExpTable};
+use frugal_data::{KgDatasetSpec, KgTrace, RecDatasetSpec, RecTrace};
+use frugal_models::{Dlrm, KgModel, KgScorer};
+
+fn kg_specs(scale: &Scale) -> Vec<KgDatasetSpec> {
+    vec![
+        KgDatasetSpec::fb15k().scaled_to_entities(scale.kg_entities),
+        KgDatasetSpec::freebase().scaled_to_entities(scale.kg_entities),
+        KgDatasetSpec::wikikg().scaled_to_entities(scale.kg_entities),
+    ]
+}
+
+fn rec_specs(scale: &Scale) -> Vec<RecDatasetSpec> {
+    vec![
+        RecDatasetSpec::avazu().scaled_to_ids(scale.rec_ids),
+        RecDatasetSpec::criteo().scaled_to_ids(scale.rec_ids),
+        RecDatasetSpec::criteo_tb().scaled_to_ids(scale.rec_ids),
+    ]
+}
+
+/// Exp #6 (Fig 13): knowledge-graph training throughput (TransE).
+pub fn exp6_kg(scale: &Scale) -> Vec<ExpTable> {
+    let mut out = Vec::new();
+    for spec in kg_specs(scale) {
+        let batch = if spec.name.starts_with("FB15k") {
+            1200
+        } else {
+            2000
+        }
+        .min(spec.n_entities as usize / 2)
+        .max(16);
+        let mut t = ExpTable::new(
+            format!("Fig 13 ({}): KG throughput (triples/s)", spec.name),
+            &["cache", "DGL-KE", "DGL-KE-cached", "Frugal", "Frugal/DGL-KE"],
+        );
+        for cache_ratio in [0.05, 0.10] {
+            let trace = KgTrace::new(spec.clone(), batch, scale.gpus, 29).expect("valid trace");
+            let model = KgModel::new(KgScorer::TransE, trace.clone(), 5, false);
+            let mut opts = RunOptions::commodity(scale.gpus, scale.steps);
+            opts.cache_ratio = cache_ratio;
+            let base = run_system(System::PyTorch, &opts, &trace, &model);
+            let cached = run_system(System::HugeCtr, &opts, &trace, &model);
+            let frugal = run_system(System::Frugal, &opts, &trace, &model);
+            t.row(vec![
+                format!("{:.0}%", cache_ratio * 100.0),
+                fmt_throughput(base.throughput()),
+                fmt_throughput(cached.throughput()),
+                fmt_throughput(frugal.throughput()),
+                format!("{:.2}", frugal.throughput() / base.throughput()),
+            ]);
+        }
+        t.note("paper: Frugal beats DGL-KE 1.2-1.5x and DGL-KE-cached 4.1-7.1x; DGL-KE-cached can trail vanilla DGL-KE");
+        t.note(format!("entities scaled to {}", spec.n_entities));
+        out.push(t);
+    }
+    out
+}
+
+/// Exp #7 (Fig 14): recommendation-model training throughput (DLRM).
+pub fn exp7_rec(scale: &Scale) -> Vec<ExpTable> {
+    let mut out = Vec::new();
+    for spec in rec_specs(scale) {
+        let mut t = ExpTable::new(
+            format!("Fig 14 ({}): REC throughput (samples/s)", spec.name),
+            &["cache", "PyTorch", "HugeCTR", "Frugal", "Frugal/PyTorch"],
+        );
+        for cache_ratio in [0.05, 0.10] {
+            let trace =
+                RecTrace::new(spec.clone(), scale.rec_batch, scale.gpus, 31).expect("valid trace");
+            let dim = spec.embedding_dim as usize;
+            let model = Dlrm::new(trace.clone(), &[dim, 512, 512, 256, 1], 0.01, 3, false);
+            let mut opts = RunOptions::commodity(scale.gpus, scale.steps);
+            opts.cache_ratio = cache_ratio;
+            let base = run_system(System::PyTorch, &opts, &trace, &model);
+            let cached = run_system(System::HugeCtr, &opts, &trace, &model);
+            let frugal = run_system(System::Frugal, &opts, &trace, &model);
+            t.row(vec![
+                format!("{:.0}%", cache_ratio * 100.0),
+                fmt_throughput(base.throughput()),
+                fmt_throughput(cached.throughput()),
+                fmt_throughput(frugal.throughput()),
+                format!("{:.2}", frugal.throughput() / base.throughput()),
+            ]);
+        }
+        t.note("paper: Frugal beats PyTorch 4.9-7.4x and HugeCTR 6.1-8.7x");
+        t.note(format!("ID space scaled to {}", spec.n_ids));
+        out.push(t);
+    }
+    out
+}
+
+/// Exp #8 (Fig 15): scalability across GPU counts.
+pub fn exp8_scalability(scale: &Scale) -> Vec<ExpTable> {
+    let mut out = Vec::new();
+
+    // (a) KG on Freebase-shaped data.
+    let kg_spec = KgDatasetSpec::freebase().scaled_to_entities(scale.kg_entities);
+    let mut tkg = ExpTable::new(
+        "Fig 15a (KG, Freebase-shaped): throughput by GPU count",
+        &["gpus", "DGL-KE", "DGL-KE-cached", "Frugal-Sync", "Frugal"],
+    );
+    for n in [2usize, 4, 6, 8] {
+        let trace = KgTrace::new(kg_spec.clone(), 1024, n, 37).expect("valid trace");
+        let model = KgModel::new(KgScorer::TransE, trace.clone(), 5, false);
+        let opts = RunOptions::commodity(n, scale.steps);
+        let mut cells = vec![n.to_string()];
+        for system in [
+            System::PyTorch,
+            System::HugeCtr,
+            System::FrugalSync,
+            System::Frugal,
+        ] {
+            let r = run_system(system, &opts, &trace, &model);
+            cells.push(fmt_throughput(r.throughput()));
+        }
+        tkg.row(cells);
+    }
+    tkg.note("paper: cache-less systems plateau at >=4 GPUs (root-complex bound); Frugal keeps scaling");
+    out.push(tkg);
+
+    // (b) REC on Avazu-shaped data.
+    let rec_spec = RecDatasetSpec::avazu().scaled_to_ids(scale.rec_ids);
+    let mut trec = ExpTable::new(
+        "Fig 15b (REC, Avazu-shaped): throughput by GPU count",
+        &["gpus", "PyTorch", "HugeCTR", "Frugal-Sync", "Frugal"],
+    );
+    for n in [2usize, 4, 6, 8] {
+        let trace = RecTrace::new(rec_spec.clone(), scale.rec_batch, n, 41).expect("valid trace");
+        let dim = rec_spec.embedding_dim as usize;
+        let model = Dlrm::new(trace.clone(), &[dim, 512, 512, 256, 1], 0.01, 3, false);
+        let opts = RunOptions::commodity(n, scale.steps);
+        let mut cells = vec![n.to_string()];
+        for system in [
+            System::PyTorch,
+            System::HugeCtr,
+            System::FrugalSync,
+            System::Frugal,
+        ] {
+            let r = run_system(system, &opts, &trace, &model);
+            cells.push(fmt_throughput(r.throughput()));
+        }
+        trec.row(cells);
+    }
+    trec.note("paper: Frugal improves 1.2-4.9x across GPU counts, sub-linear due to link limits");
+    out.push(trec);
+    out
+}
+
+/// Exp #9 (Fig 16): cost efficiency — the best existing system on A30s vs
+/// Frugal on RTX 3090s, with $/throughput.
+pub fn exp9_cost(scale: &Scale) -> Vec<ExpTable> {
+    let mut out = Vec::new();
+    let a30_price = frugal_sim::GpuSpec::a30().price_usd;
+    let r3090_price = frugal_sim::GpuSpec::rtx3090().price_usd;
+
+    // (a) KG: FB15k- and Freebase-shaped.
+    let mut tkg = ExpTable::new(
+        "Fig 16a (KG): best-on-A30 vs Frugal-on-3090 (triples/s)",
+        &["dataset", "gpus", "A30 best", "Frugal 3090", "thr ratio", "cost-eff x"],
+    );
+    for spec in [
+        KgDatasetSpec::fb15k().scaled_to_entities(scale.kg_entities),
+        KgDatasetSpec::freebase().scaled_to_entities(scale.kg_entities),
+    ] {
+        for n in [2usize, 3, 4] {
+            let batch = 1024.min(spec.n_entities as usize / 2).max(16);
+            let trace = KgTrace::new(spec.clone(), batch, n, 43).expect("valid trace");
+            let model = KgModel::new(KgScorer::TransE, trace.clone(), 5, false);
+            let dc = RunOptions::datacenter(n, scale.steps);
+            let best_a30 = [System::PyTorch, System::HugeCtr]
+                .iter()
+                .map(|&s| run_system(s, &dc, &trace, &model).throughput())
+                .fold(0.0f64, f64::max);
+            let frugal = run_system(
+                System::Frugal,
+                &RunOptions::commodity(n, scale.steps),
+                &trace,
+                &model,
+            )
+            .throughput();
+            let thr_ratio = frugal / best_a30;
+            let cost_eff = (frugal / (n as f64 * r3090_price)) / (best_a30 / (n as f64 * a30_price));
+            tkg.row(vec![
+                spec.name.clone(),
+                n.to_string(),
+                fmt_throughput(best_a30),
+                fmt_throughput(frugal),
+                format!("{thr_ratio:.2}"),
+                format!("{cost_eff:.1}"),
+            ]);
+        }
+    }
+    tkg.note("paper: Frugal reaches 89-97% of datacenter throughput at 4.0-4.3x better cost-efficiency");
+    out.push(tkg);
+
+    // (b) REC: Avazu- and Criteo-shaped.
+    let mut trec = ExpTable::new(
+        "Fig 16b (REC): best-on-A30 vs Frugal-on-3090 (samples/s)",
+        &["dataset", "gpus", "A30 best", "Frugal 3090", "thr ratio", "cost-eff x"],
+    );
+    for spec in [
+        RecDatasetSpec::avazu().scaled_to_ids(scale.rec_ids),
+        RecDatasetSpec::criteo().scaled_to_ids(scale.rec_ids),
+    ] {
+        for n in [2usize, 3, 4] {
+            let trace =
+                RecTrace::new(spec.clone(), scale.rec_batch, n, 47).expect("valid trace");
+            let dim = spec.embedding_dim as usize;
+            let model = Dlrm::new(trace.clone(), &[dim, 512, 512, 256, 1], 0.01, 3, false);
+            let dc = RunOptions::datacenter(n, scale.steps);
+            let best_a30 = [System::PyTorch, System::HugeCtr]
+                .iter()
+                .map(|&s| run_system(s, &dc, &trace, &model).throughput())
+                .fold(0.0f64, f64::max);
+            let frugal = run_system(
+                System::Frugal,
+                &RunOptions::commodity(n, scale.steps),
+                &trace,
+                &model,
+            )
+            .throughput();
+            let thr_ratio = frugal / best_a30;
+            let cost_eff = (frugal / (n as f64 * r3090_price)) / (best_a30 / (n as f64 * a30_price));
+            trec.row(vec![
+                spec.name.clone(),
+                n.to_string(),
+                fmt_throughput(best_a30),
+                fmt_throughput(frugal),
+                format!("{thr_ratio:.2}"),
+                format!("{cost_eff:.1}"),
+            ]);
+        }
+    }
+    trec.note(format!(
+        "prices: A30 ${a30_price}, RTX 3090 ${r3090_price} (paper §4.5)"
+    ));
+    out.push(trec);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp6_and_exp7_cover_datasets() {
+        assert_eq!(exp6_kg(&Scale::quick()).len(), 3);
+        assert_eq!(exp7_rec(&Scale::quick()).len(), 3);
+    }
+
+    #[test]
+    fn exp8_scales_both_workloads() {
+        let t = exp8_scalability(&Scale::quick());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].n_rows(), 4);
+    }
+
+    #[test]
+    fn exp9_reports_cost_efficiency() {
+        let t = exp9_cost(&Scale::quick());
+        assert_eq!(t.len(), 2);
+        // Cost-efficiency advantage should be positive in every row.
+        for table in &t {
+            for row in 0..table.n_rows() {
+                let eff = table.cell_f64(row, 5).expect("cost-eff");
+                assert!(eff > 0.0);
+            }
+        }
+    }
+}

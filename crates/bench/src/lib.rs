@@ -1,0 +1,41 @@
+//! # frugal-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Target (benches/)        | Paper artifact |
+//! |--------------------------|----------------|
+//! | `table1_gpu_specs`       | Table 1        |
+//! | `table2_datasets`        | Table 2        |
+//! | `fig3_motivation`        | Fig 3a/3b/3c   |
+//! | `exp1_microbenchmark`    | Fig 8          |
+//! | `exp2_p2f`               | Fig 9          |
+//! | `exp3_uva`               | Fig 10         |
+//! | `exp4_pq`                | Fig 11         |
+//! | `exp5_breakdown`         | Fig 12         |
+//! | `exp6_kg`                | Fig 13         |
+//! | `exp7_rec`               | Fig 14         |
+//! | `exp8_scalability`       | Fig 15         |
+//! | `exp9_cost`              | Fig 16         |
+//! | `exp10_flush_threads`    | Fig 17         |
+//! | `exp11_models`           | Fig 18         |
+//! | `pq_ops` (criterion)     | §3.4 micro-ops |
+//!
+//! Run them all with `cargo bench`. Set `FRUGAL_BENCH_QUICK=1` to shrink
+//! every sweep for smoke testing.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod systems;
+pub mod table;
+
+use experiments::Scale;
+
+/// The scale selected by the environment (`FRUGAL_BENCH_QUICK=1` shrinks).
+pub fn env_scale() -> Scale {
+    if std::env::var("FRUGAL_BENCH_QUICK").is_ok() {
+        Scale::quick()
+    } else {
+        Scale::default()
+    }
+}

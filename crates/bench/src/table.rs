@@ -1,0 +1,129 @@
+//! Plain-text experiment tables.
+//!
+//! Every bench target prints one or more [`ExpTable`]s in the shape of the
+//! paper's figures: rows are the x-axis points, columns the systems/series.
+
+use std::fmt;
+
+/// A rendered experiment result table.
+#[derive(Debug, Clone)]
+pub struct ExpTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl ExpTable {
+    /// Creates an empty table with the given title and column header.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        ExpTable {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a free-form note printed under the table (scale factors,
+    /// paper-expected shapes, substitutions).
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor for tests: `(row, col)` as parsed f64 if numeric.
+    pub fn cell_f64(&self, row: usize, col: usize) -> Option<f64> {
+        self.rows.get(row)?.get(col)?.trim().parse().ok()
+    }
+}
+
+impl fmt::Display for ExpTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} ===", self.title)?;
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (w, c) in widths.iter().zip(cells) {
+                line.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        print_row(f, &self.header)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  # {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a samples/second throughput compactly (e.g. `1.25M`, `310k`).
+pub fn fmt_throughput(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.0}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders() {
+        let mut t = ExpTable::new("Demo", &["batch", "frugal"]);
+        t.row(vec!["128".into(), "1.5".into()]);
+        t.note("scaled down 10x");
+        let s = t.to_string();
+        assert!(s.contains("Demo") && s.contains("128") && s.contains("# scaled"));
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.cell_f64(0, 1), Some(1.5));
+        assert_eq!(t.cell_f64(0, 5), None);
+        assert_eq!(t.title(), "Demo");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = ExpTable::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        assert_eq!(fmt_throughput(1_250_000.0), "1.25M");
+        assert_eq!(fmt_throughput(310_000.0), "310k");
+        assert_eq!(fmt_throughput(42.0), "42.0");
+    }
+}

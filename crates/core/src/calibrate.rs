@@ -1,0 +1,75 @@
+//! Host calibration for measured software times.
+//!
+//! The engines *measure* the wall time of Frugal's CPU-side software —
+//! g-entry registration and flusher progress — because those are real code
+//! whose relative behaviour (two-level PQ vs tree heap, thread-count
+//! sensitivity) is exactly what the paper evaluates. But the baselines'
+//! software costs are *modeled* in reference-machine (paper-testbed) terms,
+//! so raw measurements from an arbitrary host would not be commensurable.
+//!
+//! This module measures, once per process, how fast this host executes a
+//! canonical g-entry registration workload, and exposes the ratio against
+//! the reference cost. Engines divide their measured times by this ratio,
+//! converting them to reference-machine terms while preserving every
+//! *relative* measured effect.
+
+use crate::gentry::GEntryStore;
+use frugal_pq::{PriorityQueue, TwoLevelPq};
+use std::sync::OnceLock;
+
+/// Number of operations in the calibration probe.
+const PROBE_OPS: u64 = 30_000;
+/// Gradient width used by the probe (dim 32 embeddings).
+const PROBE_DIM: usize = 32;
+
+/// Measured per-op nanoseconds of the canonical registration workload on
+/// this host (dim-32 gradients, two-level PQ).
+pub fn host_gentry_ns() -> f64 {
+    static NS: OnceLock<f64> = OnceLock::new();
+    *NS.get_or_init(|| {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(PROBE_OPS + 10);
+        let t0 = std::time::Instant::now();
+        let mut out = Vec::new();
+        for i in 0..PROBE_OPS {
+            let key = i % 4_096;
+            store.add_read(key, i / 4_096 + 1, &pq);
+            store.add_write(key, i / 4_096, vec![0.1f32; PROBE_DIM].into(), &pq);
+            if i % 64 == 63 {
+                out.clear();
+                pq.dequeue_batch(64, &mut out);
+                for &(k, p) in &out {
+                    let _ = store.take_writes(k, p);
+                }
+            }
+        }
+        let per_op = t0.elapsed().as_nanos() as f64 / PROBE_OPS as f64;
+        per_op.max(1.0)
+    })
+}
+
+/// How much slower this host registers g-entries than the reference
+/// machine, given the reference per-op cost for the probe's gradient width.
+/// Clamped to `[0.25, 64]`.
+pub fn host_slowdown(reference_ns_dim32: f64) -> f64 {
+    (host_gentry_ns() / reference_ns_dim32.max(1.0)).clamp(0.25, 64.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_stable_and_positive() {
+        let a = host_gentry_ns();
+        let b = host_gentry_ns();
+        assert_eq!(a, b, "OnceLock must cache the probe");
+        assert!(a >= 1.0);
+    }
+
+    #[test]
+    fn slowdown_is_clamped() {
+        assert!(host_slowdown(f64::MAX) >= 0.25);
+        assert!(host_slowdown(0.0) <= 64.0);
+    }
+}

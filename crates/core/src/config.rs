@@ -1,0 +1,173 @@
+//! Engine configuration.
+
+use frugal_embed::{AdagradRule, CachePolicy, SgdRule, UpdateRule};
+use frugal_sim::{CostModel, Topology};
+use frugal_tensor::RowOptimizer;
+use std::sync::Arc;
+
+/// The sparse optimizer applied to embedding rows.
+///
+/// SGD is stateless, which makes multi-engine bit-equality trivial.
+/// Adagrad carries per-row state; the engine keeps independent state for
+/// the host path (flushing threads) and each owner's cached copies — both
+/// see exactly the per-key gradient sequence of synchronous training, so
+/// results remain bit-identical to the serial reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerKind {
+    /// Plain SGD (`p -= lr * g`), the default.
+    Sgd,
+    /// Adagrad with per-row accumulated squared gradients.
+    Adagrad,
+}
+
+impl OptimizerKind {
+    /// Builds the thread-safe rule shared by the flushing threads.
+    pub fn build_shared(&self, lr: f32) -> Arc<dyn UpdateRule> {
+        match self {
+            OptimizerKind::Sgd => Arc::new(SgdRule::new(lr)),
+            OptimizerKind::Adagrad => Arc::new(AdagradRule::new(lr)),
+        }
+    }
+
+    /// Builds a single-threaded optimizer for owner-cache updates, the
+    /// write-through leader, and the serial reference.
+    pub fn build_local(&self, lr: f32) -> Box<dyn RowOptimizer> {
+        match self {
+            OptimizerKind::Sgd => Box::new(frugal_tensor::Sgd::new(lr)),
+            OptimizerKind::Adagrad => Box::new(frugal_tensor::Adagrad::new(lr)),
+        }
+    }
+}
+
+/// Which concurrent priority queue the engine uses (Exp #4's ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PqKind {
+    /// The paper's two-level PQ (§3.4).
+    TwoLevel,
+    /// The binary tree-heap baseline.
+    TreeHeap,
+}
+
+/// How updates reach host memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushMode {
+    /// The P²F algorithm: deferred, priority-ordered background flushing
+    /// (the full Frugal system).
+    P2f,
+    /// Write-through: every step synchronously applies all updates to host
+    /// memory before the next step starts (the Frugal-Sync baseline /
+    /// "SyncFlushing" of Exp #2).
+    WriteThrough,
+}
+
+/// Configuration of the Frugal training engine.
+#[derive(Debug, Clone)]
+pub struct FrugalConfig {
+    /// Hardware model (defines GPU count class, link paths, latencies).
+    pub cost: CostModel,
+    /// Cache size as a fraction of total parameters (paper default 5 %).
+    pub cache_ratio: f64,
+    /// Cache admission policy.
+    pub cache_policy: CachePolicy,
+    /// Sample-queue lookahead `L` in steps (paper default 10).
+    pub lookahead: u64,
+    /// Number of background flushing threads (paper default 8, optimum 12).
+    pub flush_threads: usize,
+    /// Entries per flusher dequeue (batched dequeue, §3.4).
+    pub flush_batch: usize,
+    /// Learning rate for embedding rows.
+    pub lr: f32,
+    /// Sparse optimizer for embedding rows.
+    pub optimizer: OptimizerKind,
+    /// Steps to train.
+    pub steps: u64,
+    /// Priority-queue implementation.
+    pub pq: PqKind,
+    /// Flushing strategy (Frugal vs Frugal-Sync).
+    pub flush_mode: FlushMode,
+    /// Run the host store in checked (race-detecting) mode and verify the
+    /// consistency invariant on every host read.
+    pub checked: bool,
+    /// Failure injection: skip the P²F wait condition. Consistency is then
+    /// expected to break; used to validate the checker.
+    pub skip_wait: bool,
+    /// Failure injection / testing: sleep this many microseconds after each
+    /// flusher batch, simulating a starved or slow flushing pipeline.
+    pub flush_throttle_us: u64,
+    /// Seed for parameter initialization.
+    pub seed: u64,
+}
+
+impl FrugalConfig {
+    /// Defaults from the paper's evaluation setup (§4.1) on a commodity
+    /// topology of `n_gpus` RTX 3090s.
+    pub fn commodity(n_gpus: usize, steps: u64) -> Self {
+        FrugalConfig {
+            cost: CostModel::new(Topology::commodity(n_gpus)),
+            cache_ratio: 0.05,
+            cache_policy: CachePolicy::StaticHot,
+            lookahead: 10,
+            flush_threads: 8,
+            flush_batch: 64,
+            lr: 0.1,
+            optimizer: OptimizerKind::Sgd,
+            steps,
+            pq: PqKind::TwoLevel,
+            flush_mode: FlushMode::P2f,
+            checked: false,
+            skip_wait: false,
+            flush_throttle_us: 0,
+            seed: 42,
+        }
+    }
+
+    /// Switches to the write-through Frugal-Sync baseline.
+    pub fn write_through(mut self) -> Self {
+        self.flush_mode = FlushMode::WriteThrough;
+        self
+    }
+
+    /// Enables consistency checking (tests).
+    pub fn checked(mut self) -> Self {
+        self.checked = true;
+        self
+    }
+
+    /// Number of GPUs in the configured topology.
+    pub fn n_gpus(&self) -> usize {
+        self.cost.topology().n_gpus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commodity_defaults_match_paper() {
+        let c = FrugalConfig::commodity(8, 100);
+        assert_eq!(c.n_gpus(), 8);
+        assert_eq!(c.cache_ratio, 0.05);
+        assert_eq!(c.lookahead, 10);
+        assert_eq!(c.flush_threads, 8);
+        assert_eq!(c.flush_mode, FlushMode::P2f);
+        assert_eq!(c.pq, PqKind::TwoLevel);
+    }
+
+    #[test]
+    fn optimizer_builders_produce_rules() {
+        let shared = OptimizerKind::Adagrad.build_shared(0.1);
+        assert_eq!(shared.learning_rate(), 0.1);
+        let mut local = OptimizerKind::Sgd.build_local(0.5);
+        let mut row = vec![1.0f32];
+        local.update_row(0, &mut row, &[1.0]);
+        assert_eq!(row, vec![0.5]);
+    }
+
+    #[test]
+    fn builders_toggle_modes() {
+        let c = FrugalConfig::commodity(2, 10).write_through().checked();
+        assert_eq!(c.flush_mode, FlushMode::WriteThrough);
+        assert!(c.checked);
+    }
+}

@@ -1,0 +1,422 @@
+//! g-entries: per-parameter metadata of the P²F algorithm (paper §3.3).
+//!
+//! Each parameter with upcoming reads or pending updates has a g-entry:
+//!
+//! * `R set` — future training steps that will read the parameter (filled
+//!   by the controller's `L`-step lookahead).
+//! * `W set` — pending `(step, Δ)` updates not yet flushed to host memory.
+//! * `priority` — Equation (1): `min(R)` while `W ≠ ∅`, else ∞.
+//!
+//! The store keeps g-entries in sharded hash maps and mirrors every
+//! priority change into the [`PriorityQueue`], preserving the paper's
+//! insert-into-new-before-delete-from-old ordering (delegated to
+//! [`PriorityQueue::adjust`]). Only entries with pending writes live in the
+//! queue — entries with `W = ∅` have nothing to flush and, by Equation (1),
+//! priority ∞, so keeping them out changes no observable behaviour.
+
+use frugal_data::Key;
+use frugal_pq::{PriorityQueue, Priority, INFINITE};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One parameter's pending updates, drained by a flushing thread.
+///
+/// Gradients are shared (`Arc`) because the same aggregated gradient also
+/// travels to the owner GPU's cache-update list; sharing avoids cloning
+/// every gradient on the training critical path.
+pub type PendingWrites = Vec<(u64, Arc<[f32]>)>;
+
+#[derive(Debug, Default)]
+struct GEntry {
+    r_set: BTreeSet<u64>,
+    w_set: PendingWrites,
+    /// Current priority; meaningful only while `in_pq`.
+    priority: Priority,
+    in_pq: bool,
+}
+
+impl GEntry {
+    fn compute_priority(&self) -> Priority {
+        if self.w_set.is_empty() {
+            INFINITE
+        } else {
+            self.r_set.first().copied().unwrap_or(INFINITE)
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.r_set.is_empty() && self.w_set.is_empty()
+    }
+}
+
+const SHARDS: usize = 64;
+
+/// The sharded g-entry store.
+///
+/// All mutations lock exactly one shard, so the controller, trainers, and
+/// flushing threads proceed mostly independently.
+#[derive(Debug)]
+pub struct GEntryStore {
+    shards: Vec<Mutex<HashMap<Key, GEntry>>>,
+    /// Number of keys that currently have pending (unflushed) writes.
+    pending_keys: AtomicUsize,
+}
+
+impl Default for GEntryStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GEntryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        GEntryStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            pending_keys: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: Key) -> &Mutex<HashMap<Key, GEntry>> {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    /// Number of keys with unflushed updates. The engine waits for this to
+    /// reach zero when draining at the end of training ("the system waits
+    /// for flushing threads to write all deferred parameter updates").
+    pub fn pending_keys(&self) -> usize {
+        self.pending_keys.load(Ordering::Acquire)
+    }
+
+    /// Registers that `key` will be read at `step` (sample-queue prefetch).
+    ///
+    /// If the entry has pending writes and this read tightens its priority,
+    /// the queue position is adjusted.
+    pub fn add_read(&self, key: Key, step: u64, pq: &dyn PriorityQueue) {
+        let mut shard = self.shard(key).lock();
+        let entry = shard.entry(key).or_default();
+        entry.r_set.insert(step);
+        if entry.in_pq {
+            let new_p = entry.compute_priority();
+            if new_p != entry.priority {
+                pq.adjust(key, entry.priority, new_p);
+                entry.priority = new_p;
+            }
+        }
+    }
+
+    /// Registers the aggregated update `grad` produced at `step`: removes
+    /// `step` from the R set, appends `(step, Δ)` to the W set, and
+    /// enqueues/adjusts the entry (paper §3.3, step 3).
+    pub fn add_write(&self, key: Key, step: u64, grad: Arc<[f32]>, pq: &dyn PriorityQueue) {
+        let mut shard = self.shard(key).lock();
+        let entry = shard.entry(key).or_default();
+        entry.r_set.remove(&step);
+        let had_writes = !entry.w_set.is_empty();
+        entry.w_set.push((step, grad));
+        if !had_writes {
+            self.pending_keys.fetch_add(1, Ordering::AcqRel);
+        }
+        let new_p = entry.compute_priority();
+        if !entry.in_pq {
+            pq.enqueue(key, new_p);
+            entry.in_pq = true;
+            entry.priority = new_p;
+        } else if new_p != entry.priority {
+            pq.adjust(key, entry.priority, new_p);
+            entry.priority = new_p;
+        }
+    }
+
+    /// Claims the pending writes of `key` for flushing, if the dequeued
+    /// `bucket_priority` still matches the entry's authoritative priority.
+    ///
+    /// Returns `None` for stale dequeues (the paper's inconsistent-g-entry
+    /// check): the entry has been re-positioned and remains live in the
+    /// queue elsewhere.
+    ///
+    /// The updates are returned in step order; the caller applies them to
+    /// host memory and then calls nothing further — the entry is already
+    /// out of the queue and marked flushed.
+    pub fn take_writes(&self, key: Key, bucket_priority: Priority) -> Option<PendingWrites> {
+        let mut shard = self.shard(key).lock();
+        let entry = shard.get_mut(&key)?;
+        if !entry.in_pq || entry.priority != bucket_priority || entry.w_set.is_empty() {
+            return None;
+        }
+        let writes = std::mem::take(&mut entry.w_set);
+        entry.in_pq = false;
+        entry.priority = INFINITE;
+        self.pending_keys.fetch_sub(1, Ordering::AcqRel);
+        if entry.is_dead() {
+            shard.remove(&key);
+        }
+        Some(writes)
+    }
+
+    /// The current priority of `key`'s entry, if it exists (tests only).
+    pub fn priority_of(&self, key: Key) -> Option<Priority> {
+        let shard = self.shard(key).lock();
+        shard.get(&key).map(|e| {
+            if e.in_pq {
+                e.priority
+            } else {
+                INFINITE
+            }
+        })
+    }
+
+    /// True if `key` currently has pending writes (tests and invariant
+    /// checks).
+    pub fn has_pending_writes(&self, key: Key) -> bool {
+        let shard = self.shard(key).lock();
+        shard.get(&key).is_some_and(|e| !e.w_set.is_empty())
+    }
+
+    /// Checks the paper's invariant (2) for `key` at `step`: it must NOT
+    /// simultaneously have pending writes and a registered read at `step`.
+    /// Returns `true` if the invariant holds.
+    pub fn invariant_holds(&self, key: Key, step: u64) -> bool {
+        let shard = self.shard(key).lock();
+        match shard.get(&key) {
+            None => true,
+            Some(e) => e.w_set.is_empty() || !e.r_set.contains(&step),
+        }
+    }
+
+    /// Total number of live g-entries (tests).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if no g-entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frugal_pq::TwoLevelPq;
+
+    #[test]
+    fn read_only_entries_stay_out_of_queue() {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(100);
+        store.add_read(5, 3, &pq);
+        assert!(pq.is_empty());
+        assert_eq!(store.priority_of(5), Some(INFINITE));
+        assert_eq!(store.pending_keys(), 0);
+    }
+
+    #[test]
+    fn write_enqueues_with_min_read_priority() {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(100);
+        store.add_read(5, 3, &pq);
+        store.add_read(5, 7, &pq);
+        store.add_write(5, 1, vec![0.1].into(), &pq);
+        // Read at step 1 was consumed; min remaining read is 3.
+        assert_eq!(store.priority_of(5), Some(3));
+        assert_eq!(pq.top_priority(), 3);
+        assert_eq!(store.pending_keys(), 1);
+    }
+
+    #[test]
+    fn write_without_future_reads_is_infinite() {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(100);
+        store.add_read(9, 0, &pq);
+        store.add_write(9, 0, vec![1.0].into(), &pq);
+        assert_eq!(store.priority_of(9), Some(INFINITE));
+        assert_eq!(pq.top_priority(), INFINITE);
+        assert_eq!(pq.len(), 1); // still flushed eventually
+    }
+
+    #[test]
+    fn later_read_reactivates_infinite_entry() {
+        // Paper Figure 6, k1: deferred update gets a priority once the key
+        // is prefetched again.
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(100);
+        store.add_read(1, 0, &pq);
+        store.add_write(1, 0, vec![1.0].into(), &pq);
+        assert_eq!(store.priority_of(1), Some(INFINITE));
+        store.add_read(1, 2, &pq);
+        assert_eq!(store.priority_of(1), Some(2));
+        assert_eq!(pq.top_priority(), 2);
+    }
+
+    #[test]
+    fn take_writes_returns_updates_in_step_order() {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(100);
+        store.add_read(4, 0, &pq);
+        store.add_write(4, 0, vec![1.0].into(), &pq);
+        store.add_read(4, 5, &pq);
+        store.add_write(4, 5, vec![2.0].into(), &pq);
+        let p = store.priority_of(4).unwrap();
+        let w = store.take_writes(4, p).expect("valid claim");
+        assert_eq!(w.len(), 2);
+        assert_eq!((w[0].0, &w[0].1[..]), (0, &[1.0f32][..]));
+        assert_eq!((w[1].0, &w[1].1[..]), (5, &[2.0f32][..]));
+        assert_eq!(store.pending_keys(), 0);
+        // W drained and R empty: the entry is garbage-collected.
+        assert_eq!(store.priority_of(4), None);
+    }
+
+    #[test]
+    fn stale_claim_is_rejected() {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(100);
+        store.add_read(4, 2, &pq);
+        store.add_write(4, 0, vec![1.0].into(), &pq); // priority 2
+        assert!(store.take_writes(4, 7).is_none(), "wrong bucket priority");
+        assert!(store.take_writes(4, 2).is_some());
+        assert!(store.take_writes(4, 2).is_none(), "already drained");
+    }
+
+    #[test]
+    fn surviving_reads_keep_entry_alive() {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(100);
+        store.add_read(4, 2, &pq);
+        store.add_read(4, 9, &pq);
+        store.add_write(4, 0, vec![1.0].into(), &pq);
+        let w = store.take_writes(4, 2).unwrap();
+        assert_eq!(w.len(), 1);
+        // Reads at 2 and 9 remain; entry alive but out of the queue.
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.priority_of(4), Some(INFINITE));
+        // A new write re-enqueues at the surviving min read.
+        store.add_write(4, 2, vec![3.0].into(), &pq);
+        assert_eq!(store.priority_of(4), Some(9));
+    }
+
+    #[test]
+    fn invariant_check_detects_violation_state() {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(100);
+        store.add_read(4, 6, &pq);
+        assert!(store.invariant_holds(4, 6), "reads alone are fine");
+        store.add_write(4, 0, vec![1.0].into(), &pq);
+        assert!(!store.invariant_holds(4, 6), "pending write + read at 6");
+        assert!(store.invariant_holds(4, 7), "no read registered at 7");
+        let p = store.priority_of(4).unwrap();
+        store.take_writes(4, p).unwrap();
+        assert!(store.invariant_holds(4, 6), "flushed");
+    }
+
+    #[test]
+    fn paper_figure6_walkthrough() {
+        // Reproduces the worked example of Figure 6 (L = 2, keys k1..k3).
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(10);
+        // ❶ prefetch step 0 (k2,k3,k1) and step 1 (k2).
+        for k in [2u64, 3, 1] {
+            store.add_read(k, 0, &pq);
+        }
+        store.add_read(2, 1, &pq);
+        // ❷ top is ∞ > step 0: train.
+        assert!(pq.top_priority() > 0);
+        // ❸ backward of step 0 records Δ for all three keys.
+        for k in [1u64, 2, 3] {
+            store.add_write(k, 0, vec![0.5].into(), &pq);
+        }
+        // k2 has a read at step 1 -> priority 1; k1,k3 -> ∞.
+        assert_eq!(store.priority_of(2), Some(1));
+        assert_eq!(store.priority_of(1), Some(INFINITE));
+        assert_eq!(store.priority_of(3), Some(INFINITE));
+        // ❹ prefetch step 2 (k1).
+        store.add_read(1, 2, &pq);
+        assert_eq!(store.priority_of(1), Some(2));
+        // ❺ top is 1, not > step 1: training must wait.
+        assert!(pq.top_priority() <= 1);
+        // ❻-❼ flush k2, then train step 1.
+        let mut out = Vec::new();
+        pq.dequeue_batch(1, &mut out);
+        assert_eq!(out[0].0, 2);
+        store.take_writes(2, out[0].1).unwrap();
+        assert!(pq.top_priority() > 1);
+        // ❽ backward of step 1 (k2 again, no more reads).
+        store.add_write(2, 1, vec![0.5].into(), &pq);
+        assert_eq!(store.priority_of(2), Some(INFINITE));
+        // k1's update from step 0 is still deferred (blue dashed box):
+        assert!(store.has_pending_writes(1));
+        // ❾ top is 2, not > 2? top == 2 blocks step 2 until k1 flushed.
+        assert_eq!(pq.top_priority(), 2);
+        out.clear();
+        pq.dequeue_batch(1, &mut out);
+        store.take_writes(1, out[0].1).unwrap();
+        assert!(pq.top_priority() > 2);
+        // ❾ train step 2 (k1), record its update.
+        store.add_write(1, 2, vec![0.5].into(), &pq);
+        // ❿ after training, drain the deferred ∞ updates (k1, k2, k3).
+        out.clear();
+        pq.dequeue_batch(10, &mut out);
+        for (k, p) in out {
+            store.take_writes(k, p);
+        }
+        assert_eq!(store.pending_keys(), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writes_and_takes_balance() {
+        use std::sync::Arc;
+        let store = Arc::new(GEntryStore::new());
+        let pq = Arc::new(TwoLevelPq::new(1_000));
+        let writer = {
+            let (store, pq) = (Arc::clone(&store), Arc::clone(&pq));
+            std::thread::spawn(move || {
+                for step in 0..500u64 {
+                    for k in 0..16u64 {
+                        store.add_read(k, step, pq.as_ref());
+                        store.add_write(k, step, vec![1.0].into(), pq.as_ref());
+                    }
+                }
+            })
+        };
+        let flusher = {
+            let (store, pq) = (Arc::clone(&store), Arc::clone(&pq));
+            std::thread::spawn(move || {
+                let mut applied = 0u64;
+                let mut out = Vec::new();
+                loop {
+                    out.clear();
+                    pq.dequeue_batch(32, &mut out);
+                    if out.is_empty() {
+                        if store.pending_keys() == 0 && applied > 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    for &(k, p) in &out {
+                        if let Some(w) = store.take_writes(k, p) {
+                            applied += w.len() as u64;
+                        }
+                    }
+                }
+                applied
+            })
+        };
+        writer.join().unwrap();
+        // Give the flusher time to drain, then verify totals.
+        let applied = flusher.join().unwrap();
+        // Drain any remainder.
+        let mut out = Vec::new();
+        pq.dequeue_batch(usize::MAX, &mut out);
+        let mut rest = 0u64;
+        for (k, p) in out {
+            if let Some(w) = store.take_writes(k, p) {
+                rest += w.len() as u64;
+            }
+        }
+        assert_eq!(applied + rest, 500 * 16, "every staged update flushed");
+        assert_eq!(store.pending_keys(), 0);
+    }
+}

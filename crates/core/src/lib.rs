@@ -1,0 +1,36 @@
+//! # frugal-core — the paper's contribution: P²F and the Frugal engine
+//!
+//! Implements §3 of *Frugal: Efficient and Economic Embedding Model
+//! Training with Commodity GPUs* (ASPLOS '25):
+//!
+//! * [`GEntryStore`] — per-parameter metadata (R/W sets, Equation-1
+//!   priorities) mirrored into a concurrent priority queue.
+//! * [`FrugalEngine`] — the multi-threaded training runtime: training
+//!   processes, the controller's sample-queue prefetch, update
+//!   registration, background flushing threads, and the P²F wait
+//!   condition. Also runs the write-through **Frugal-Sync** baseline.
+//! * [`train_serial`] — the synchronous-consistency oracle: a Frugal run
+//!   must be bit-identical to this single-threaded reference.
+//! * [`Workload`] / [`EmbeddingModel`] — the seams through which datasets
+//!   (`frugal-data`) and models (`frugal-models`) plug in;
+//!   [`PullToTarget`] is the embedding-only microbenchmark model.
+
+#![warn(missing_docs)]
+
+mod calibrate;
+mod config;
+mod engine;
+mod gentry;
+mod model;
+mod report;
+mod serial;
+mod workload;
+
+pub use calibrate::{host_gentry_ns, host_slowdown};
+pub use config::{FlushMode, FrugalConfig, OptimizerKind, PqKind};
+pub use engine::FrugalEngine;
+pub use gentry::{GEntryStore, PendingWrites};
+pub use model::{BatchGrads, EmbeddingModel, PullToTarget};
+pub use report::TrainReport;
+pub use serial::{train_serial, train_serial_with, SerialRun};
+pub use workload::Workload;

@@ -1,0 +1,43 @@
+//! Training-run reports.
+
+use frugal_sim::{IterBreakdown, Nanos, RunStats};
+
+/// Everything a finished training run reports — the quantities the paper's
+/// evaluation plots.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Per-iteration time breakdowns (modeled hardware + measured stall).
+    pub stats: RunStats,
+    /// Aggregate GPU-cache hit ratio over all trainers.
+    pub hit_ratio: f64,
+    /// Mean per-step time to register a batch's g-entry updates
+    /// (Exp #4a's metric); zero for engines without g-entries.
+    pub mean_gentry_update: Nanos,
+    /// Consistency-invariant violations observed on host reads
+    /// (checked mode; must be 0 unless failure injection is on).
+    pub violations: usize,
+    /// Seqlock read/write races detected by the host store (checked mode).
+    pub races: usize,
+    /// Mean loss over the first recorded step.
+    pub first_loss: f32,
+    /// Mean loss over the last recorded step.
+    pub final_loss: f32,
+}
+
+impl TrainReport {
+    /// Training throughput in samples per second (the paper's headline
+    /// metric).
+    pub fn throughput(&self) -> f64 {
+        self.stats.throughput()
+    }
+
+    /// Mean per-iteration breakdown.
+    pub fn mean_iter(&self) -> IterBreakdown {
+        self.stats.mean()
+    }
+
+    /// Mean per-iteration training-process stall (Exp #2/#4 metric).
+    pub fn mean_stall(&self) -> Nanos {
+        self.stats.mean_stall()
+    }
+}

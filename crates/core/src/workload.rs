@@ -1,0 +1,112 @@
+//! The workload abstraction engines train on.
+//!
+//! An engine only needs to know, for every `(step, gpu)`, which embedding
+//! keys are accessed — plus sizing metadata. Traces from `frugal-data`
+//! implement this; their determinism is what powers the controller's sample
+//! queue (prefetching the next `L` steps' keys, paper §3.2).
+
+use frugal_data::{Key, KgTrace, RecTrace, SyntheticTrace};
+
+/// A replayable multi-GPU embedding workload.
+pub trait Workload: Send + Sync {
+    /// Size of the embedding key space.
+    fn n_keys(&self) -> u64;
+
+    /// Number of GPUs the workload is partitioned over.
+    fn n_gpus(&self) -> usize;
+
+    /// Samples processed per step across all GPUs (throughput unit).
+    fn samples_per_step(&self) -> u64;
+
+    /// The keys GPU `gpu` accesses at `step`, in sample order (duplicates
+    /// allowed; engines deduplicate where their caches require it).
+    fn keys(&self, step: u64, gpu: usize) -> Vec<Key>;
+}
+
+impl Workload for SyntheticTrace {
+    fn n_keys(&self) -> u64 {
+        SyntheticTrace::n_keys(self)
+    }
+
+    fn n_gpus(&self) -> usize {
+        SyntheticTrace::n_gpus(self)
+    }
+
+    fn samples_per_step(&self) -> u64 {
+        SyntheticTrace::samples_per_step(self)
+    }
+
+    fn keys(&self, step: u64, gpu: usize) -> Vec<Key> {
+        self.step_keys(step).swap_remove(gpu)
+    }
+}
+
+impl Workload for RecTrace {
+    fn n_keys(&self) -> u64 {
+        self.spec().n_ids
+    }
+
+    fn n_gpus(&self) -> usize {
+        RecTrace::n_gpus(self)
+    }
+
+    fn samples_per_step(&self) -> u64 {
+        RecTrace::samples_per_step(self)
+    }
+
+    fn keys(&self, step: u64, gpu: usize) -> Vec<Key> {
+        self.step_batch(step, gpu).keys
+    }
+}
+
+impl Workload for KgTrace {
+    fn n_keys(&self) -> u64 {
+        self.spec().n_entities
+    }
+
+    fn n_gpus(&self) -> usize {
+        KgTrace::n_gpus(self)
+    }
+
+    fn samples_per_step(&self) -> u64 {
+        KgTrace::samples_per_step(self)
+    }
+
+    fn keys(&self, step: u64, gpu: usize) -> Vec<Key> {
+        self.step_batch(step, gpu).entity_keys().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frugal_data::{KeyDistribution, KgDatasetSpec, RecDatasetSpec};
+
+    #[test]
+    fn synthetic_adapter_matches_trace() {
+        let t = SyntheticTrace::new(100, KeyDistribution::Uniform, 8, 2, 1).unwrap();
+        let w: &dyn Workload = &t;
+        assert_eq!(w.n_keys(), 100);
+        assert_eq!(w.n_gpus(), 2);
+        assert_eq!(w.samples_per_step(), 16);
+        assert_eq!(w.keys(3, 1), t.step_keys(3)[1]);
+    }
+
+    #[test]
+    fn rec_adapter_exposes_flat_keys() {
+        let spec = RecDatasetSpec::avazu().scaled_to_ids(1_000);
+        let t = RecTrace::new(spec, 4, 2, 1).unwrap();
+        let w: &dyn Workload = &t;
+        assert_eq!(w.keys(0, 0).len(), 4 * 22);
+        assert_eq!(w.n_keys(), 1_000);
+    }
+
+    #[test]
+    fn kg_adapter_counts_entities() {
+        let t = KgTrace::new(KgDatasetSpec::fb15k(), 8, 2, 1).unwrap();
+        let w: &dyn Workload = &t;
+        // heads + tails + negatives
+        assert_eq!(w.keys(0, 0).len(), 8 * 2 + 200);
+        assert_eq!(w.samples_per_step(), 16);
+    }
+}

@@ -1,0 +1,264 @@
+//! Dataset descriptions (paper Table 2) and scaled synthetic stand-ins.
+//!
+//! The original datasets (Avazu, Criteo, CriteoTB; FB15k, Freebase, WikiKG)
+//! are not shipped here. What the evaluation actually depends on is their
+//! *shape*: ID-space size, feature/relation counts, access skew, and model
+//! size. Each preset records the published statistics and can be scaled down
+//! with [`RecDatasetSpec::scaled`]/[`KgDatasetSpec::scaled`] so the host
+//! parameter store fits in memory; every experiment records the factor used.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per f32.
+const F32: u64 = 4;
+
+/// A recommendation (CTR) dataset in the shape of paper Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecDatasetSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Number of sparse feature fields per sample (Avazu 22, Criteo 26).
+    pub n_features: u32,
+    /// Total number of distinct IDs across all fields (the embedding-table
+    /// key space).
+    pub n_ids: u64,
+    /// Number of training samples.
+    pub n_samples: u64,
+    /// Embedding dimension (the paper trains DLRM with dim 32).
+    pub embedding_dim: u32,
+    /// Zipf exponent modelling the skew of real CTR ID features.
+    pub skew_theta: f64,
+}
+
+impl RecDatasetSpec {
+    /// Avazu: 22 features, 49 M IDs, 40 M samples, 5.8 GB model (Table 2).
+    pub fn avazu() -> Self {
+        RecDatasetSpec {
+            name: "Avazu".to_owned(),
+            n_features: 22,
+            n_ids: 49_000_000,
+            n_samples: 40_000_000,
+            embedding_dim: 32,
+            skew_theta: 0.9,
+        }
+    }
+
+    /// Criteo: 26 features, 34 M IDs, 45 M samples, 4.1 GB model (Table 2).
+    pub fn criteo() -> Self {
+        RecDatasetSpec {
+            name: "Criteo".to_owned(),
+            n_features: 26,
+            n_ids: 34_000_000,
+            n_samples: 45_000_000,
+            embedding_dim: 32,
+            skew_theta: 0.95,
+        }
+    }
+
+    /// CriteoTB: 26 features, 882 M IDs, 4.37 B samples, 110.3 GB (Table 2).
+    pub fn criteo_tb() -> Self {
+        RecDatasetSpec {
+            name: "CriteoTB".to_owned(),
+            n_features: 26,
+            n_ids: 882_000_000,
+            n_samples: 4_370_000_000,
+            embedding_dim: 32,
+            skew_theta: 1.0,
+        }
+    }
+
+    /// Embedding-table size in bytes (`n_ids × dim × 4`).
+    pub fn model_bytes(&self) -> u64 {
+        self.n_ids * self.embedding_dim as u64 * F32
+    }
+
+    /// Returns a copy whose ID space and sample count are scaled by
+    /// `factor` (0 < factor ≤ 1), keeping at least one ID and sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0,1]");
+        let mut s = self.clone();
+        s.n_ids = ((self.n_ids as f64 * factor) as u64).max(1);
+        s.n_samples = ((self.n_samples as f64 * factor) as u64).max(1);
+        if factor < 1.0 {
+            s.name = format!("{}(x{factor:.4})", self.name);
+        }
+        s
+    }
+
+    /// Scales the ID space down to at most `max_ids` (keeps proportions).
+    pub fn scaled_to_ids(&self, max_ids: u64) -> Self {
+        if self.n_ids <= max_ids {
+            self.clone()
+        } else {
+            self.scaled(max_ids as f64 / self.n_ids as f64)
+        }
+    }
+}
+
+/// A knowledge-graph dataset in the shape of paper Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KgDatasetSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Number of entities (graph vertices).
+    pub n_entities: u64,
+    /// Number of relation types.
+    pub n_relations: u64,
+    /// Number of triples (graph edges).
+    pub n_triples: u64,
+    /// Embedding dimension (the paper trains TransE with dim 400).
+    pub embedding_dim: u32,
+    /// Negative sampling batch size (paper §4.1: 200).
+    pub neg_sample_size: u32,
+    /// Default training batch size from the DGL-KE setups (§4.1).
+    pub default_batch: u32,
+}
+
+impl KgDatasetSpec {
+    /// FB15k: ~15 k entities, 1.3 k relations, 592 k triples, 52 MB model.
+    pub fn fb15k() -> Self {
+        KgDatasetSpec {
+            name: "FB15k".to_owned(),
+            n_entities: 15_000,
+            n_relations: 1_300,
+            n_triples: 592_000,
+            embedding_dim: 400,
+            neg_sample_size: 200,
+            default_batch: 1_200,
+        }
+    }
+
+    /// Freebase: 86.1 M entities, 14.8 k relations, 338 M triples, 68.8 GB.
+    pub fn freebase() -> Self {
+        KgDatasetSpec {
+            name: "Freebase".to_owned(),
+            n_entities: 86_100_000,
+            n_relations: 14_800,
+            n_triples: 338_000_000,
+            embedding_dim: 400,
+            neg_sample_size: 200,
+            default_batch: 2_000,
+        }
+    }
+
+    /// WikiKG: 87 M entities, 1.3 k relations, 504 M triples, 34 GB model.
+    pub fn wikikg() -> Self {
+        KgDatasetSpec {
+            name: "WikiKG".to_owned(),
+            n_entities: 87_000_000,
+            n_relations: 1_300,
+            n_triples: 504_000_000,
+            embedding_dim: 400,
+            neg_sample_size: 200,
+            default_batch: 2_000,
+        }
+    }
+
+    /// Entity + relation table size in bytes.
+    pub fn model_bytes(&self) -> u64 {
+        (self.n_entities + self.n_relations) * self.embedding_dim as u64 * F32
+    }
+
+    /// Returns a copy with the entity space and triple count scaled by
+    /// `factor` (0 < factor ≤ 1); relations are never scaled below 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0,1]");
+        let mut s = self.clone();
+        s.n_entities = ((self.n_entities as f64 * factor) as u64).max(16);
+        s.n_triples = ((self.n_triples as f64 * factor) as u64).max(16);
+        s.n_relations = ((self.n_relations as f64 * factor) as u64).max(8);
+        if factor < 1.0 {
+            s.name = format!("{}(x{factor:.4})", self.name);
+        }
+        s
+    }
+
+    /// Scales the entity space down to at most `max_entities`.
+    pub fn scaled_to_entities(&self, max_entities: u64) -> Self {
+        if self.n_entities <= max_entities {
+            self.clone()
+        } else {
+            self.scaled(max_entities as f64 / self.n_entities as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rec_model_sizes() {
+        // Table 2 model sizes: Avazu 5.8 GB, Criteo 4.1 GB, CriteoTB 110.3 GB.
+        let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
+        assert!((gib(RecDatasetSpec::avazu().model_bytes()) - 5.8).abs() < 0.1);
+        assert!((gib(RecDatasetSpec::criteo().model_bytes()) - 4.1).abs() < 0.1);
+        assert!((gib(RecDatasetSpec::criteo_tb().model_bytes()) - 110.3).abs() < 6.0);
+    }
+
+    #[test]
+    fn table2_kg_model_sizes() {
+        // Freebase entity+relation table at dim 400 should be sizeable.
+        let fb = KgDatasetSpec::freebase();
+        let gib = fb.model_bytes() as f64 / (1u64 << 30) as f64;
+        assert!((100.0..140.0).contains(&gib), "freebase {gib} GiB");
+        let small = KgDatasetSpec::fb15k();
+        assert!(small.model_bytes() < (100 << 20));
+    }
+
+    #[test]
+    fn rec_scaling_preserves_shape() {
+        let a = RecDatasetSpec::avazu();
+        let s = a.scaled(0.01);
+        assert_eq!(s.n_features, a.n_features);
+        assert_eq!(s.embedding_dim, a.embedding_dim);
+        assert_eq!(s.n_ids, 490_000);
+        assert!(s.name.contains("Avazu"));
+    }
+
+    #[test]
+    fn rec_scaled_to_ids_caps() {
+        let a = RecDatasetSpec::avazu().scaled_to_ids(1_000_000);
+        assert!(a.n_ids <= 1_000_000);
+        // No-op when already small enough.
+        let b = RecDatasetSpec::avazu().scaled_to_ids(u64::MAX);
+        assert_eq!(b, RecDatasetSpec::avazu());
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in (0,1]")]
+    fn rec_scaling_rejects_bad_factor() {
+        RecDatasetSpec::avazu().scaled(0.0);
+    }
+
+    #[test]
+    fn kg_scaling_floors() {
+        let s = KgDatasetSpec::fb15k().scaled(1e-9);
+        assert!(s.n_entities >= 16 && s.n_relations >= 8 && s.n_triples >= 16);
+    }
+
+    #[test]
+    fn kg_scaled_to_entities() {
+        let s = KgDatasetSpec::freebase().scaled_to_entities(2_000_000);
+        assert!(s.n_entities <= 2_000_000);
+        assert_eq!(s.embedding_dim, 400);
+    }
+
+    #[test]
+    fn presets_match_table2_counts() {
+        assert_eq!(RecDatasetSpec::avazu().n_features, 22);
+        assert_eq!(RecDatasetSpec::criteo().n_features, 26);
+        assert_eq!(RecDatasetSpec::criteo_tb().n_ids, 882_000_000);
+        assert_eq!(KgDatasetSpec::fb15k().n_relations, 1_300);
+        assert_eq!(KgDatasetSpec::freebase().n_entities, 86_100_000);
+        assert_eq!(KgDatasetSpec::wikikg().n_triples, 504_000_000);
+    }
+}

@@ -1,0 +1,367 @@
+//! Key distributions for synthetic workloads.
+//!
+//! The paper's microbenchmark (§4.1) draws embedding keys from a uniform
+//! distribution and from Zipfian distributions with parameters 0.9 and 0.99.
+//! The Zipfian sampler uses rejection-inversion (Hörmann & Derflinger,
+//! "Rejection-inversion to generate variates from monotone discrete
+//! distributions"), which is O(1) per sample and needs no per-key tables, so
+//! it scales to the paper's 10-million-key space.
+
+use rand::Rng;
+use std::fmt;
+
+/// Error building a distribution with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// The key space must contain at least one key.
+    EmptyKeySpace,
+    /// The Zipf exponent must be finite and non-negative.
+    BadExponent(f64),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::EmptyKeySpace => write!(f, "key space must be non-empty"),
+            DistError::BadExponent(s) => write!(f, "invalid zipf exponent {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Zipfian sampler over ranks `0..n` with exponent `theta`.
+///
+/// Rank 0 is the hottest key. `theta = 0` degenerates to uniform.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_data::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1_000_000, 0.99)?;
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1_000_000);
+/// # Ok::<(), frugal_data::DistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    // Precomputed rejection-inversion constants.
+    h_integral_x1: f64,
+    h_integral_num: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipfian sampler over `n` ranks with exponent `theta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::EmptyKeySpace`] if `n == 0`, and
+    /// [`DistError::BadExponent`] if `theta` is negative or non-finite.
+    pub fn new(n: u64, theta: f64) -> Result<Self, DistError> {
+        if n == 0 {
+            return Err(DistError::EmptyKeySpace);
+        }
+        if !theta.is_finite() || theta < 0.0 {
+            return Err(DistError::BadExponent(theta));
+        }
+        let h_integral_x1 = Self::h_integral(1.5, theta) - 1.0;
+        let h_integral_num = Self::h_integral(n as f64 + 0.5, theta);
+        let s = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
+        Ok(Zipf {
+            n,
+            theta,
+            h_integral_x1,
+            h_integral_num,
+            s,
+        })
+    }
+
+    /// Number of ranks in the key space.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one rank in `0..n`; rank 0 is the most frequent.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Rejection-inversion over the 1-based rank k ∈ [1, n].
+        loop {
+            let u: f64 = self.h_integral_num
+                + rng.random::<f64>() * (self.h_integral_x1 - self.h_integral_num);
+            let x = Self::h_integral_inverse(u, self.theta);
+            let mut k = (x + 0.5) as u64;
+            k = k.clamp(1, self.n);
+            let kf = k as f64;
+            if x >= kf - 0.5 + self.s
+                || u >= Self::h_integral(kf + 0.5, self.theta) - Self::h(kf, self.theta)
+            {
+                return k - 1;
+            }
+        }
+    }
+
+    /// The unnormalized frequency of rank `r` (0-based): `1 / (r+1)^theta`.
+    pub fn weight(&self, rank: u64) -> f64 {
+        ((rank + 1) as f64).powf(-self.theta)
+    }
+
+    /// Fraction of total probability mass covered by the hottest
+    /// `hot` ranks. Useful to reason about cache hit ratios.
+    pub fn hot_mass(&self, hot: u64) -> f64 {
+        let hot = hot.min(self.n);
+        let total: f64 = Self::harmonic(self.n, self.theta);
+        if total == 0.0 {
+            return 0.0;
+        }
+        Self::harmonic(hot, self.theta) / total
+    }
+
+    fn harmonic(n: u64, theta: f64) -> f64 {
+        // Exact for small n, integral approximation for large n.
+        if n <= 10_000 {
+            (1..=n).map(|k| (k as f64).powf(-theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|k| (k as f64).powf(-theta)).sum();
+            head + Self::h_integral(n as f64 + 0.5, theta) - Self::h_integral(10_000.5, theta)
+        }
+    }
+
+    /// H(x) = ∫ h, with h(x) = x^-theta.
+    fn h_integral(x: f64, theta: f64) -> f64 {
+        let log_x = x.ln();
+        Self::helper2((1.0 - theta) * log_x) * log_x
+    }
+
+    fn h(x: f64, theta: f64) -> f64 {
+        (-theta * x.ln()).exp()
+    }
+
+    fn h_integral_inverse(x: f64, theta: f64) -> f64 {
+        let mut t = x * (1.0 - theta);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (Self::helper1(t) * x).exp()
+    }
+
+    /// (exp(x) - 1) / x, stable near 0.
+    fn helper2(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.exp_m1() / x
+        } else {
+            1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + x * 0.25))
+        }
+    }
+
+    /// ln(1 + x) / x, stable near 0.
+    fn helper1(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.ln_1p() / x
+        } else {
+            1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25))
+        }
+    }
+}
+
+/// A key distribution for synthetic traces: the three used by Exp #1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given exponent (the paper uses 0.9 and 0.99).
+    Zipf(f64),
+}
+
+impl KeyDistribution {
+    /// Short label used in experiment tables ("uniform", "zipf-0.9", ...).
+    pub fn label(&self) -> String {
+        match self {
+            KeyDistribution::Uniform => "uniform".to_owned(),
+            KeyDistribution::Zipf(t) => format!("zipf-{t}"),
+        }
+    }
+
+    /// Builds a sampler over `n` keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DistError`] for invalid parameters.
+    pub fn sampler(&self, n: u64) -> Result<KeySampler, DistError> {
+        match self {
+            KeyDistribution::Uniform => {
+                if n == 0 {
+                    Err(DistError::EmptyKeySpace)
+                } else {
+                    Ok(KeySampler::Uniform { n })
+                }
+            }
+            KeyDistribution::Zipf(theta) => Ok(KeySampler::Zipf(Zipf::new(n, *theta)?)),
+        }
+    }
+}
+
+/// A ready-to-draw sampler built from a [`KeyDistribution`].
+#[derive(Debug, Clone)]
+pub enum KeySampler {
+    /// Uniform over `0..n`.
+    Uniform {
+        /// Key space size.
+        n: u64,
+    },
+    /// Zipfian sampler.
+    Zipf(Zipf),
+}
+
+impl KeySampler {
+    /// Draws one key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            KeySampler::Uniform { n } => rng.random_range(0..*n),
+            KeySampler::Zipf(z) => z.sample(rng),
+        }
+    }
+
+    /// Key space size.
+    pub fn n(&self) -> u64 {
+        match self {
+            KeySampler::Uniform { n } => *n,
+            KeySampler::Zipf(z) => z.n(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert_eq!(Zipf::new(0, 0.9).unwrap_err(), DistError::EmptyKeySpace);
+        assert!(matches!(
+            Zipf::new(10, -1.0).unwrap_err(),
+            DistError::BadExponent(_)
+        ));
+        assert!(matches!(
+            Zipf::new(10, f64::NAN).unwrap_err(),
+            DistError::BadExponent(_)
+        ));
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(1_000, 0.99).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1_000);
+        }
+    }
+
+    #[test]
+    fn zipf_rank0_is_hottest() {
+        let z = Zipf::new(100, 0.99).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u64; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_empirical_frequencies_match_weights() {
+        let z = Zipf::new(50, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 400_000;
+        let mut counts = [0u64; 50];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let total_w: f64 = (0..50).map(|r| z.weight(r)).sum();
+        for r in [0u64, 1, 5, 20] {
+            let expected = z.weight(r) / total_w;
+            let observed = counts[r as usize] as f64 / trials as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {r}: expected {expected}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u64; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 100_000.0;
+            assert!((frac - 0.1).abs() < 0.02, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn hot_mass_monotone_and_bounded() {
+        let z = Zipf::new(10_000_000, 0.99).unwrap();
+        let m1 = z.hot_mass(100_000); // 1% of keys
+        let m5 = z.hot_mass(500_000); // 5% of keys
+        assert!(m1 > 0.0 && m1 < m5 && m5 <= 1.0);
+        // Skewed: the hottest 1% should cover well over 1% of accesses.
+        assert!(m1 > 0.5, "1% of keys covers {m1} of mass");
+    }
+
+    #[test]
+    fn uniform_sampler_covers_space() {
+        let s = KeyDistribution::Uniform.sampler(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 8);
+        assert_eq!(s.n(), 8);
+    }
+
+    #[test]
+    fn distribution_labels() {
+        assert_eq!(KeyDistribution::Uniform.label(), "uniform");
+        assert_eq!(KeyDistribution::Zipf(0.9).label(), "zipf-0.9");
+    }
+
+    #[test]
+    fn uniform_rejects_empty() {
+        assert!(KeyDistribution::Uniform.sampler(0).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DistError::EmptyKeySpace.to_string().contains("non-empty"));
+        assert!(DistError::BadExponent(-1.0).to_string().contains("-1"));
+    }
+
+    #[test]
+    fn big_keyspace_sampling_is_fast_and_valid() {
+        let z = Zipf::new(10_000_000, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut max = 0;
+        for _ in 0..50_000 {
+            max = max.max(z.sample(&mut rng));
+        }
+        assert!(max < 10_000_000);
+        assert!(max > 1_000, "sampler collapsed to the head: max {max}");
+    }
+}

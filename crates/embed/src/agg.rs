@@ -1,0 +1,187 @@
+//! Deterministic per-key gradient aggregation.
+//!
+//! Within one synchronous step, several samples (possibly on several GPUs)
+//! can touch the same embedding row. Synchronous training sums their
+//! gradients before the optimizer applies them. Floating-point addition is
+//! not associative, so to let a multi-threaded engine reproduce the serial
+//! reference *bitwise*, gradients must be summed in a canonical order:
+//! sample order within a GPU, GPU index order across GPUs.
+
+use frugal_data::Key;
+use std::collections::HashMap;
+
+/// Accumulates per-key gradients in arrival order.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_embed::GradAggregator;
+///
+/// let mut agg = GradAggregator::new(2);
+/// agg.add(7, &[1.0, 2.0]);
+/// agg.add(7, &[0.5, 0.5]);
+/// let grads = agg.into_sorted();
+/// assert_eq!(grads, vec![(7, vec![1.5, 2.5])]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradAggregator {
+    dim: usize,
+    grads: HashMap<Key, Vec<f32>>,
+    order: Vec<Key>,
+}
+
+impl GradAggregator {
+    /// Creates an aggregator for `dim`-wide gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        GradAggregator {
+            dim,
+            grads: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Adds `grad` to the accumulator of `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != dim`.
+    pub fn add(&mut self, key: Key, grad: &[f32]) {
+        assert_eq!(grad.len(), self.dim, "gradient length != dim");
+        match self.grads.get_mut(&key) {
+            Some(acc) => {
+                for (a, &g) in acc.iter_mut().zip(grad) {
+                    *a += g;
+                }
+            }
+            None => {
+                self.grads.insert(key, grad.to_vec());
+                self.order.push(key);
+            }
+        }
+    }
+
+    /// Adds `grad` scaled by `scale` to the accumulator of `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != dim`.
+    pub fn add_scaled(&mut self, key: Key, grad: &[f32], scale: f32) {
+        assert_eq!(grad.len(), self.dim, "gradient length != dim");
+        match self.grads.get_mut(&key) {
+            Some(acc) => {
+                for (a, &g) in acc.iter_mut().zip(grad) {
+                    *a += scale * g;
+                }
+            }
+            None => {
+                let scaled: Vec<f32> = grad.iter().map(|&g| scale * g).collect();
+                self.grads.insert(key, scaled);
+                self.order.push(key);
+            }
+        }
+    }
+
+    /// Number of distinct keys accumulated.
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// True if nothing was accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Drains into `(key, grad)` pairs in *first-arrival* order — the
+    /// canonical order for deterministic downstream application.
+    pub fn into_arrival_order(mut self) -> Vec<(Key, Vec<f32>)> {
+        self.order
+            .iter()
+            .map(|k| (*k, self.grads.remove(k).expect("ordered key present")))
+            .collect()
+    }
+
+    /// Drains into `(key, grad)` pairs sorted by key (for tests and merges).
+    pub fn into_sorted(self) -> Vec<(Key, Vec<f32>)> {
+        let mut v = self.into_arrival_order();
+        v.sort_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Merges `other` into `self` (used to fold per-GPU aggregates in GPU
+    /// index order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn merge(&mut self, other: GradAggregator) {
+        assert_eq!(self.dim, other.dim, "dim mismatch");
+        for (k, g) in other.into_arrival_order() {
+            self.add(k, &g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_key() {
+        let mut agg = GradAggregator::new(2);
+        agg.add(1, &[1.0, 1.0]);
+        agg.add(2, &[2.0, 2.0]);
+        agg.add(1, &[3.0, 3.0]);
+        assert_eq!(agg.len(), 2);
+        let out = agg.into_sorted();
+        assert_eq!(out[0], (1, vec![4.0, 4.0]));
+        assert_eq!(out[1], (2, vec![2.0, 2.0]));
+    }
+
+    #[test]
+    fn arrival_order_is_first_touch() {
+        let mut agg = GradAggregator::new(1);
+        agg.add(9, &[1.0]);
+        agg.add(3, &[1.0]);
+        agg.add(9, &[1.0]);
+        let keys: Vec<Key> = agg.into_arrival_order().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![9, 3]);
+    }
+
+    #[test]
+    fn add_scaled_scales() {
+        let mut agg = GradAggregator::new(1);
+        agg.add_scaled(1, &[2.0], 0.5);
+        agg.add_scaled(1, &[2.0], 0.25);
+        assert_eq!(agg.into_sorted(), vec![(1, vec![1.5])]);
+    }
+
+    #[test]
+    fn merge_folds_in_order() {
+        let mut a = GradAggregator::new(1);
+        a.add(1, &[1.0]);
+        let mut b = GradAggregator::new(1);
+        b.add(1, &[2.0]);
+        b.add(2, &[5.0]);
+        a.merge(b);
+        assert_eq!(a.into_sorted(), vec![(1, vec![3.0]), (2, vec![5.0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length != dim")]
+    fn rejects_bad_dim() {
+        let mut agg = GradAggregator::new(2);
+        agg.add(1, &[1.0]);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let agg = GradAggregator::new(3);
+        assert!(agg.is_empty());
+        assert!(agg.into_sorted().is_empty());
+    }
+}

@@ -1,0 +1,439 @@
+//! Per-GPU embedding caches.
+//!
+//! Every multi-GPU system in the paper "maintains multi-GPU embedding cache
+//! by caching hot entries to reduce host memory fetching" (§1). Each GPU
+//! owns one cache instance holding rows of its shard. Two admission
+//! policies:
+//!
+//! * [`CachePolicy::StaticHot`] — admit only the statically hottest keys.
+//!   The paper keeps HugeCTR's cache strategy across all systems so hit
+//!   ratios match; with Zipf-ranked key spaces the hottest keys are the
+//!   numerically smallest, which this policy encodes. Deterministic, which
+//!   the equivalence tests rely on.
+//! * [`CachePolicy::Lru`] — classic least-recently-used, as an ablation
+//!   (see the `ablation_cache_policy` bench target).
+//!
+//! Caches are owned by a single trainer thread (one per GPU), so they are
+//! plain `&mut` structures — no locking on the fast path, like a real GPU
+//! cache kernel operating on device-local memory. Recency is an intrusive
+//! doubly-linked list over a slab, so every operation (including eviction)
+//! is O(1).
+
+use frugal_data::Key;
+use std::collections::HashMap;
+
+/// Cache admission/eviction policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Admit a key iff its *global hotness rank* is below the admission
+    /// threshold derived from capacity. No evictions ever happen, matching
+    /// a prefilled static cache.
+    StaticHot,
+    /// Admit everything; evict the least recently used row when full.
+    Lru,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    key: Key,
+    row: Vec<f32>,
+    prev: usize,
+    next: usize,
+}
+
+/// A single GPU's embedding cache.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_embed::{CachePolicy, GpuCache};
+///
+/// let mut cache = GpuCache::new(2, 4, CachePolicy::Lru);
+/// cache.insert(10, vec![1.0; 4]);
+/// cache.insert(20, vec![2.0; 4]);
+/// cache.get(&10); // refresh 10
+/// cache.insert(30, vec![3.0; 4]); // evicts 20
+/// assert!(cache.contains(&10) && !cache.contains(&20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuCache {
+    capacity: usize,
+    dim: usize,
+    policy: CachePolicy,
+    map: HashMap<Key, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used slot (NIL when empty).
+    head: usize,
+    /// Least recently used slot (NIL when empty).
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    /// For StaticHot: admit keys `< hot_threshold` (hotness = rank = key in
+    /// the Zipf-ranked traces).
+    hot_threshold: u64,
+}
+
+impl GpuCache {
+    /// Creates a cache holding at most `capacity` rows of `dim` floats.
+    ///
+    /// For [`CachePolicy::StaticHot`] the admission threshold defaults to
+    /// `capacity` (callers with sharded key spaces should set it with
+    /// [`GpuCache::set_hot_threshold`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(capacity: usize, dim: usize, policy: CachePolicy) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        GpuCache {
+            capacity,
+            dim,
+            policy,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            hot_threshold: capacity as u64,
+        }
+    }
+
+    /// Sets the StaticHot admission threshold: keys `< threshold` are
+    /// cacheable.
+    pub fn set_hot_threshold(&mut self, threshold: u64) {
+        self.hot_threshold = threshold;
+    }
+
+    /// Maximum number of rows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of rows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no rows are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// `(hits, misses)` counted by [`GpuCache::get`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit ratio over all `get` calls so far (0 when unused).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Looks up `key`, refreshing recency. Returns the cached row.
+    pub fn get(&mut self, key: &Key) -> Option<&[f32]> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.touch(idx);
+                self.hits += 1;
+                Some(self.slots[idx].row.as_slice())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` mutably (for in-cache updates), refreshing recency.
+    pub fn get_mut(&mut self, key: &Key) -> Option<&mut [f32]> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.touch(idx);
+                Some(self.slots[idx].row.as_mut_slice())
+            }
+            None => None,
+        }
+    }
+
+    /// True if `key` is cached (does not affect recency or stats).
+    pub fn contains(&self, key: &Key) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Whether this cache would admit `key` at all.
+    pub fn admits(&self, key: Key) -> bool {
+        match self.policy {
+            CachePolicy::StaticHot => key < self.hot_threshold,
+            CachePolicy::Lru => self.capacity > 0,
+        }
+    }
+
+    /// Inserts `row` for `key`. See [`InsertOutcome`] for the possible
+    /// results; eviction is O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim`.
+    pub fn insert(&mut self, key: Key, row: Vec<f32>) -> InsertOutcome {
+        assert_eq!(row.len(), self.dim, "row length != dim");
+        if !self.admits(key) {
+            return InsertOutcome::Rejected(row);
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].row = row;
+            self.touch(idx);
+            return InsertOutcome::Replaced;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            match self.policy {
+                CachePolicy::StaticHot => {
+                    // Static caches never exceed their admission set; if the
+                    // threshold admits more keys than capacity, reject.
+                    return InsertOutcome::Rejected(row);
+                }
+                CachePolicy::Lru => {
+                    let victim = self.tail;
+                    debug_assert_ne!(victim, NIL, "full cache must have a tail");
+                    self.unlink(victim);
+                    let slot = &mut self.slots[victim];
+                    let old_key = slot.key;
+                    let old_row = std::mem::take(&mut slot.row);
+                    self.map.remove(&old_key);
+                    self.free.push(victim);
+                    evicted = Some((old_key, old_row));
+                }
+            }
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Slot {
+                    key,
+                    row,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    row,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        match evicted {
+            Some((k, r)) => InsertOutcome::Evicted(k, r),
+            None => InsertOutcome::Inserted,
+        }
+    }
+}
+
+/// Result of a cache insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertOutcome {
+    /// Inserted without eviction.
+    Inserted,
+    /// Replaced an existing row for the same key.
+    Replaced,
+    /// Inserted; the returned victim row was evicted.
+    Evicted(Key, Vec<f32>),
+    /// The admission policy rejected the key; the row is handed back.
+    Rejected(Vec<f32>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_hot_admits_only_hot_keys() {
+        let mut c = GpuCache::new(4, 2, CachePolicy::StaticHot);
+        c.set_hot_threshold(100);
+        assert_eq!(c.insert(5, vec![1.0, 1.0]), InsertOutcome::Inserted);
+        assert!(matches!(
+            c.insert(500, vec![2.0, 2.0]),
+            InsertOutcome::Rejected(_)
+        ));
+        assert!(c.contains(&5) && !c.contains(&500));
+    }
+
+    #[test]
+    fn static_hot_never_evicts() {
+        let mut c = GpuCache::new(2, 1, CachePolicy::StaticHot);
+        c.set_hot_threshold(u64::MAX - 2);
+        assert_eq!(c.insert(1, vec![1.0]), InsertOutcome::Inserted);
+        assert_eq!(c.insert(2, vec![2.0]), InsertOutcome::Inserted);
+        // Full: further inserts rejected, existing entries untouched.
+        assert!(matches!(c.insert(3, vec![3.0]), InsertOutcome::Rejected(_)));
+        assert!(c.contains(&1) && c.contains(&2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = GpuCache::new(2, 1, CachePolicy::Lru);
+        c.insert(1, vec![1.0]);
+        c.insert(2, vec![2.0]);
+        assert!(c.get(&1).is_some()); // 2 is now LRU
+        match c.insert(3, vec![3.0]) {
+            InsertOutcome::Evicted(k, row) => {
+                assert_eq!(k, 2);
+                assert_eq!(row, vec![2.0]);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.contains(&1) && c.contains(&3) && !c.contains(&2));
+    }
+
+    #[test]
+    fn lru_never_exceeds_capacity() {
+        let mut c = GpuCache::new(8, 1, CachePolicy::Lru);
+        for k in 0..100 {
+            c.insert(k, vec![k as f32]);
+            assert!(c.len() <= 8);
+        }
+        // The eight most recent survive.
+        for k in 92..100 {
+            assert!(c.contains(&k), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn lru_eviction_order_follows_recency_chain() {
+        let mut c = GpuCache::new(3, 1, CachePolicy::Lru);
+        c.insert(1, vec![1.0]);
+        c.insert(2, vec![2.0]);
+        c.insert(3, vec![3.0]);
+        // Recency now 3 > 2 > 1. Touch 1 and 2 via get_mut/get.
+        c.get_mut(&1).unwrap()[0] = 1.5;
+        let _ = c.get(&2);
+        // Recency 2 > 1 > 3: inserting evicts 3.
+        match c.insert(4, vec![4.0]) {
+            InsertOutcome::Evicted(k, _) => assert_eq!(k, 3),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        // And the freed slot is reused without leaking.
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn get_mut_allows_in_cache_update() {
+        let mut c = GpuCache::new(2, 2, CachePolicy::Lru);
+        c.insert(1, vec![1.0, 1.0]);
+        c.get_mut(&1).expect("cached")[0] = 9.0;
+        assert_eq!(c.get(&1).unwrap(), &[9.0, 1.0]);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = GpuCache::new(2, 1, CachePolicy::Lru);
+        c.insert(1, vec![1.0]);
+        let _ = c.get(&1);
+        let _ = c.get(&2);
+        let _ = c.get(&1);
+        assert_eq!(c.stats(), (2, 1));
+        assert!((c.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replace_same_key() {
+        let mut c = GpuCache::new(2, 1, CachePolicy::Lru);
+        c.insert(1, vec![1.0]);
+        assert_eq!(c.insert(1, vec![5.0]), InsertOutcome::Replaced);
+        assert_eq!(c.get(&1).unwrap(), &[5.0]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length != dim")]
+    fn insert_rejects_bad_dim() {
+        let mut c = GpuCache::new(2, 3, CachePolicy::Lru);
+        c.insert(1, vec![1.0]);
+    }
+
+    #[test]
+    fn zero_capacity_lru_rejects() {
+        let mut c = GpuCache::new(0, 1, CachePolicy::Lru);
+        assert!(!c.admits(1));
+        assert!(matches!(c.insert(1, vec![1.0]), InsertOutcome::Rejected(_)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn hit_ratio_zero_when_unused() {
+        let c = GpuCache::new(2, 1, CachePolicy::Lru);
+        assert_eq!(c.hit_ratio(), 0.0);
+        assert_eq!(c.policy(), CachePolicy::Lru);
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        // Slab + free-list reuse under sustained churn: every lookup must
+        // still return the right row.
+        let mut c = GpuCache::new(16, 1, CachePolicy::Lru);
+        for round in 0..2_000u64 {
+            let k = round % 40;
+            match c.get(&k) {
+                Some(row) => assert_eq!(row[0], k as f32, "round {round}"),
+                None => {
+                    c.insert(k, vec![k as f32]);
+                }
+            }
+            assert!(c.len() <= 16);
+        }
+    }
+}

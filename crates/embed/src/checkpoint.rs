@@ -1,0 +1,196 @@
+//! Checkpointing for the host parameter store.
+//!
+//! Production embedding training periodically checkpoints the O(100) GB
+//! parameter set in host memory. The format here is a simple framed binary
+//! layout (magic, version, shape, seed, raw little-endian f32 rows) built
+//! on [`bytes`], streamed through any `Read`/`Write` — files, sockets, or
+//! in-memory buffers.
+
+use crate::store::HostStore;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"FRUGALv1";
+/// Rows per I/O frame.
+const CHUNK_ROWS: usize = 4_096;
+
+/// Errors from loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a Frugal checkpoint, or an unsupported version.
+    BadHeader,
+    /// The checkpoint's shape does not match the target store.
+    ShapeMismatch {
+        /// Rows × dim recorded in the checkpoint.
+        found: (u64, usize),
+        /// Rows × dim of the store being restored.
+        expected: (u64, usize),
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CheckpointError::BadHeader => write!(f, "not a frugal checkpoint"),
+            CheckpointError::ShapeMismatch { found, expected } => write!(
+                f,
+                "checkpoint shape {found:?} does not match store {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes a checkpoint of `store` to `w`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn save_checkpoint<W: Write>(store: &HostStore, mut w: W) -> Result<(), CheckpointError> {
+    let mut header = BytesMut::with_capacity(32);
+    header.put_slice(MAGIC);
+    header.put_u64_le(store.n_keys());
+    header.put_u32_le(store.dim() as u32);
+    header.put_u64_le(store.seed());
+    w.write_all(&header)?;
+
+    let dim = store.dim();
+    let mut frame = BytesMut::with_capacity(CHUNK_ROWS * dim * 4);
+    let mut row = vec![0.0f32; dim];
+    for key in 0..store.n_keys() {
+        store.read_row(key, &mut row);
+        for &v in &row {
+            frame.put_f32_le(v);
+        }
+        if frame.len() >= CHUNK_ROWS * dim * 4 {
+            w.write_all(&frame)?;
+            frame.clear();
+        }
+    }
+    if !frame.is_empty() {
+        w.write_all(&frame)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Restores `store` from a checkpoint previously written by
+/// [`save_checkpoint`]. The shapes must match.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadHeader`] for foreign data and
+/// [`CheckpointError::ShapeMismatch`] when the checkpoint was taken from a
+/// differently shaped store.
+pub fn load_checkpoint<R: Read>(store: &HostStore, mut r: R) -> Result<(), CheckpointError> {
+    let mut header = [0u8; 28];
+    r.read_exact(&mut header)?;
+    let mut buf = &header[..];
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadHeader);
+    }
+    let n_keys = buf.get_u64_le();
+    let dim = buf.get_u32_le() as usize;
+    let _seed = buf.get_u64_le();
+    if n_keys != store.n_keys() || dim != store.dim() {
+        return Err(CheckpointError::ShapeMismatch {
+            found: (n_keys, dim),
+            expected: (store.n_keys(), store.dim()),
+        });
+    }
+    let mut frame = vec![0u8; CHUNK_ROWS.min(n_keys as usize) * dim * 4];
+    let mut key = 0u64;
+    while key < n_keys {
+        let rows = CHUNK_ROWS.min((n_keys - key) as usize);
+        let bytes = rows * dim * 4;
+        r.read_exact(&mut frame[..bytes])?;
+        let mut buf = &frame[..bytes];
+        for _ in 0..rows {
+            store.write_row(key, |row| {
+                for v in row.iter_mut() {
+                    *v = buf.get_f32_le();
+                }
+            });
+            key += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_every_row() {
+        let store = HostStore::new(1_000, 7, 42);
+        store.write_row(123, |row| row[3] = 9.5);
+        let mut buf = Vec::new();
+        save_checkpoint(&store, &mut buf).unwrap();
+
+        let restored = HostStore::new(1_000, 7, 0); // different seed: different init
+        load_checkpoint(&restored, buf.as_slice()).unwrap();
+        for k in 0..1_000 {
+            assert_eq!(store.row_vec(k), restored.row_vec(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_data() {
+        let store = HostStore::new(10, 2, 0);
+        let junk = vec![0u8; 64];
+        assert!(matches!(
+            load_checkpoint(&store, junk.as_slice()),
+            Err(CheckpointError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let a = HostStore::new(10, 2, 0);
+        let mut buf = Vec::new();
+        save_checkpoint(&a, &mut buf).unwrap();
+        let b = HostStore::new(10, 3, 0);
+        match load_checkpoint(&b, buf.as_slice()) {
+            Err(CheckpointError::ShapeMismatch { found, expected }) => {
+                assert_eq!(found, (10, 2));
+                assert_eq!(expected, (10, 3));
+            }
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let a = HostStore::new(100, 4, 1);
+        let mut buf = Vec::new();
+        save_checkpoint(&a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(
+            load_checkpoint(&a, buf.as_slice()),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CheckpointError::ShapeMismatch {
+            found: (1, 2),
+            expected: (3, 4),
+        };
+        assert!(e.to_string().contains("does not match"));
+        assert!(CheckpointError::BadHeader.to_string().contains("not a frugal"));
+    }
+}

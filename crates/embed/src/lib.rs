@@ -1,0 +1,34 @@
+//! # frugal-embed — embedding storage substrate
+//!
+//! The embedding layer dominates embedding-model training (paper §2.1:
+//! "over 60% time" in production models). This crate provides its storage:
+//!
+//! * [`HostStore`] — the complete parameter set in host memory, shared by
+//!   all training processes and the flushing threads, with an optional
+//!   seqlock *checked mode* that detects consistency violations.
+//! * [`GpuCache`] — a per-GPU hot-row cache with StaticHot (HugeCTR-style)
+//!   and LRU policies.
+//! * [`Sharding`] — the key → owner-GPU map and cache-capacity math.
+//! * [`UpdateRule`] ([`SgdRule`], [`AdagradRule`]) — thread-safe optimizer
+//!   rules the flushing threads apply to the host store.
+//! * [`GradAggregator`] — canonical-order per-key gradient summation for
+//!   bitwise-reproducible synchronous updates.
+//! * [`save_checkpoint`]/[`load_checkpoint`] — framed binary checkpoints of
+//!   the parameter store.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod agg;
+mod checkpoint;
+mod cache;
+mod rule;
+mod shard;
+mod store;
+
+pub use agg::GradAggregator;
+pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
+pub use cache::{CachePolicy, GpuCache, InsertOutcome};
+pub use rule::{AdagradRule, SgdRule, UpdateRule};
+pub use shard::Sharding;
+pub use store::{initial_value, HostStore};

@@ -1,0 +1,172 @@
+//! Concurrent update rules applied by flushing threads.
+//!
+//! Unlike [`frugal_tensor::RowOptimizer`] (single-threaded, `&mut self`),
+//! flushing threads share one rule across threads, so the trait here takes
+//! `&self` and implementations manage their own interior state.
+
+use frugal_data::Key;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A thread-safe per-row update rule.
+pub trait UpdateRule: Send + Sync + std::fmt::Debug {
+    /// Applies `grad` to `row` in place.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if lengths differ.
+    fn apply(&self, key: Key, row: &mut [f32], grad: &[f32]);
+
+    /// The base learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// A copy of the per-row optimizer state for `key`, if any. Engines use
+    /// this to seed a cache-side optimizer when a row is (re)filled, so the
+    /// cached copy keeps evolving exactly like the host copy.
+    fn state_snapshot(&self, _key: Key) -> Option<Vec<f32>> {
+        None
+    }
+}
+
+/// Stateless SGD — deterministic regardless of which flushing thread
+/// applies which update, which the bit-equality tests rely on.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdRule {
+    lr: f32,
+}
+
+impl SgdRule {
+    /// Creates SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be > 0");
+        SgdRule { lr }
+    }
+}
+
+impl UpdateRule for SgdRule {
+    fn apply(&self, _key: Key, row: &mut [f32], grad: &[f32]) {
+        assert_eq!(row.len(), grad.len(), "row/gradient length mismatch");
+        for (p, &g) in row.iter_mut().zip(grad) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+const ADAGRAD_SHARDS: usize = 16;
+
+/// Adagrad with sharded, lock-protected per-row state — the production-style
+/// sparse optimizer. Per-key serialization is guaranteed upstream by P²F
+/// (only one pending flush per key at a time), so shard locks see little
+/// contention.
+#[derive(Debug)]
+pub struct AdagradRule {
+    lr: f32,
+    eps: f32,
+    shards: Vec<Mutex<HashMap<Key, Vec<f32>>>>,
+}
+
+impl AdagradRule {
+    /// Creates Adagrad with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be > 0");
+        AdagradRule {
+            lr,
+            eps: 1e-8,
+            shards: (0..ADAGRAD_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of rows with accumulated state (for tests).
+    pub fn state_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+impl UpdateRule for AdagradRule {
+    fn state_snapshot(&self, key: Key) -> Option<Vec<f32>> {
+        self.shards[(key as usize) % ADAGRAD_SHARDS]
+            .lock()
+            .get(&key)
+            .cloned()
+    }
+
+    fn apply(&self, key: Key, row: &mut [f32], grad: &[f32]) {
+        assert_eq!(row.len(), grad.len(), "row/gradient length mismatch");
+        let mut shard = self.shards[(key as usize) % ADAGRAD_SHARDS].lock();
+        let acc = shard.entry(key).or_insert_with(|| vec![0.0; row.len()]);
+        for ((p, &g), a) in row.iter_mut().zip(grad).zip(acc.iter_mut()) {
+            *a += g * g;
+            *p -= self.lr * g / (a.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sgd_matches_formula() {
+        let rule = SgdRule::new(0.1);
+        let mut row = vec![1.0f32, -1.0];
+        rule.apply(9, &mut row, &[2.0, 2.0]);
+        assert_eq!(row, vec![0.8, -1.2]);
+        assert_eq!(rule.learning_rate(), 0.1);
+    }
+
+    #[test]
+    fn adagrad_decays_step_size() {
+        let rule = AdagradRule::new(1.0);
+        let mut row = vec![0.0f32];
+        rule.apply(5, &mut row, &[1.0]);
+        let s1 = -row[0];
+        let prev = row[0];
+        rule.apply(5, &mut row, &[1.0]);
+        let s2 = prev - row[0];
+        assert!(s1 > s2);
+        assert_eq!(rule.state_rows(), 1);
+    }
+
+    #[test]
+    fn adagrad_concurrent_different_keys() {
+        let rule = Arc::new(AdagradRule::new(0.5));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let rule = Arc::clone(&rule);
+                std::thread::spawn(move || {
+                    let mut row = vec![0.0f32; 4];
+                    for i in 0..1_000 {
+                        rule.apply(t * 1_000 + i, &mut row, &[0.1, 0.1, 0.1, 0.1]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rule.state_rows(), 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be > 0")]
+    fn rejects_nan_lr() {
+        let _ = SgdRule::new(f32::NAN);
+    }
+}

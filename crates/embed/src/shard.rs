@@ -1,0 +1,97 @@
+//! Key sharding across GPUs.
+//!
+//! Frugal "pertains to a sharding policy in essence" (paper §5): every key
+//! has exactly one owner GPU whose cache may hold it and whose updates are
+//! authoritative. The interleaved `key % n` mapping spreads the Zipf-ranked
+//! hot keys evenly across GPUs, as HugeCTR's sharded cache does.
+
+use frugal_data::Key;
+
+/// Maps keys to their owning GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sharding {
+    n_gpus: usize,
+}
+
+impl Sharding {
+    /// Creates a sharding over `n_gpus` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_gpus == 0`.
+    pub fn new(n_gpus: usize) -> Self {
+        assert!(n_gpus > 0, "need at least one GPU");
+        Sharding { n_gpus }
+    }
+
+    /// Number of GPUs.
+    pub fn n_gpus(&self) -> usize {
+        self.n_gpus
+    }
+
+    /// The GPU that owns `key`.
+    pub fn owner(&self, key: Key) -> usize {
+        (key % self.n_gpus as u64) as usize
+    }
+
+    /// True if `gpu` owns `key`.
+    pub fn is_local(&self, key: Key, gpu: usize) -> bool {
+        self.owner(key) == gpu
+    }
+
+    /// Per-GPU cache capacity for a total cache `ratio` over `n_keys`
+    /// (paper: "the cache size (ratio) is set to 5% of the total
+    /// parameters").
+    pub fn cache_capacity(&self, n_keys: u64, ratio: f64) -> usize {
+        ((n_keys as f64 * ratio) / self.n_gpus as f64).ceil() as usize
+    }
+
+    /// StaticHot admission threshold matching [`Self::cache_capacity`]:
+    /// the globally hottest `n_keys * ratio` keys (ranks `0..threshold`)
+    /// are cacheable; interleaved sharding gives each GPU an equal share.
+    pub fn hot_threshold(&self, n_keys: u64, ratio: f64) -> u64 {
+        (n_keys as f64 * ratio).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_stable_and_balanced() {
+        let s = Sharding::new(4);
+        for k in 0..100u64 {
+            assert_eq!(s.owner(k), (k % 4) as usize);
+            assert!(s.is_local(k, s.owner(k)));
+        }
+        assert_eq!(s.n_gpus(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn rejects_zero_gpus() {
+        Sharding::new(0);
+    }
+
+    #[test]
+    fn capacity_math() {
+        let s = Sharding::new(8);
+        // 5% of 10M keys over 8 GPUs.
+        assert_eq!(s.cache_capacity(10_000_000, 0.05), 62_500);
+        assert_eq!(s.hot_threshold(10_000_000, 0.05), 500_000);
+    }
+
+    #[test]
+    fn hot_keys_spread_across_gpus() {
+        let s = Sharding::new(4);
+        let threshold = s.hot_threshold(1_000, 0.1); // hottest 100 keys
+        let mut per_gpu = [0usize; 4];
+        for k in 0..threshold {
+            per_gpu[s.owner(k)] += 1;
+        }
+        for &c in &per_gpu {
+            assert_eq!(c, 25);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The host-memory parameter store.
+//!
+//! This is the "complete set of parameters in host memory" that Frugal's
+//! controller manages and exposes to all training processes through shared
+//! memory (paper §3.2). Commodity GPUs read it directly with UVA load/store
+//! instructions — i.e., concurrently with the flushing threads writing it.
+//! The P²F algorithm guarantees those accesses never race on the same row
+//! (that is precisely its synchronous-consistency invariant), which is what
+//! makes the unsafe shared access here sound.
+//!
+//! Because that guarantee comes from an algorithm, not the type system, the
+//! store offers a **checked mode**: a per-row seqlock version counter that
+//! detects any read racing a write of the same row. The consistency tests
+//! run engines in checked mode and assert zero races; the failure-injection
+//! tests break the P²F wait condition on purpose and assert the counter
+//! trips.
+
+use frugal_data::Key;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic initial value of element `d` of embedding row `key`,
+/// uniform in `[-0.05, 0.05]`. Every engine (and the serial reference)
+/// initializes rows identically without coordination.
+pub fn initial_value(seed: u64, key: Key, d: usize) -> f32 {
+    let h = mix(mix(seed, key), d as u64);
+    ((h as f64 / u64::MAX as f64) as f32 - 0.5) * 0.1
+}
+
+/// The complete parameter set in host memory.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_embed::HostStore;
+///
+/// let store = HostStore::new(1_000, 8, 42);
+/// let mut row = vec![0.0; 8];
+/// store.read_row(3, &mut row);
+/// assert!(row.iter().all(|v| v.abs() <= 0.05));
+/// ```
+pub struct HostStore {
+    data: Box<[UnsafeCell<f32>]>,
+    dim: usize,
+    n_keys: u64,
+    /// Per-row seqlock versions (checked mode only). Odd = write in flight.
+    versions: Option<Box<[AtomicU64]>>,
+    races: AtomicUsize,
+    seed: u64,
+}
+
+// SAFETY: concurrent access discipline is provided by the P²F algorithm
+// (no two threads touch the same row at the same time unless the caller
+// violates the protocol); checked mode exists to *detect* violations.
+unsafe impl Sync for HostStore {}
+unsafe impl Send for HostStore {}
+
+impl std::fmt::Debug for HostStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostStore")
+            .field("n_keys", &self.n_keys)
+            .field("dim", &self.dim)
+            .field("checked", &self.versions.is_some())
+            .field("races", &self.race_count())
+            .finish()
+    }
+}
+
+impl HostStore {
+    /// Creates a store of `n_keys` rows of `dim` f32 each, deterministically
+    /// initialized from `seed`. No race checking (production mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_keys == 0` or `dim == 0`.
+    pub fn new(n_keys: u64, dim: usize, seed: u64) -> Self {
+        Self::build(n_keys, dim, seed, false)
+    }
+
+    /// Like [`HostStore::new`] but with per-row race detection enabled.
+    pub fn new_checked(n_keys: u64, dim: usize, seed: u64) -> Self {
+        Self::build(n_keys, dim, seed, true)
+    }
+
+    fn build(n_keys: u64, dim: usize, seed: u64, checked: bool) -> Self {
+        assert!(n_keys > 0, "store needs at least one key");
+        assert!(dim > 0, "embedding dimension must be positive");
+        let len = n_keys as usize * dim;
+        let mut data = Vec::with_capacity(len);
+        for key in 0..n_keys {
+            for d in 0..dim {
+                data.push(UnsafeCell::new(initial_value(seed, key, d)));
+            }
+        }
+        let versions = checked.then(|| {
+            let mut v = Vec::with_capacity(n_keys as usize);
+            v.resize_with(n_keys as usize, || AtomicU64::new(0));
+            v.into_boxed_slice()
+        });
+        HostStore {
+            data: data.into_boxed_slice(),
+            dim,
+            n_keys,
+            versions,
+            races: AtomicUsize::new(0),
+            seed,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn n_keys(&self) -> u64 {
+        self.n_keys
+    }
+
+    /// The initialization seed (lets caches materialize identical rows).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of read/write races detected so far (checked mode only;
+    /// always 0 otherwise).
+    pub fn race_count(&self) -> usize {
+        self.races.load(Ordering::Acquire)
+    }
+
+    fn row_ptr(&self, key: Key) -> *mut f32 {
+        assert!(key < self.n_keys, "key {key} out of range {}", self.n_keys);
+        self.data[key as usize * self.dim].get()
+    }
+
+    /// Copies row `key` into `out` (the UVA zero-copy read path).
+    ///
+    /// In checked mode, a read that races a concurrent [`Self::write_row`]
+    /// of the same row increments the race counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range or `out.len() != dim`.
+    pub fn read_row(&self, key: Key, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "output length != dim");
+        let ptr = self.row_ptr(key);
+        match &self.versions {
+            None => {
+                // SAFETY: P²F guarantees no concurrent writer to this row.
+                unsafe { std::ptr::copy_nonoverlapping(ptr, out.as_mut_ptr(), self.dim) };
+            }
+            Some(vers) => {
+                let ver = &vers[key as usize];
+                let v1 = ver.load(Ordering::Acquire);
+                // SAFETY: the copy itself may race; we detect it below and
+                // the data is plain f32 (no invalid bit patterns exist).
+                unsafe { std::ptr::copy_nonoverlapping(ptr, out.as_mut_ptr(), self.dim) };
+                let v2 = ver.load(Ordering::Acquire);
+                if v1 % 2 == 1 || v1 != v2 {
+                    self.races.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+
+    /// Applies `f` to row `key` in place (the flush-apply path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn write_row(&self, key: Key, f: impl FnOnce(&mut [f32])) {
+        let ptr = self.row_ptr(key);
+        match &self.versions {
+            None => {
+                // SAFETY: P²F guarantees this row has no concurrent readers
+                // or writers while an update is pending on it.
+                let row = unsafe { std::slice::from_raw_parts_mut(ptr, self.dim) };
+                f(row);
+            }
+            Some(vers) => {
+                let ver = &vers[key as usize];
+                let before = ver.fetch_add(1, Ordering::AcqRel);
+                if before % 2 == 1 {
+                    // Concurrent writer on the same row.
+                    self.races.fetch_add(1, Ordering::AcqRel);
+                }
+                // SAFETY: as above; races are detected, not prevented.
+                let row = unsafe { std::slice::from_raw_parts_mut(ptr, self.dim) };
+                f(row);
+                ver.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Reads a whole row into a fresh vector (convenience for tests).
+    pub fn row_vec(&self, key: Key) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim];
+        self.read_row(key, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn deterministic_initialization() {
+        let a = HostStore::new(100, 4, 7);
+        let b = HostStore::new(100, 4, 7);
+        let c = HostStore::new(100, 4, 8);
+        assert_eq!(a.row_vec(42), b.row_vec(42));
+        assert_ne!(a.row_vec(42), c.row_vec(42));
+        assert_eq!(a.seed(), 7);
+    }
+
+    #[test]
+    fn initial_values_bounded() {
+        let s = HostStore::new(50, 16, 3);
+        for k in 0..50 {
+            for v in s.row_vec(k) {
+                assert!(v.abs() <= 0.05, "init {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let s = HostStore::new(10, 4, 0);
+        s.write_row(3, |row| {
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = i as f32;
+            }
+        });
+        assert_eq!(s.row_vec(3), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_rejects_bad_key() {
+        let s = HostStore::new(10, 4, 0);
+        let mut out = vec![0.0; 4];
+        s.read_row(10, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length != dim")]
+    fn read_rejects_bad_dim() {
+        let s = HostStore::new(10, 4, 0);
+        let mut out = vec![0.0; 3];
+        s.read_row(0, &mut out);
+    }
+
+    #[test]
+    fn unchecked_mode_reports_zero_races() {
+        let s = HostStore::new(10, 4, 0);
+        s.write_row(0, |r| r[0] = 1.0);
+        assert_eq!(s.race_count(), 0);
+    }
+
+    #[test]
+    fn checked_mode_detects_injected_race() {
+        // Hammer one row from a writer and a reader simultaneously; the
+        // seqlock must observe at least one overlap.
+        let s = Arc::new(HostStore::new_checked(4, 256, 0));
+        let start = Arc::new(std::sync::Barrier::new(2));
+        let w = {
+            let (s, start) = (Arc::clone(&s), Arc::clone(&start));
+            std::thread::spawn(move || {
+                start.wait();
+                let mut i = 0u64;
+                // Keep writing until a race is observed (bounded).
+                while s.race_count() == 0 && i < 3_000_000 {
+                    s.write_row(1, |row| row[0] = i as f32);
+                    i += 1;
+                }
+            })
+        };
+        let r = {
+            let (s, start) = (Arc::clone(&s), Arc::clone(&start));
+            std::thread::spawn(move || {
+                start.wait();
+                let mut buf = vec![0.0; 256];
+                let mut i = 0u64;
+                while s.race_count() == 0 && i < 3_000_000 {
+                    s.read_row(1, &mut buf);
+                    i += 1;
+                }
+            })
+        };
+        w.join().unwrap();
+        r.join().unwrap();
+        assert!(s.race_count() > 0, "seqlock failed to observe the race");
+    }
+
+    #[test]
+    fn checked_mode_quiet_when_disjoint() {
+        let s = Arc::new(HostStore::new_checked(64, 8, 0));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut buf = vec![0.0; 8];
+                    for i in 0..10_000u64 {
+                        let key = t * 16 + (i % 16);
+                        s.write_row(key, |row| row[0] += 1.0);
+                        s.read_row(key, &mut buf);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.race_count(), 0);
+    }
+
+    #[test]
+    fn debug_shows_mode() {
+        let s = HostStore::new_checked(4, 2, 0);
+        let d = format!("{s:?}");
+        assert!(d.contains("checked: true"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # frugal-models — the embedding models of the paper's evaluation
+//!
+//! * [`Dlrm`] — Facebook's recommendation model (embedding tables + a
+//!   512-512-256-1 MLP head, BCE loss), the REC workload of §4.1.
+//! * [`KgModel`] with [`KgScorer`] — TransE (the KG workload) plus the
+//!   Exp #11 sensitivity scorers DistMult, ComplEx, and SimplE, trained
+//!   with margin-ranking loss over negative samples.
+//!
+//! Both implement [`frugal_core::EmbeddingModel`], so any engine (Frugal,
+//! Frugal-Sync, or the baselines) can train them. [`auc`] and [`hits_at_k`]
+//! evaluate the trained models.
+
+#![warn(missing_docs)]
+
+mod dlrm;
+mod kg;
+mod metrics;
+
+pub use dlrm::Dlrm;
+pub use metrics::{auc, hits_at_k};
+pub use kg::{KgModel, KgScorer};

@@ -1,0 +1,138 @@
+//! Evaluation metrics for the two model families.
+//!
+//! The paper omits accuracy ("all competitor systems meet the synchronous
+//! training consistency", §4.1) because every system trains the same
+//! function. These metrics exist for downstream users — and for our tests,
+//! which verify that training through Frugal actually improves model
+//! quality, not just loss.
+
+/// Area under the ROC curve for binary CTR predictions.
+///
+/// Computed exactly via the rank-sum formulation with midrank tie
+/// handling. Returns 0.5 for degenerate inputs (single-class labels).
+///
+/// # Panics
+///
+/// Panics if `scores` and `labels` differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_models::auc;
+///
+/// let perfect = auc(&[0.1, 0.2, 0.8, 0.9], &[0.0, 0.0, 1.0, 1.0]);
+/// assert_eq!(perfect, 1.0);
+/// ```
+pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort by score; assign midranks to ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l > 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos as f64 * (n_pos as f64 + 1.0)) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Hits@K for knowledge-graph link prediction: the fraction of test triples
+/// whose true tail ranks within the best `k` among `1 + negatives.len()`
+/// candidates. `candidate_scores[i]` holds the *distance* scores (lower =
+/// better) of triple `i`'s candidates, with the true tail first.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or any candidate list is empty.
+pub fn hits_at_k(candidate_scores: &[Vec<f32>], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    if candidate_scores.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for cands in candidate_scores {
+        assert!(!cands.is_empty(), "empty candidate list");
+        let true_score = cands[0];
+        // Rank = 1 + number of candidates strictly better than the truth.
+        let better = cands[1..].iter().filter(|&&s| s < true_score).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / candidate_scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        assert_eq!(auc(&[0.1, 0.9], &[0.0, 1.0]), 1.0);
+        assert_eq!(auc(&[0.9, 0.1], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores tied: midranks make AUC exactly 0.5.
+        assert_eq!(auc(&[0.5, 0.5, 0.5, 0.5], &[1.0, 0.0, 1.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_degenerate_labels() {
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc(&[0.1, 0.9], &[0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn auc_partial_ordering() {
+        // 3 pos, 3 neg, one inversion: U = 8 of 9.
+        let scores = [0.1, 0.2, 0.55, 0.5, 0.6, 0.7];
+        let labels = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let a = auc(&scores, &labels);
+        assert!((a - 8.0 / 9.0).abs() < 1e-9, "auc {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn auc_rejects_mismatch() {
+        let _ = auc(&[0.1], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn hits_at_k_counts_ranks() {
+        let cands = vec![
+            vec![0.1, 0.5, 0.9], // rank 1
+            vec![0.5, 0.1, 0.9], // rank 2
+            vec![0.9, 0.1, 0.5], // rank 3
+        ];
+        assert!((hits_at_k(&cands, 1) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((hits_at_k(&cands, 2) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(hits_at_k(&cands, 3), 1.0);
+    }
+
+    #[test]
+    fn hits_at_k_empty_is_zero() {
+        assert_eq!(hits_at_k(&[], 1), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # frugal-pq — the paper's two-level concurrent priority queue
+//!
+//! The P²F algorithm (paper §3.3) keeps one *g-entry* per parameter and
+//! orders pending flushes by priority = the next training step that will
+//! read the parameter. Flushing threads hammer this queue concurrently with
+//! the controller adjusting priorities, so the queue's scalability decides
+//! the training stall (Exp #4).
+//!
+//! * [`TwoLevelPq`] — the paper's design: a priority-index array over
+//!   lock-free key sets, O(1) enqueue/dequeue/adjust, with scan-range
+//!   compression.
+//! * [`TreeHeap`] — the classic binary-heap baseline with O(log N)
+//!   operations and lock serialization.
+//! * [`PriorityQueue`] — the trait both implement, letting the training
+//!   engine swap them (Exp #4's ablation).
+//! * [`LockFreeSet`] — the second-level lock-free hash structure.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod lockfree_set;
+mod queue;
+mod treeheap;
+mod two_level;
+
+pub use lockfree_set::LockFreeSet;
+pub use queue::{PriorityQueue, Priority, INFINITE};
+pub use treeheap::TreeHeap;
+pub use two_level::TwoLevelPq;

@@ -1,0 +1,484 @@
+//! A lock-free concurrent set of keys, used as the second level of the
+//! two-level priority queue (paper §3.4).
+//!
+//! The paper uses a "lock-free dynamic scalable hash table" [34] for the
+//! g-entries sharing one priority. This implementation keeps the same
+//! properties with a simpler structure: a chain of open-addressing segments
+//! whose slots are `AtomicU64`s. Segment capacities grow geometrically
+//! (64, 128, 256, …), so a set of `n` keys has O(log n) segments; each
+//! segment tracks its occupancy so full segments are skipped with one
+//! atomic load. Insertion CASes an empty (or tombstoned) slot; when every
+//! segment is full, a new segment is appended with a single CAS on the
+//! chain — the set grows dynamically without ever taking a lock. Removal
+//! tombstones the slot; tombstones are reusable, which bounds memory by the
+//! peak population rather than total traffic.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// Capacity of the first segment; later segments double.
+const FIRST_SEGMENT_SLOTS: usize = 64;
+/// Cap on individual segment size (beyond this, append same-size segments).
+const MAX_SEGMENT_SLOTS: usize = 64 * 1024;
+
+const EMPTY: u64 = 0;
+const TOMBSTONE: u64 = u64::MAX;
+
+fn encode(key: u64) -> u64 {
+    // Shift keys by one so 0 can mean "empty". Keys of u64::MAX-1 and above
+    // are rejected at the API boundary.
+    key + 1
+}
+
+fn decode(slot: u64) -> u64 {
+    slot - 1
+}
+
+fn hash(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Segment {
+    slots: Box<[AtomicU64]>,
+    /// Occupied (non-empty, non-tombstone) slots; heuristic for skip-full.
+    occupied: AtomicUsize,
+    next: AtomicPtr<Segment>,
+}
+
+impl Segment {
+    fn new(capacity: usize) -> Box<Self> {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || AtomicU64::new(EMPTY));
+        Box::new(Segment {
+            slots: slots.into_boxed_slice(),
+            occupied: AtomicUsize::new(0),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// A lock-free, dynamically growing set of `u64` keys.
+///
+/// The head segment is allocated lazily, so an empty set costs only a few
+/// words — important because the priority index holds one set per training
+/// step.
+pub struct LockFreeSet {
+    head: AtomicPtr<Segment>,
+    len: AtomicUsize,
+}
+
+impl Default for LockFreeSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LockFreeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockFreeSet").field("len", &self.len()).finish()
+    }
+}
+
+impl LockFreeSet {
+    /// Creates an empty set without allocating any segment.
+    pub const fn new() -> Self {
+        LockFreeSet {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Approximate number of keys currently in the set. Exact when quiescent.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True if the set is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn head_or_install(&self) -> *mut Segment {
+        let mut head = self.head.load(Ordering::Acquire);
+        if head.is_null() {
+            let fresh = Box::into_raw(Segment::new(FIRST_SEGMENT_SLOTS));
+            match self.head.compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => head = fresh,
+                Err(existing) => {
+                    // Somebody else installed a head; free ours.
+                    // SAFETY: `fresh` was never published.
+                    unsafe { drop(Box::from_raw(fresh)) };
+                    head = existing;
+                }
+            }
+        }
+        head
+    }
+
+    /// Tries to claim a free (empty or tombstoned) slot in `seg` for `enc`.
+    fn try_insert_segment(seg: &Segment, enc: u64, key: u64) -> bool {
+        let cap = seg.capacity();
+        // Leave a little slack so probes stay short near fullness.
+        if seg.occupied.load(Ordering::Acquire) + cap / 16 >= cap {
+            return false;
+        }
+        let start = (hash(key) as usize) % cap;
+        for i in 0..cap {
+            let slot = &seg.slots[(start + i) % cap];
+            let mut cur = slot.load(Ordering::Acquire);
+            while cur == EMPTY || cur == TOMBSTONE {
+                match slot.compare_exchange_weak(cur, enc, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        seg.occupied.fetch_add(1, Ordering::AcqRel);
+                        return true;
+                    }
+                    Err(now) => cur = now,
+                }
+            }
+        }
+        false
+    }
+
+    /// Inserts `key`. The caller guarantees `key` is not already present
+    /// (the priority-queue layer keeps each g-entry in one slot per bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= u64::MAX - 1` (reserved encodings).
+    pub fn insert(&self, key: u64) {
+        assert!(key < u64::MAX - 1, "key too large (reserved encoding)");
+        let enc = encode(key);
+        let mut seg_ptr = self.head_or_install();
+        loop {
+            // SAFETY: segments are never freed while the set is alive.
+            let seg = unsafe { &*seg_ptr };
+            if Self::try_insert_segment(seg, enc, key) {
+                self.len.fetch_add(1, Ordering::AcqRel);
+                return;
+            }
+            // Segment (effectively) full: walk or append the chain with a
+            // doubled capacity, so chains stay O(log n).
+            let next = seg.next.load(Ordering::Acquire);
+            if next.is_null() {
+                let cap = (seg.capacity() * 2).min(MAX_SEGMENT_SLOTS);
+                let fresh = Box::into_raw(Segment::new(cap));
+                match seg.next.compare_exchange(
+                    std::ptr::null_mut(),
+                    fresh,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => seg_ptr = fresh,
+                    Err(existing) => {
+                        // SAFETY: `fresh` was never published.
+                        unsafe { drop(Box::from_raw(fresh)) };
+                        seg_ptr = existing;
+                    }
+                }
+            } else {
+                seg_ptr = next;
+            }
+        }
+    }
+
+    /// Removes `key` if present; returns whether it was found.
+    pub fn remove(&self, key: u64) -> bool {
+        let enc = encode(key);
+        let mut seg_ptr = self.head.load(Ordering::Acquire);
+        while !seg_ptr.is_null() {
+            // SAFETY: segments are never freed while the set is alive.
+            let seg = unsafe { &*seg_ptr };
+            let cap = seg.capacity();
+            let start = (hash(key) as usize) % cap;
+            for i in 0..cap {
+                let slot = &seg.slots[(start + i) % cap];
+                let cur = slot.load(Ordering::Acquire);
+                if cur == enc
+                    && slot
+                        .compare_exchange(enc, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    seg.occupied.fetch_sub(1, Ordering::AcqRel);
+                    self.len.fetch_sub(1, Ordering::AcqRel);
+                    return true;
+                }
+                // An EMPTY slot ends this key's probe run in this segment
+                // (inserts never skip an empty slot).
+                if cur == EMPTY {
+                    break;
+                }
+            }
+            seg_ptr = seg.next.load(Ordering::Acquire);
+        }
+        false
+    }
+
+    /// Atomically removes and returns up to `max` keys, appending them to
+    /// `out`. Returns how many were taken.
+    pub fn take_any(&self, max: usize, out: &mut Vec<u64>) -> usize {
+        if max == 0 || self.is_empty() {
+            return 0;
+        }
+        let mut taken = 0;
+        let mut seg_ptr = self.head.load(Ordering::Acquire);
+        while !seg_ptr.is_null() && taken < max {
+            // SAFETY: segments are never freed while the set is alive.
+            let seg = unsafe { &*seg_ptr };
+            if seg.occupied.load(Ordering::Acquire) > 0 {
+                for slot in seg.slots.iter() {
+                    if taken >= max {
+                        break;
+                    }
+                    let cur = slot.load(Ordering::Acquire);
+                    if cur != EMPTY
+                        && cur != TOMBSTONE
+                        && slot
+                            .compare_exchange(cur, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                    {
+                        seg.occupied.fetch_sub(1, Ordering::AcqRel);
+                        self.len.fetch_sub(1, Ordering::AcqRel);
+                        out.push(decode(cur));
+                        taken += 1;
+                    }
+                }
+            }
+            seg_ptr = seg.next.load(Ordering::Acquire);
+        }
+        taken
+    }
+
+    /// True if `key` is currently present (linearizable at some point during
+    /// the call).
+    pub fn contains(&self, key: u64) -> bool {
+        let enc = encode(key);
+        let mut seg_ptr = self.head.load(Ordering::Acquire);
+        while !seg_ptr.is_null() {
+            // SAFETY: segments are never freed while the set is alive.
+            let seg = unsafe { &*seg_ptr };
+            let cap = seg.capacity();
+            let start = (hash(key) as usize) % cap;
+            for i in 0..cap {
+                let cur = seg.slots[(start + i) % cap].load(Ordering::Acquire);
+                if cur == enc {
+                    return true;
+                }
+                if cur == EMPTY {
+                    break;
+                }
+            }
+            seg_ptr = seg.next.load(Ordering::Acquire);
+        }
+        false
+    }
+}
+
+impl Drop for LockFreeSet {
+    fn drop(&mut self) {
+        let mut seg_ptr = *self.head.get_mut();
+        while !seg_ptr.is_null() {
+            // SAFETY: we have exclusive access in drop; the chain is a
+            // singly linked list of Box-allocated segments.
+            let seg = unsafe { Box::from_raw(seg_ptr) };
+            seg_ptr = seg.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+// SAFETY: all shared state is atomics; segments are only freed on drop.
+unsafe impl Send for LockFreeSet {}
+unsafe impl Sync for LockFreeSet {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_remove_contains() {
+        let s = LockFreeSet::new();
+        assert!(s.is_empty());
+        s.insert(42);
+        assert!(s.contains(42));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(42));
+        assert!(!s.contains(42));
+        assert!(!s.remove(42));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn key_zero_is_valid() {
+        let s = LockFreeSet::new();
+        s.insert(0);
+        assert!(s.contains(0));
+        assert!(s.remove(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "key too large")]
+    fn rejects_reserved_keys() {
+        LockFreeSet::new().insert(u64::MAX);
+    }
+
+    #[test]
+    fn grows_beyond_one_segment() {
+        let s = LockFreeSet::new();
+        for k in 0..10_000 {
+            s.insert(k);
+        }
+        assert_eq!(s.len(), 10_000);
+        for k in 0..10_000 {
+            assert!(s.contains(k), "missing {k}");
+        }
+        for k in 0..10_000 {
+            assert!(s.remove(k), "cannot remove {k}");
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn large_population_insert_is_not_quadratic() {
+        // 200k inserts must complete quickly; with fixed-size segment
+        // chains this regresses to O(n^2) and takes minutes.
+        let s = LockFreeSet::new();
+        let t0 = std::time::Instant::now();
+        for k in 0..200_000 {
+            s.insert(k);
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "insert too slow: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(s.len(), 200_000);
+    }
+
+    #[test]
+    fn tombstones_are_reused() {
+        let s = LockFreeSet::new();
+        // Churn the same small population far beyond one segment's capacity;
+        // if tombstones were not reused this would chain thousands of
+        // segments and contains() would slow to a crawl.
+        for round in 0..10_000u64 {
+            let k = round % 8;
+            s.insert(k);
+            assert!(s.remove(k));
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn take_any_drains() {
+        let s = LockFreeSet::new();
+        for k in 0..100 {
+            s.insert(k);
+        }
+        let mut out = Vec::new();
+        let got = s.take_any(30, &mut out);
+        assert_eq!(got, 30);
+        assert_eq!(out.len(), 30);
+        assert_eq!(s.len(), 70);
+        let got = s.take_any(1_000, &mut out);
+        assert_eq!(got, 70);
+        let mut all = out.clone();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100, "duplicates or losses in take_any");
+    }
+
+    #[test]
+    fn take_any_zero_is_noop() {
+        let s = LockFreeSet::new();
+        s.insert(1);
+        let mut out = Vec::new();
+        assert_eq!(s.take_any(0, &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn concurrent_insert_remove_is_lossless() {
+        let s = Arc::new(LockFreeSet::new());
+        let threads = 4;
+        let per = 2_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        s.insert(t * per + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), (threads * per) as usize);
+
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut removed = 0;
+                    for i in 0..per {
+                        if s.remove(t * per + i) {
+                            removed += 1;
+                        }
+                    }
+                    removed
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, threads * per);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_takers_share_without_duplication() {
+        let s = Arc::new(LockFreeSet::new());
+        for k in 0..4_000 {
+            s.insert(k);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        if s.take_any(64, &mut out) == 0 && s.is_empty() {
+                            break;
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4_000, "lost or duplicated keys");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = LockFreeSet::new();
+        s.insert(3);
+        assert!(format!("{s:?}").contains("len"));
+    }
+}

@@ -1,0 +1,68 @@
+//! The concurrent priority-queue interface shared by Frugal's two designs.
+//!
+//! Exp #4 of the paper swaps the PQ implementation inside the full system
+//! (two-level PQ vs. tree heap) — this trait is that seam. Priorities are
+//! training-step numbers; [`INFINITE`] stands for the paper's ∞ priority
+//! ("no pending reads" or "nothing to flush", Equation 1).
+//!
+//! Entries returned by [`PriorityQueue::dequeue_batch`] may be *stale*:
+//! `adjust` inserts into the new bucket before deleting from the old one
+//! (the paper's ordering, §3.4), so a concurrent dequeuer can observe the
+//! old position. Callers must validate each dequeued `(key, priority)` pair
+//! against the authoritative g-entry priority and discard mismatches —
+//! exactly what the paper prescribes ("Dequeue operations can identify an
+//! inconsistent g-entry by comparing its priority with the priority of the
+//! hash table in which it resides").
+
+use std::fmt::Debug;
+
+/// A training-step priority. Smaller = flushed sooner.
+pub type Priority = u64;
+
+/// The ∞ priority of Equation (1): entries that no upcoming step reads.
+pub const INFINITE: Priority = u64::MAX;
+
+/// A concurrent priority queue of g-entry keys.
+pub trait PriorityQueue: Send + Sync + Debug {
+    /// Inserts `key` with `priority`.
+    fn enqueue(&self, key: u64, priority: Priority);
+
+    /// Moves `key` from priority `old` to `new`.
+    ///
+    /// Implementations must make the key visible at `new` *before* removing
+    /// it from `old`, so concurrent readers never miss it entirely.
+    fn adjust(&self, key: u64, old: Priority, new: Priority);
+
+    /// Removes up to `max` entries in (approximately) ascending priority
+    /// order, appending `(key, priority)` pairs to `out`. Entries may be
+    /// stale; callers validate against the g-entry store.
+    fn dequeue_batch(&self, max: usize, out: &mut Vec<(u64, Priority)>);
+
+    /// A conservative lower bound on the smallest priority present:
+    /// never larger than the true minimum, [`INFINITE`] when (apparently)
+    /// empty. This is the value the P²F wait condition compares against the
+    /// next step number.
+    fn top_priority(&self) -> Priority;
+
+    /// Hints the largest finite priority that can currently exist
+    /// (`current_step + L` — the scan-range compression of §3.4).
+    /// Implementations may ignore it.
+    fn set_upper_bound(&self, upper: Priority);
+
+    /// True if concurrent dequeues serialize on shared state (a global or
+    /// near-root lock). A tree heap funnels every dequeue through the root;
+    /// the two-level PQ dequeues lock-free. Engines use this to model how
+    /// flushing throughput scales with thread count.
+    fn dequeue_serializes(&self) -> bool {
+        false
+    }
+
+    /// Approximate number of entries (including not-yet-collected stale
+    /// duplicates in lazy implementations).
+    fn len(&self) -> usize;
+
+    /// True if the queue is (approximately) empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,456 @@
+//! The two-level concurrent priority queue (paper §3.4, Figure 7).
+//!
+//! Level 1 is the *priority index*: an array with one slot per possible
+//! priority value — integers `0..=max_step` plus one slot for ∞. Exploiting
+//! that priorities form this finite set is what buys O(1) operations instead
+//! of the O(log N) of a tree heap. Level 2 is a lock-free set of g-entry
+//! keys per slot ([`LockFreeSet`]).
+//!
+//! *Scan-range compression* (the paper's dequeue optimization) maintains
+//! global lower/upper bounds on live finite priorities: the lower bound is
+//! raised when a scan proves a prefix empty and lowered (CAS loop) by any
+//! insert below it, so it is always conservative; the upper bound is
+//! `current_step + L`, set by the controller, since prefetching only looks
+//! `L` steps ahead.
+
+use crate::lockfree_set::LockFreeSet;
+use crate::queue::{PriorityQueue, Priority, INFINITE};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The paper's two-level concurrent priority queue.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_pq::{PriorityQueue, TwoLevelPq, INFINITE};
+///
+/// let pq = TwoLevelPq::new(100);
+/// pq.enqueue(7, 3);
+/// pq.enqueue(9, INFINITE);
+/// assert_eq!(pq.top_priority(), 3);
+/// let mut out = Vec::new();
+/// pq.dequeue_batch(10, &mut out);
+/// assert_eq!(out, vec![(7, 3), (9, INFINITE)]);
+/// ```
+pub struct TwoLevelPq {
+    /// `buckets[p]` for p in `0..=max_step`; `buckets[max_step+1]` is ∞.
+    buckets: Vec<LockFreeSet>,
+    max_step: u64,
+    /// Conservative lower bound of live finite priorities, packed with an
+    /// insert epoch: low 32 bits = bound, high 32 bits = epoch. Every
+    /// finite insert bumps the epoch, so a scanner may only *raise* the
+    /// bound if no insert landed while it was scanning — otherwise a
+    /// freshly inserted low-priority entry could be hidden from the P²F
+    /// wait condition.
+    lower_epoch: AtomicU64,
+    /// Upper bound of live finite priorities (`current_step + L`).
+    upper: AtomicU64,
+    len: AtomicUsize,
+}
+
+impl std::fmt::Debug for TwoLevelPq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoLevelPq")
+            .field("max_step", &self.max_step)
+            .field("len", &self.len())
+            .field("lower", &(self.lower_epoch.load(Ordering::Relaxed) & LOWER_MASK))
+            .field("upper", &self.upper.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+const LOWER_MASK: u64 = 0xFFFF_FFFF;
+
+impl TwoLevelPq {
+    /// Creates a queue accepting priorities `0..=max_step` and ∞.
+    ///
+    /// Allocates `max_step + 2` empty buckets (a few words each; second-level
+    /// tables are lazy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_step >= 2^32 - 2` (the scan bound is packed into 32
+    /// bits; training runs are far shorter).
+    pub fn new(max_step: u64) -> Self {
+        assert!(max_step < u32::MAX as u64 - 1, "max_step too large");
+        let n = (max_step + 2) as usize;
+        let mut buckets = Vec::with_capacity(n);
+        buckets.resize_with(n, LockFreeSet::new);
+        TwoLevelPq {
+            buckets,
+            max_step,
+            lower_epoch: AtomicU64::new(0),
+            upper: AtomicU64::new(max_step),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Largest finite priority this queue accepts.
+    pub fn max_step(&self) -> u64 {
+        self.max_step
+    }
+
+    fn bucket_index(&self, p: Priority) -> usize {
+        if p == INFINITE {
+            (self.max_step + 1) as usize
+        } else {
+            assert!(p <= self.max_step, "priority {p} > max_step {}", self.max_step);
+            p as usize
+        }
+    }
+
+    /// Records a finite insert at priority `p`: lowers the bound if needed
+    /// and always bumps the epoch so in-flight scans cannot raise the bound
+    /// past this entry.
+    fn note_insert(&self, p: Priority) {
+        if p == INFINITE {
+            return;
+        }
+        let mut cur = self.lower_epoch.load(Ordering::Acquire);
+        loop {
+            let lower = cur & LOWER_MASK;
+            let epoch = cur >> 32;
+            let next = (epoch.wrapping_add(1) << 32) | lower.min(p);
+            match self.lower_epoch.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Raises the lower bound from the snapshot `seen` (bound + epoch) to
+    /// `to`; gives up if any insert happened since the scan started.
+    ///
+    /// A successful raise is followed by a *verification rescan* of the
+    /// skipped range: an entry published after the caller's scan passed its
+    /// bucket but before the raise would otherwise be hidden from the P²F
+    /// wait condition. Any entry the rescan finds lowers the bound again;
+    /// entries published after the rescan are covered by their publisher's
+    /// own [`Self::note_insert`], which by then observes the raised bound.
+    fn raise_lower(&self, seen: u64, to: u64) {
+        let seen_lower = seen & LOWER_MASK;
+        if to <= seen_lower {
+            return;
+        }
+        let next = (seen & !LOWER_MASK) | to.min(LOWER_MASK);
+        if self
+            .lower_epoch
+            .compare_exchange(seen, next, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let end = to.min(self.max_step);
+        for p in seen_lower..end {
+            if !self.buckets[p as usize].is_empty() {
+                self.note_insert(p);
+                return;
+            }
+        }
+    }
+
+    fn scan_end(&self) -> u64 {
+        self.upper.load(Ordering::Acquire).min(self.max_step)
+    }
+
+    fn infinity_bucket(&self) -> &LockFreeSet {
+        &self.buckets[(self.max_step + 1) as usize]
+    }
+}
+
+impl PriorityQueue for TwoLevelPq {
+    fn enqueue(&self, key: u64, priority: Priority) {
+        self.buckets[self.bucket_index(priority)].insert(key);
+        self.len.fetch_add(1, Ordering::AcqRel);
+        self.note_insert(priority);
+    }
+
+    fn adjust(&self, key: u64, old: Priority, new: Priority) {
+        if old == new {
+            return;
+        }
+        // Paper ordering: insert into the new bucket first so dequeuers can
+        // never miss the entry, then delete from the old bucket. A dequeuer
+        // that grabbed the old copy will fail caller-side validation.
+        self.buckets[self.bucket_index(new)].insert(key);
+        self.note_insert(new);
+        if !self.buckets[self.bucket_index(old)].remove(key) {
+            // A dequeuer already took the old copy (and decremented len for
+            // it); our insert added a live copy, so account for it.
+            self.len.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    fn dequeue_batch(&self, max: usize, out: &mut Vec<(u64, Priority)>) {
+        if max == 0 {
+            return;
+        }
+        let mut taken = 0;
+        let mut keys = Vec::new();
+        let seen = self.lower_epoch.load(Ordering::Acquire);
+        let seen_lower = seen & LOWER_MASK;
+        let end = self.scan_end();
+        let mut first_live: Option<u64> = None;
+        let mut p = seen_lower;
+        while p <= end && taken < max {
+            let bucket = &self.buckets[p as usize];
+            if !bucket.is_empty() {
+                keys.clear();
+                let got = bucket.take_any(max - taken, &mut keys);
+                if got > 0 && first_live.is_none() {
+                    first_live = Some(p);
+                }
+                for &k in &keys {
+                    out.push((k, p));
+                }
+                taken += got;
+                // The bucket may still hold entries we could not take this
+                // round; do not raise the bound past it.
+                if !bucket.is_empty() {
+                    first_live = Some(first_live.unwrap_or(p).min(p));
+                    break;
+                }
+            }
+            p += 1;
+        }
+        // Raise the lower bound over the prefix we proved empty (refused if
+        // any insert raced the scan).
+        match first_live {
+            Some(fp) => self.raise_lower(seen, fp),
+            None if taken == 0 => {
+                self.raise_lower(seen, end.saturating_add(1).min(self.max_step))
+            }
+            None => {}
+        }
+        // Interval ② of the paper's scan: the ∞ bucket.
+        if taken < max {
+            keys.clear();
+            let got = self.infinity_bucket().take_any(max - taken, &mut keys);
+            for &k in &keys {
+                out.push((k, INFINITE));
+            }
+            taken += got;
+        }
+        if taken > 0 {
+            self.len.fetch_sub(taken, Ordering::AcqRel);
+        }
+    }
+
+    fn top_priority(&self) -> Priority {
+        let seen = self.lower_epoch.load(Ordering::Acquire);
+        let end = self.scan_end();
+        let mut p = seen & LOWER_MASK;
+        while p <= end {
+            if !self.buckets[p as usize].is_empty() {
+                self.raise_lower(seen, p);
+                return p;
+            }
+            p += 1;
+        }
+        self.raise_lower(seen, end.saturating_add(1).min(self.max_step));
+        INFINITE
+    }
+
+    fn set_upper_bound(&self, upper: Priority) {
+        self.upper
+            .store(upper.min(self.max_step), Ordering::Release);
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn enqueue_dequeue_in_priority_order() {
+        let pq = TwoLevelPq::new(10);
+        pq.enqueue(1, 5);
+        pq.enqueue(2, 2);
+        pq.enqueue(3, 8);
+        let mut out = Vec::new();
+        pq.dequeue_batch(3, &mut out);
+        let prios: Vec<_> = out.iter().map(|&(_, p)| p).collect();
+        assert_eq!(prios, vec![2, 5, 8]);
+        assert!(pq.is_empty());
+    }
+
+    #[test]
+    fn top_priority_tracks_min() {
+        let pq = TwoLevelPq::new(100);
+        assert_eq!(pq.top_priority(), INFINITE);
+        pq.enqueue(1, 30);
+        assert_eq!(pq.top_priority(), 30);
+        pq.enqueue(2, 10);
+        assert_eq!(pq.top_priority(), 10);
+        let mut out = Vec::new();
+        pq.dequeue_batch(1, &mut out);
+        assert_eq!(out, vec![(2, 10)]);
+        assert_eq!(pq.top_priority(), 30);
+    }
+
+    #[test]
+    fn infinite_entries_dequeue_last() {
+        let pq = TwoLevelPq::new(10);
+        pq.enqueue(1, INFINITE);
+        pq.enqueue(2, 3);
+        let mut out = Vec::new();
+        pq.dequeue_batch(10, &mut out);
+        assert_eq!(out, vec![(2, 3), (1, INFINITE)]);
+    }
+
+    #[test]
+    fn infinite_does_not_block_top() {
+        let pq = TwoLevelPq::new(10);
+        pq.enqueue(1, INFINITE);
+        // Only ∞ entries: training never blocks (top > any step).
+        assert_eq!(pq.top_priority(), INFINITE);
+        assert_eq!(pq.len(), 1);
+    }
+
+    #[test]
+    fn adjust_moves_entry() {
+        let pq = TwoLevelPq::new(10);
+        pq.enqueue(7, 2);
+        pq.adjust(7, 2, 9);
+        assert_eq!(pq.top_priority(), 9);
+        let mut out = Vec::new();
+        pq.dequeue_batch(10, &mut out);
+        assert_eq!(out, vec![(7, 9)]);
+    }
+
+    #[test]
+    fn adjust_from_infinite_reactivates() {
+        // The ∞ -> finite transition happens when a parameter with pending
+        // writes gets prefetched for an upcoming step.
+        let pq = TwoLevelPq::new(10);
+        pq.enqueue(4, INFINITE);
+        pq.adjust(4, INFINITE, 1);
+        assert_eq!(pq.top_priority(), 1);
+    }
+
+    #[test]
+    fn adjust_same_priority_is_noop() {
+        let pq = TwoLevelPq::new(10);
+        pq.enqueue(4, 5);
+        pq.adjust(4, 5, 5);
+        assert_eq!(pq.len(), 1);
+        let mut out = Vec::new();
+        pq.dequeue_batch(10, &mut out);
+        assert_eq!(out, vec![(4, 5)]);
+    }
+
+    #[test]
+    fn lower_bound_rescinds_on_lower_insert() {
+        let pq = TwoLevelPq::new(100);
+        pq.enqueue(1, 50);
+        let mut out = Vec::new();
+        pq.dequeue_batch(1, &mut out); // raises the scan lower bound to 50
+        pq.enqueue(2, 10); // must pull the bound back down
+        assert_eq!(pq.top_priority(), 10);
+        out.clear();
+        pq.dequeue_batch(1, &mut out);
+        assert_eq!(out, vec![(2, 10)]);
+    }
+
+    #[test]
+    fn upper_bound_limits_scan_but_infinity_survives() {
+        let pq = TwoLevelPq::new(1_000_000);
+        pq.set_upper_bound(20);
+        pq.enqueue(1, 15);
+        pq.enqueue(2, INFINITE);
+        assert_eq!(pq.top_priority(), 15);
+        let mut out = Vec::new();
+        pq.dequeue_batch(10, &mut out);
+        assert_eq!(out, vec![(1, 15), (2, INFINITE)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "> max_step")]
+    fn rejects_out_of_range_priority() {
+        let pq = TwoLevelPq::new(10);
+        pq.enqueue(1, 11);
+    }
+
+    #[test]
+    fn dequeue_batch_respects_max() {
+        let pq = TwoLevelPq::new(10);
+        for k in 0..20 {
+            pq.enqueue(k, (k % 5) as Priority);
+        }
+        let mut out = Vec::new();
+        pq.dequeue_batch(7, &mut out);
+        assert_eq!(out.len(), 7);
+        assert_eq!(pq.len(), 13);
+        // Must have taken the smallest priorities first.
+        assert!(out.iter().all(|&(_, p)| p <= 2));
+    }
+
+    #[test]
+    fn concurrent_producers_and_flushers_lose_nothing() {
+        let pq = Arc::new(TwoLevelPq::new(1_000));
+        let producers: Vec<_> = (0..3u64)
+            .map(|t| {
+                let pq = Arc::clone(&pq);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        pq.enqueue(t * 2_000 + i, i % 1_000);
+                    }
+                })
+            })
+            .collect();
+        let flushers: Vec<_> = (0..2)
+            .map(|_| {
+                let pq = Arc::clone(&pq);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut idle = 0;
+                    while idle < 1_000 {
+                        let before = got.len();
+                        pq.dequeue_batch(64, &mut got);
+                        if got.len() == before {
+                            idle += 1;
+                            std::thread::yield_now();
+                        } else {
+                            idle = 0;
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = flushers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .map(|(k, _)| k)
+            .collect();
+        // Drain stragglers.
+        let mut rest = Vec::new();
+        pq.dequeue_batch(usize::MAX, &mut rest);
+        all.extend(rest.iter().map(|&(k, _)| k));
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 6_000, "lost or duplicated entries");
+        assert!(pq.is_empty());
+    }
+
+    #[test]
+    fn debug_formats() {
+        let pq = TwoLevelPq::new(5);
+        pq.enqueue(1, 1);
+        let s = format!("{pq:?}");
+        assert!(s.contains("TwoLevelPq") && s.contains("len"));
+    }
+}

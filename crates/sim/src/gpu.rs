@@ -1,0 +1,193 @@
+//! GPU device specifications.
+//!
+//! Encodes Table 1 of the paper plus the two additional devices used in the
+//! evaluation testbed (RTX 3090, A30). The distinction that drives the whole
+//! paper is captured by two capability flags:
+//!
+//! * [`GpuSpec::p2p`] — PCIe peer-to-peer. Datacenter GPUs have it; commodity
+//!   30/40-series GPUs do not, so every GPU↔GPU transfer must bounce on host
+//!   memory with CPU coordination (paper §2.2, Figure 1).
+//! * [`GpuSpec::uva_peer`] — whether UVA load/store may target *other GPUs'*
+//!   memory. Commodity GPUs only support UVA to host memory
+//!   ([`GpuSpec::uva_host`], paper §2.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Market segment of a GPU, which determines its communication capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuClass {
+    /// Datacenter parts (A30, A100): PCIe P2P and unrestricted UVA.
+    Datacenter,
+    /// Commodity parts (RTX 3090/4090): no P2P, UVA to host memory only.
+    Commodity,
+}
+
+/// Static description of one GPU device.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_sim::GpuSpec;
+///
+/// let gpu = GpuSpec::rtx4090();
+/// let a100 = GpuSpec::a100();
+/// // Table 1: the RTX 4090 is ~5.4x more cost-effective per FP32 TFLOP.
+/// assert!(a100.dollars_per_fp32_tflop() / gpu.dollars_per_fp32_tflop() > 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"RTX 3090"`.
+    pub name: String,
+    /// Market segment.
+    pub class: GpuClass,
+    /// Peak FP32 tensor throughput in TFLOPS.
+    pub fp32_tflops: f64,
+    /// Peak FP16 tensor throughput in TFLOPS.
+    pub fp16_tflops: f64,
+    /// Device memory capacity in GiB.
+    pub mem_gib: f64,
+    /// Device memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Host link bandwidth in GB/s (unidirectional PCIe 4.0 x16 unless the
+    /// part has NVLink, in which case the NVLink figure from Table 1).
+    pub link_gbps: f64,
+    /// Street price in USD (paper §4.5 uses $5,885/A30 and $1,310/RTX 3090).
+    pub price_usd: f64,
+    /// PCIe peer-to-peer supported.
+    pub p2p: bool,
+    /// UVA load/store to host memory supported.
+    pub uva_host: bool,
+    /// UVA load/store to peer GPU memory supported.
+    pub uva_peer: bool,
+}
+
+impl GpuSpec {
+    /// NVIDIA RTX 3090 — the commodity GPU of the paper's testbed (§4.1).
+    pub fn rtx3090() -> Self {
+        GpuSpec {
+            name: "RTX 3090".to_owned(),
+            class: GpuClass::Commodity,
+            fp32_tflops: 35.6,
+            fp16_tflops: 142.0,
+            mem_gib: 24.0,
+            mem_bw_gbps: 936.0,
+            link_gbps: 32.0, // PCIe 4.0 x16 unidirectional
+            price_usd: 1_310.0,
+            p2p: false,
+            uva_host: true,
+            uva_peer: false,
+        }
+    }
+
+    /// NVIDIA RTX 4090 — the commodity GPU of Table 1.
+    pub fn rtx4090() -> Self {
+        GpuSpec {
+            name: "RTX 4090".to_owned(),
+            class: GpuClass::Commodity,
+            fp32_tflops: 83.0,
+            fp16_tflops: 330.0,
+            mem_gib: 24.0,
+            mem_bw_gbps: 1_008.0,
+            link_gbps: 32.0,
+            price_usd: 1_600.0,
+            p2p: false,
+            uva_host: true,
+            uva_peer: false,
+        }
+    }
+
+    /// NVIDIA A30 — the datacenter GPU of the paper's testbed (§4.1, Exp #9).
+    pub fn a30() -> Self {
+        GpuSpec {
+            name: "A30".to_owned(),
+            class: GpuClass::Datacenter,
+            fp32_tflops: 10.3,
+            fp16_tflops: 165.0,
+            mem_gib: 24.0,
+            mem_bw_gbps: 933.0,
+            link_gbps: 32.0, // same PCIe 4.0 x16 link as the 3090 (paper §2.4)
+            price_usd: 5_885.0,
+            p2p: true,
+            uva_host: true,
+            uva_peer: true,
+        }
+    }
+
+    /// NVIDIA A100 (SXM) — the datacenter GPU of Table 1.
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "A100".to_owned(),
+            class: GpuClass::Datacenter,
+            fp32_tflops: 156.0, // Table 1 lists the TF32 tensor figure
+            fp16_tflops: 312.0,
+            mem_gib: 80.0,
+            mem_bw_gbps: 2_039.0,
+            link_gbps: 900.0, // NVLink, Table 1
+            price_usd: 16_000.0,
+            p2p: true,
+            uva_host: true,
+            uva_peer: true,
+        }
+    }
+
+    /// Cost-performance ratio in dollars per FP32 TFLOP (Table 1, last row).
+    pub fn dollars_per_fp32_tflop(&self) -> f64 {
+        self.price_usd / self.fp32_tflops
+    }
+
+    /// True if this part is a commodity GPU.
+    pub fn is_commodity(&self) -> bool {
+        self.class == GpuClass::Commodity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cost_performance_ratio() {
+        // Table 1: A100 at 103 $/TFLOPS, RTX 4090 at 19 $/TFLOPS.
+        let a100 = GpuSpec::a100();
+        let g4090 = GpuSpec::rtx4090();
+        assert!((a100.dollars_per_fp32_tflop() - 102.6).abs() < 1.0);
+        assert!((g4090.dollars_per_fp32_tflop() - 19.3).abs() < 1.0);
+        // "cost-performance ratio of RTX 4090 is 5.4x that of A100"
+        let ratio = a100.dollars_per_fp32_tflop() / g4090.dollars_per_fp32_tflop();
+        assert!((5.0..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn commodity_gpus_lack_p2p_and_peer_uva() {
+        for g in [GpuSpec::rtx3090(), GpuSpec::rtx4090()] {
+            assert!(g.is_commodity());
+            assert!(!g.p2p);
+            assert!(g.uva_host, "commodity GPUs retain host-only UVA");
+            assert!(!g.uva_peer);
+        }
+    }
+
+    #[test]
+    fn datacenter_gpus_have_full_capabilities() {
+        for g in [GpuSpec::a30(), GpuSpec::a100()] {
+            assert!(!g.is_commodity());
+            assert!(g.p2p && g.uva_host && g.uva_peer);
+        }
+    }
+
+    #[test]
+    fn testbed_prices_match_exp9() {
+        assert_eq!(GpuSpec::a30().price_usd, 5_885.0);
+        assert_eq!(GpuSpec::rtx3090().price_usd, 1_310.0);
+        // Exp #9: price ratio underpins the 4.0-4.3x cost-effectiveness claim.
+        let ratio = GpuSpec::a30().price_usd / GpuSpec::rtx3090().price_usd;
+        assert!((4.0..5.0).contains(&ratio));
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let g = GpuSpec::rtx3090();
+        assert_eq!(g.clone(), g);
+        assert_ne!(GpuSpec::a30(), g);
+    }
+}

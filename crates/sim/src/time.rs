@@ -1,0 +1,259 @@
+//! Simulated time.
+//!
+//! All hardware costs in the simulator are expressed as [`Nanos`], a newtype
+//! over a nanosecond count. Keeping simulated time distinct from
+//! [`std::time::Duration`] makes it impossible to accidentally mix *modeled*
+//! hardware time with *measured* wall-clock software time; engines convert
+//! explicitly at the reporting boundary.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_sim::Nanos;
+///
+/// let transfer = Nanos::from_micros(250);
+/// let compute = Nanos::from_millis(2);
+/// assert_eq!((transfer + compute).as_nanos(), 2_250_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// Zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a span from a raw nanosecond count.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, saturating negative values to
+    /// zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Nanos((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Creates a span from fractional microseconds, saturating negative
+    /// values to zero.
+    pub fn from_micros_f64(us: f64) -> Self {
+        Nanos((us.max(0.0) * 1e3).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This span as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// True if this span is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: f64) -> Nanos {
+        Nanos::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl From<Nanos> for std::time::Duration {
+    fn from(n: Nanos) -> Self {
+        std::time::Duration::from_nanos(n.as_nanos())
+    }
+}
+
+impl From<std::time::Duration> for Nanos {
+    fn from(d: std::time::Duration) -> Self {
+        Nanos(d.as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_micros(1), Nanos::from_nanos(1_000));
+        assert_eq!(Nanos::from_millis(1), Nanos::from_micros(1_000));
+        assert_eq!(Nanos::from_secs(1), Nanos::from_millis(1_000));
+        assert_eq!(Nanos::from_secs_f64(0.5), Nanos::from_millis(500));
+        assert_eq!(Nanos::from_micros_f64(1.5), Nanos::from_nanos(1_500));
+    }
+
+    #[test]
+    fn negative_float_saturates_to_zero() {
+        assert_eq!(Nanos::from_secs_f64(-1.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_micros_f64(-3.5), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_micros(3);
+        let b = Nanos::from_micros(2);
+        assert_eq!(a + b, Nanos::from_micros(5));
+        assert_eq!(a - b, Nanos::from_micros(1));
+        assert_eq!(a * 2, Nanos::from_micros(6));
+        assert_eq!(a / 3, Nanos::from_micros(1));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn float_scaling() {
+        let a = Nanos::from_micros(10);
+        assert_eq!(a * 2.5, Nanos::from_micros(25));
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: Nanos = (1..=4).map(Nanos::from_micros).sum();
+        assert_eq!(total, Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Nanos::from_nanos(12).to_string(), "12ns");
+        assert_eq!(Nanos::from_micros(12).to_string(), "12.000us");
+        assert_eq!(Nanos::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Nanos::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let n = Nanos::from_micros(1234);
+        let d: std::time::Duration = n.into();
+        assert_eq!(Nanos::from(d), n);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut t = Nanos::ZERO;
+        t += Nanos::from_nanos(7);
+        t += Nanos::from_nanos(5);
+        assert_eq!(t.as_nanos(), 12);
+        t -= Nanos::from_nanos(2);
+        assert_eq!(t.as_nanos(), 10);
+    }
+}

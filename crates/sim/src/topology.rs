@@ -1,0 +1,254 @@
+//! Server topology: GPUs, PCIe links, the CPU root complex, and host DRAM.
+//!
+//! Mirrors the paper's testbed (§4.1): a dual-socket server where every GPU
+//! hangs off the CPU root complex via its own PCIe 4.0 x16 link. The root
+//! complex is the shared bottleneck the paper blames for the scalability
+//! plateau of cache-less systems (Exp #8) and for bounced communication.
+
+use crate::gpu::GpuSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Host-side (CPU + DRAM) characteristics of the server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Aggregate host DRAM bandwidth in GB/s available to I/O.
+    pub dram_bw_gbps: f64,
+    /// Aggregate bandwidth of the CPU root complex in GB/s. All GPU↔host
+    /// traffic shares this resource.
+    pub root_complex_gbps: f64,
+    /// Fixed software latency in microseconds for a CPU-coordinated transfer
+    /// (driver call, kernel launch, memcpy setup). Paper §2.4 calls this the
+    /// "CPU involvement overhead".
+    pub cpu_dispatch_us: f64,
+    /// CPU time to gather/scatter one random embedding row on host memory,
+    /// in nanoseconds (pointer chase + cacheline fill).
+    pub cpu_row_ns: f64,
+    /// Effective CPU memcpy bandwidth in GB/s for staging copies.
+    pub cpu_memcpy_gbps: f64,
+    /// CPU cores available to the training runtime (trainers, controller,
+    /// flushing threads). The paper's testbed has two 16-core sockets.
+    pub cpu_cores: usize,
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        // Two Intel Gold 6130 sockets, 1.5 TB DRAM (paper §4.1), derated to
+        // sustainable I/O figures.
+        HostSpec {
+            dram_bw_gbps: 85.0,
+            root_complex_gbps: 72.0,
+            cpu_dispatch_us: 35.0,
+            cpu_row_ns: 80.0,
+            cpu_memcpy_gbps: 10.0,
+            cpu_cores: 32,
+        }
+    }
+}
+
+/// Errors from building an invalid [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A topology needs at least one GPU.
+    NoGpus,
+    /// All GPUs in one server must be the same model (the paper's testbeds
+    /// are homogeneous; mixed fleets would need per-pair link modeling).
+    MixedGpus,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoGpus => write!(f, "topology requires at least one GPU"),
+            TopologyError::MixedGpus => {
+                write!(f, "topology requires a homogeneous set of GPUs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A single server: `n` identical GPUs behind one CPU root complex.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_sim::Topology;
+///
+/// let commodity = Topology::commodity(8);
+/// assert_eq!(commodity.n_gpus(), 8);
+/// assert!(!commodity.supports_p2p());
+///
+/// let datacenter = Topology::datacenter(4);
+/// assert!(datacenter.supports_p2p());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    gpus: Vec<GpuSpec>,
+    host: HostSpec,
+}
+
+impl Topology {
+    /// Builds a homogeneous topology of `n` copies of `gpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoGpus`] if `n == 0`.
+    pub fn homogeneous(gpu: GpuSpec, n: usize) -> Result<Self, TopologyError> {
+        if n == 0 {
+            return Err(TopologyError::NoGpus);
+        }
+        Ok(Topology {
+            gpus: vec![gpu; n],
+            host: HostSpec::default(),
+        })
+    }
+
+    /// Builds a heterogeneous topology from an explicit GPU list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoGpus`] for an empty list and
+    /// [`TopologyError::MixedGpus`] if the GPUs are not all identical.
+    pub fn new(gpus: Vec<GpuSpec>, host: HostSpec) -> Result<Self, TopologyError> {
+        if gpus.is_empty() {
+            return Err(TopologyError::NoGpus);
+        }
+        if gpus.windows(2).any(|w| w[0] != w[1]) {
+            return Err(TopologyError::MixedGpus);
+        }
+        Ok(Topology { gpus, host })
+    }
+
+    /// The paper's commodity testbed: `n` RTX 3090s (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn commodity(n: usize) -> Self {
+        Self::homogeneous(GpuSpec::rtx3090(), n).expect("n > 0")
+    }
+
+    /// The paper's datacenter comparison testbed: `n` A30s (Exp #9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn datacenter(n: usize) -> Self {
+        Self::homogeneous(GpuSpec::a30(), n).expect("n > 0")
+    }
+
+    /// Number of GPUs in the server.
+    pub fn n_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// The spec of GPU `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n_gpus()`.
+    pub fn gpu(&self, i: usize) -> &GpuSpec {
+        &self.gpus[i]
+    }
+
+    /// The common GPU spec (topologies are homogeneous).
+    pub fn gpu_spec(&self) -> &GpuSpec {
+        &self.gpus[0]
+    }
+
+    /// Host characteristics.
+    pub fn host(&self) -> &HostSpec {
+        &self.host
+    }
+
+    /// Replaces the host spec (builder-style).
+    pub fn with_host(mut self, host: HostSpec) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// True iff every GPU supports PCIe peer-to-peer, i.e. collectives can
+    /// move data directly between devices without bouncing on host memory.
+    pub fn supports_p2p(&self) -> bool {
+        self.gpus.iter().all(|g| g.p2p)
+    }
+
+    /// True iff GPUs can issue UVA load/stores straight into host memory.
+    pub fn supports_host_uva(&self) -> bool {
+        self.gpus.iter().all(|g| g.uva_host)
+    }
+
+    /// Total hardware price of the GPUs, in USD (Exp #9 cost efficiency).
+    pub fn gpu_price_usd(&self) -> f64 {
+        self.gpus.iter().map(|g| g.price_usd).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_rejects_zero() {
+        assert_eq!(
+            Topology::homogeneous(GpuSpec::rtx3090(), 0).unwrap_err(),
+            TopologyError::NoGpus
+        );
+    }
+
+    #[test]
+    fn new_rejects_mixed() {
+        let err = Topology::new(
+            vec![GpuSpec::rtx3090(), GpuSpec::a30()],
+            HostSpec::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, TopologyError::MixedGpus);
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(
+            Topology::new(vec![], HostSpec::default()).unwrap_err(),
+            TopologyError::NoGpus
+        );
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(!Topology::commodity(4).supports_p2p());
+        assert!(Topology::commodity(4).supports_host_uva());
+        assert!(Topology::datacenter(4).supports_p2p());
+    }
+
+    #[test]
+    fn price_sums() {
+        let t = Topology::commodity(4);
+        assert_eq!(t.gpu_price_usd(), 4.0 * 1_310.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Topology::datacenter(2);
+        assert_eq!(t.n_gpus(), 2);
+        assert_eq!(t.gpu(1).name, "A30");
+        assert_eq!(t.gpu_spec().name, "A30");
+        assert!(t.host().root_complex_gbps > 0.0);
+    }
+
+    #[test]
+    fn with_host_overrides() {
+        let mut h = HostSpec::default();
+        h.root_complex_gbps = 1.0;
+        let t = Topology::commodity(2).with_host(h.clone());
+        assert_eq!(t.host(), &h);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TopologyError::NoGpus.to_string().contains("at least one"));
+        assert!(TopologyError::MixedGpus.to_string().contains("homogeneous"));
+    }
+}

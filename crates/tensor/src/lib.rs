@@ -1,0 +1,29 @@
+//! # frugal-tensor — dense math substrate for the Frugal reproduction
+//!
+//! Embedding models are "embedding layer + DNN" (paper Fig 2a). This crate
+//! is the DNN half and the optimizer machinery:
+//!
+//! * [`Matrix`] — minimal row-major `f32` matrix with the products a
+//!   backward pass needs.
+//! * [`Mlp`] — fully connected network with exact gradients (the paper's
+//!   DLRM head is `512-512-256-1`).
+//! * [`bce_with_logits`] / [`margin_ranking`] — the CTR and knowledge-graph
+//!   training losses.
+//! * [`RowOptimizer`] ([`Sgd`], [`Adagrad`]) — the per-row update that
+//!   Frugal's flushing threads apply to the host parameter store.
+//!
+//! DNN *time* is modeled by `frugal-sim`; this crate supplies the *numerics*
+//! so convergence and consistency tests run real training.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod loss;
+mod matrix;
+mod mlp;
+mod optim;
+
+pub use loss::{bce_with_logits, margin_ranking, sigmoid};
+pub use matrix::Matrix;
+pub use mlp::{ForwardPass, Linear, LinearGrad, Mlp};
+pub use optim::{Adagrad, RowOptimizer, Sgd};

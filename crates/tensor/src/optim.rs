@@ -1,0 +1,184 @@
+//! Optimizers for embedding rows.
+//!
+//! Embedding updates in Frugal travel as `(step, Δ)` pairs through the
+//! update staging queue and are applied to the host parameter store by the
+//! flushing threads (paper §3.2). The [`RowOptimizer`] trait is that apply
+//! step. SGD is stateless, which is what makes multi-engine *bit-equality*
+//! tests possible; Adagrad carries per-row state like production systems.
+
+use frugal_data::Key;
+use std::collections::HashMap;
+
+/// Applies one gradient to one embedding row.
+///
+/// Implementations must be deterministic: the same `(key, param, grad)`
+/// sequence must produce the same parameters on every run, since Frugal's
+/// consistency argument (paper §3.3) promises results identical to
+/// synchronous training.
+pub trait RowOptimizer: Send {
+    /// Updates `param` in place using `grad` for embedding row `key`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `param` and `grad` lengths differ.
+    fn update_row(&mut self, key: Key, param: &mut [f32], grad: &[f32]);
+
+    /// The learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the per-row state for `key` (no-op for stateless
+    /// optimizers). Used to synchronize a replica optimizer with another
+    /// instance that has already consumed part of the key's gradient
+    /// sequence.
+    fn seed_state(&mut self, _key: Key, _state: Vec<f32>) {}
+}
+
+/// Plain stochastic gradient descent: `p ← p − lr·g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be > 0");
+        Sgd { lr }
+    }
+}
+
+impl RowOptimizer for Sgd {
+    fn update_row(&mut self, _key: Key, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "row/gradient length mismatch");
+        for (p, &g) in param.iter_mut().zip(grad) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adagrad with per-row accumulated squared gradients — the optimizer most
+/// production embedding systems (including DLRM) use for sparse features.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    state: HashMap<Key, Vec<f32>>,
+}
+
+impl Adagrad {
+    /// Creates Adagrad with learning rate `lr` and stability epsilon 1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be > 0");
+        Adagrad {
+            lr,
+            eps: 1e-8,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Number of rows with accumulated state.
+    pub fn state_rows(&self) -> usize {
+        self.state.len()
+    }
+}
+
+impl RowOptimizer for Adagrad {
+    fn seed_state(&mut self, key: Key, state: Vec<f32>) {
+        self.state.insert(key, state);
+    }
+
+    fn update_row(&mut self, key: Key, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "row/gradient length mismatch");
+        let acc = self
+            .state
+            .entry(key)
+            .or_insert_with(|| vec![0.0; param.len()]);
+        for ((p, &g), a) in param.iter_mut().zip(grad).zip(acc.iter_mut()) {
+            *a += g * g;
+            *p -= self.lr * g / (a.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_applies_expected_delta() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![1.0f32, 2.0];
+        opt.update_row(0, &mut p, &[10.0, -10.0]);
+        assert_eq!(p, vec![0.0, 3.0]);
+        assert_eq!(opt.learning_rate(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be > 0")]
+    fn sgd_rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sgd_rejects_mismatched_grad() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![1.0f32];
+        opt.update_row(0, &mut p, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn adagrad_shrinks_effective_lr_over_time() {
+        let mut opt = Adagrad::new(0.5);
+        let mut p = vec![0.0f32];
+        opt.update_row(7, &mut p, &[1.0]);
+        let first_step = -p[0];
+        let before = p[0];
+        opt.update_row(7, &mut p, &[1.0]);
+        let second_step = before - p[0];
+        assert!(first_step > second_step, "{first_step} vs {second_step}");
+        assert_eq!(opt.state_rows(), 1);
+    }
+
+    #[test]
+    fn adagrad_state_is_per_key() {
+        let mut opt = Adagrad::new(0.5);
+        let mut p1 = vec![0.0f32];
+        let mut p2 = vec![0.0f32];
+        opt.update_row(1, &mut p1, &[1.0]);
+        opt.update_row(1, &mut p1, &[1.0]);
+        opt.update_row(2, &mut p2, &[1.0]);
+        // Key 2's first step is as large as key 1's first step was.
+        assert!(p2[0].abs() > (p1[0].abs() / 2.0));
+        assert_eq!(opt.state_rows(), 2);
+    }
+
+    #[test]
+    fn sgd_is_deterministic_across_instances() {
+        let run = || {
+            let mut opt = Sgd::new(0.01);
+            let mut p = vec![0.5f32, -0.5];
+            for i in 0..100 {
+                opt.update_row(i % 3, &mut p, &[0.1, -0.2]);
+            }
+            p
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,75 @@
+//! Reproduce the paper's headline economics (Exp #9): Frugal on commodity
+//! RTX 3090s approaches the throughput of existing systems on datacenter
+//! A30s — at a fraction of the hardware price.
+//!
+//! ```sh
+//! cargo run --release --example commodity_vs_datacenter
+//! ```
+
+use frugal::baselines::{BaselineConfig, BaselineEngine};
+use frugal::core::{FrugalConfig, FrugalEngine, PullToTarget};
+use frugal::data::{KeyDistribution, SyntheticTrace};
+use frugal::sim::{GpuSpec, Topology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_gpus = 4;
+    let steps = 10;
+    let dim = 32;
+    let trace = SyntheticTrace::new(500_000, KeyDistribution::Zipf(0.9), 1024, n_gpus, 1)?;
+    let model = PullToTarget::new(dim, 7);
+
+    // Existing system (HugeCTR-style) on datacenter A30s: P2P collectives,
+    // full UVA — the best case for the old architecture.
+    let dc = BaselineEngine::new(
+        BaselineConfig::hugectr(Topology::datacenter(n_gpus), steps),
+        trace.n_keys(),
+        dim,
+    );
+    let dc_report = dc.run(&trace, &model);
+
+    // The same architecture moved to commodity 3090s: bounced collectives,
+    // CPU-involved miss path.
+    let commodity_old = BaselineEngine::new(
+        BaselineConfig::hugectr(Topology::commodity(n_gpus), steps),
+        trace.n_keys(),
+        dim,
+    );
+    let commodity_old_report = commodity_old.run(&trace, &model);
+
+    // Frugal on the same commodity hardware.
+    let mut cfg = FrugalConfig::commodity(n_gpus, steps);
+    cfg.flush_threads = 4;
+    let frugal = FrugalEngine::new(cfg, trace.n_keys(), dim);
+    let frugal_report = frugal.run(&trace, &model);
+
+    let a30 = GpuSpec::a30();
+    let r3090 = GpuSpec::rtx3090();
+    let dc_price = n_gpus as f64 * a30.price_usd;
+    let cm_price = n_gpus as f64 * r3090.price_usd;
+
+    println!("{n_gpus} GPUs, batch 1024/GPU, Zipf-0.9 over 500k keys\n");
+    println!(
+        "{:<28} {:>12} {:>10} {:>16}",
+        "configuration", "samples/s", "price $", "samples/s per $"
+    );
+    let row = |name: &str, thr: f64, price: f64| {
+        println!("{name:<28} {thr:>12.0} {price:>10.0} {:>16.1}", thr / price);
+    };
+    row("HugeCTR on 4x A30", dc_report.throughput(), dc_price);
+    row(
+        "HugeCTR on 4x RTX 3090",
+        commodity_old_report.throughput(),
+        cm_price,
+    );
+    row("Frugal on 4x RTX 3090", frugal_report.throughput(), cm_price);
+
+    let thr_ratio = frugal_report.throughput() / dc_report.throughput();
+    let cost_eff = (frugal_report.throughput() / cm_price) / (dc_report.throughput() / dc_price);
+    println!(
+        "\nFrugal reaches {:.0}% of datacenter throughput at {:.1}x better cost-efficiency",
+        thr_ratio * 100.0,
+        cost_eff
+    );
+    println!("(paper Exp #9: 89-97% of throughput, 4.0-4.3x cost-effectiveness)");
+    Ok(())
+}

@@ -1,0 +1,175 @@
+//! A command-line training driver over the whole system — pick a workload,
+//! a system, and a topology, and get the paper's metrics back.
+//!
+//! ```sh
+//! cargo run --release --example train -- \
+//!     --workload rec --system frugal --gpus 4 --batch 512 --steps 20
+//! cargo run --release --example train -- --workload kg --system hugectr
+//! cargo run --release --example train -- --workload micro --system pytorch \
+//!     --datacenter --cache-ratio 0.10
+//! ```
+
+use frugal::baselines::{BaselineConfig, BaselineEngine, BaselineKind};
+use frugal::core::{
+    EmbeddingModel, FrugalConfig, FrugalEngine, PullToTarget, TrainReport, Workload,
+};
+use frugal::data::{
+    KeyDistribution, KgDatasetSpec, KgTrace, RecDatasetSpec, RecTrace, SyntheticTrace,
+};
+use frugal::models::{Dlrm, KgModel, KgScorer};
+use frugal::sim::Topology;
+
+#[derive(Debug)]
+struct Args {
+    workload: String,
+    system: String,
+    gpus: usize,
+    batch: usize,
+    steps: u64,
+    cache_ratio: f64,
+    flush_threads: usize,
+    keys: u64,
+    datacenter: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            workload: "micro".into(),
+            system: "frugal".into(),
+            gpus: 4,
+            batch: 512,
+            steps: 20,
+            cache_ratio: 0.05,
+            flush_threads: 8,
+            keys: 1_000_000,
+            datacenter: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        let take = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--workload" => args.workload = take(&argv, i, "--workload")?,
+                "--system" => args.system = take(&argv, i, "--system")?,
+                "--gpus" => args.gpus = take(&argv, i, "--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
+                "--batch" => args.batch = take(&argv, i, "--batch")?.parse().map_err(|e| format!("--batch: {e}"))?,
+                "--steps" => args.steps = take(&argv, i, "--steps")?.parse().map_err(|e| format!("--steps: {e}"))?,
+                "--cache-ratio" => {
+                    args.cache_ratio = take(&argv, i, "--cache-ratio")?.parse().map_err(|e| format!("--cache-ratio: {e}"))?
+                }
+                "--flush-threads" => {
+                    args.flush_threads = take(&argv, i, "--flush-threads")?.parse().map_err(|e| format!("--flush-threads: {e}"))?
+                }
+                "--keys" => args.keys = take(&argv, i, "--keys")?.parse().map_err(|e| format!("--keys: {e}"))?,
+                "--datacenter" => {
+                    args.datacenter = true;
+                    i += 1;
+                    continue;
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: train [--workload micro|rec|kg] [--system frugal|frugal-sync|pytorch|hugectr|uvm]\n\
+                         \x20            [--gpus N] [--batch N] [--steps N] [--cache-ratio F]\n\
+                         \x20            [--flush-threads N] [--keys N] [--datacenter]"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 2;
+        }
+        Ok(args)
+    }
+}
+
+fn run(
+    args: &Args,
+    workload: &dyn Workload,
+    model: &dyn EmbeddingModel,
+) -> Result<TrainReport, String> {
+    let topology = if args.datacenter {
+        Topology::datacenter(args.gpus)
+    } else {
+        Topology::commodity(args.gpus)
+    };
+    match args.system.as_str() {
+        "frugal" | "frugal-sync" => {
+            let mut cfg = FrugalConfig::commodity(args.gpus, args.steps);
+            cfg.cost = frugal::sim::CostModel::new(topology);
+            cfg.cache_ratio = args.cache_ratio;
+            cfg.flush_threads = args.flush_threads;
+            if args.system == "frugal-sync" {
+                cfg = cfg.write_through();
+            }
+            let engine = FrugalEngine::new(cfg, workload.n_keys(), model.dim());
+            Ok(engine.run(workload, model))
+        }
+        "pytorch" | "hugectr" | "uvm" => {
+            let mut cfg = BaselineConfig::pytorch(topology, args.steps);
+            cfg.kind = match args.system.as_str() {
+                "pytorch" => BaselineKind::NoCache,
+                "hugectr" => BaselineKind::Cached,
+                _ => BaselineKind::Uvm,
+            };
+            cfg.cache_ratio = args.cache_ratio;
+            let engine = BaselineEngine::new(cfg, workload.n_keys(), model.dim());
+            Ok(engine.run(workload, model))
+        }
+        other => Err(format!("unknown system {other}")),
+    }
+}
+
+fn main() -> Result<(), String> {
+    let args = Args::parse()?;
+    println!("{args:?}\n");
+
+    let report = match args.workload.as_str() {
+        "micro" => {
+            let trace = SyntheticTrace::new(
+                args.keys,
+                KeyDistribution::Zipf(0.9),
+                args.batch,
+                args.gpus,
+                42,
+            )
+            .map_err(|e| e.to_string())?;
+            let model = PullToTarget::new(32, 7);
+            run(&args, &trace, &model)?
+        }
+        "rec" => {
+            let spec = RecDatasetSpec::avazu().scaled_to_ids(args.keys);
+            let trace = RecTrace::new(spec.clone(), args.batch, args.gpus, 42)
+                .map_err(|e| e.to_string())?;
+            let dim = spec.embedding_dim as usize;
+            let model = Dlrm::new(trace.clone(), &[dim, 512, 512, 256, 1], 0.01, 7, false);
+            run(&args, &trace, &model)?
+        }
+        "kg" => {
+            let spec = KgDatasetSpec::freebase().scaled_to_entities(args.keys.min(200_000));
+            let trace = KgTrace::new(spec.clone(), args.batch, args.gpus, 42)
+                .map_err(|e| e.to_string())?;
+            let model = KgModel::new(KgScorer::TransE, trace.clone(), 7, false);
+            run(&args, &trace, &model)?
+        }
+        other => return Err(format!("unknown workload {other}")),
+    };
+
+    let m = report.mean_iter();
+    println!("throughput       {:>12.0} samples/s", report.throughput());
+    println!("cache hit ratio  {:>11.1}%", report.hit_ratio * 100.0);
+    println!("per-iteration breakdown:");
+    println!("  comm      {}", m.comm);
+    println!("  host DRAM {}", m.host_dram);
+    println!("  cache     {}", m.cache);
+    println!("  other     {}", m.other);
+    println!("  stall     {}", m.stall);
+    if report.mean_gentry_update.as_nanos() > 0 {
+        println!("g-entry updates  {:>12} per step", report.mean_gentry_update.to_string());
+    }
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! Cross-crate consistency tests: the executable form of the paper's §3.3
+//! proof that P²F preserves synchronous training consistency.
+
+use frugal::baselines::{BaselineConfig, BaselineEngine, BaselineKind};
+use frugal::core::{train_serial, FrugalConfig, FrugalEngine, PqKind, PullToTarget};
+use frugal::data::{KeyDistribution, SyntheticTrace};
+use frugal::sim::Topology;
+
+const N_KEYS: u64 = 600;
+const DIM: usize = 8;
+const STEPS: u64 = 20;
+
+fn trace(n_gpus: usize) -> SyntheticTrace {
+    SyntheticTrace::new(N_KEYS, KeyDistribution::Zipf(0.9), 48, n_gpus, 77).unwrap()
+}
+
+fn frugal_cfg(n_gpus: usize) -> FrugalConfig {
+    let mut cfg = FrugalConfig::commodity(n_gpus, STEPS);
+    cfg.flush_threads = 3;
+    cfg.lookahead = 6;
+    cfg
+}
+
+/// Every engine — serial, Frugal (both PQs), Frugal-Sync, and all three
+/// baselines — must produce *bit-identical* parameters on the same trace.
+#[test]
+fn all_engines_agree_bitwise() {
+    let t = trace(2);
+    let model = PullToTarget::new(DIM, 5);
+    let reference = train_serial(&t, &model, STEPS, 0.1, 42);
+
+    let mut stores: Vec<(String, Vec<Vec<f32>>)> = Vec::new();
+
+    for pq in [PqKind::TwoLevel, PqKind::TreeHeap] {
+        let mut cfg = frugal_cfg(2);
+        cfg.pq = pq;
+        let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
+        engine.run(&t, &model);
+        stores.push((
+            format!("frugal-{pq:?}"),
+            (0..N_KEYS).map(|k| engine.store().row_vec(k)).collect(),
+        ));
+    }
+    {
+        let engine = FrugalEngine::new(frugal_cfg(2).write_through(), N_KEYS, DIM);
+        engine.run(&t, &model);
+        stores.push((
+            "frugal-sync".into(),
+            (0..N_KEYS).map(|k| engine.store().row_vec(k)).collect(),
+        ));
+    }
+    for kind in [BaselineKind::NoCache, BaselineKind::Cached, BaselineKind::Uvm] {
+        let mut cfg = BaselineConfig::pytorch(Topology::commodity(2), STEPS);
+        cfg.kind = kind;
+        cfg.cache_ratio = 0.1;
+        let engine = BaselineEngine::new(cfg, N_KEYS, DIM);
+        engine.run(&t, &model);
+        stores.push((
+            format!("baseline-{kind:?}"),
+            (0..N_KEYS).map(|k| engine.store().row_vec(k)).collect(),
+        ));
+    }
+
+    for (name, rows) in &stores {
+        for k in 0..N_KEYS {
+            assert_eq!(
+                rows[k as usize],
+                reference.store.row_vec(k),
+                "{name} diverged from serial at key {k}"
+            );
+        }
+    }
+}
+
+/// Checked mode observes zero invariant violations and zero seqlock races
+/// across many flush threads and trainers.
+#[test]
+fn p2f_checked_mode_is_clean_under_stress() {
+    let t = SyntheticTrace::new(400, KeyDistribution::Zipf(0.99), 64, 4, 9).unwrap();
+    let model = PullToTarget::new(4, 3);
+    let mut cfg = FrugalConfig::commodity(4, 30).checked();
+    cfg.flush_threads = 6;
+    cfg.lookahead = 3;
+    let engine = FrugalEngine::new(cfg, 400, 4);
+    let report = engine.run(&t, &model);
+    assert_eq!(report.violations, 0, "invariant (2) violated");
+    assert_eq!(report.races, 0, "host-row data race detected");
+}
+
+/// Failure injection: disabling the P²F wait condition must be *caught* by
+/// the consistency checker — proving the checker works and that the wait
+/// condition is load-bearing.
+#[test]
+fn skipping_wait_condition_breaks_consistency() {
+    // Uniform keys over a space barely larger than the per-step footprint:
+    // every step writes ~14k unique rows that the next step reads again, so
+    // a single flusher cannot drain between steps and unsynchronized reads
+    // must hit rows with pending updates.
+    let t = SyntheticTrace::new(16_384, KeyDistribution::Uniform, 4_096, 4, 13).unwrap();
+    let model = PullToTarget::new(16, 3);
+    let mut cfg = FrugalConfig::commodity(4, 12).checked();
+    cfg.flush_threads = 1;
+    cfg.flush_batch = 8;
+    cfg.flush_throttle_us = 500; // a starved flusher cannot hide the race
+    cfg.skip_wait = true;
+    cfg.lookahead = 4;
+    let engine = FrugalEngine::new(cfg, 16_384, 16);
+    let report = engine.run(&t, &model);
+    assert!(
+        report.violations > 0 || report.races > 0,
+        "expected consistency violations once the wait condition is skipped \
+         (got violations={}, races={})",
+        report.violations,
+        report.races
+    );
+}
+
+/// The flushing pipeline drains completely: after a run, re-reading the
+/// store equals the serial result even for keys only written early on
+/// (deferred ∞-priority flushes must not be lost at shutdown).
+#[test]
+fn deferred_updates_are_never_lost() {
+    // Uniform keys on a big space: most keys are written once and never
+    // read again, living in the ∞ bucket until the final drain.
+    let t = SyntheticTrace::new(5_000, KeyDistribution::Uniform, 64, 2, 21).unwrap();
+    let model = PullToTarget::new(4, 1);
+    let engine = FrugalEngine::new(frugal_cfg(2), 5_000, 4);
+    engine.run(&t, &model);
+    let serial = train_serial(&t, &model, STEPS, 0.1, 42);
+    for k in 0..5_000 {
+        assert_eq!(engine.store().row_vec(k), serial.store.row_vec(k), "key {k}");
+    }
+}
+
+/// Varying the number of flushing threads must not change the result.
+#[test]
+fn flush_thread_count_does_not_affect_parameters() {
+    let t = trace(2);
+    let model = PullToTarget::new(DIM, 5);
+    let mut results = Vec::new();
+    for threads in [1usize, 2, 6] {
+        let mut cfg = frugal_cfg(2);
+        cfg.flush_threads = threads;
+        let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
+        engine.run(&t, &model);
+        results.push((0..N_KEYS).map(|k| engine.store().row_vec(k)).collect::<Vec<_>>());
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+/// Adagrad keeps per-row state on both the host path (flushing threads) and
+/// the owner-cache path; both see the same per-key gradient sequence, so
+/// the concurrent engine must still match the serial reference bitwise.
+#[test]
+fn adagrad_matches_serial_reference() {
+    use frugal::core::{train_serial_with, OptimizerKind};
+    let t = trace(2);
+    let model = PullToTarget::new(DIM, 5);
+    let mut cfg = frugal_cfg(2);
+    cfg.optimizer = OptimizerKind::Adagrad;
+    cfg.lr = 0.5;
+    let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
+    engine.run(&t, &model);
+    let serial = train_serial_with(&t, &model, STEPS, 0.5, 42, OptimizerKind::Adagrad);
+    for k in 0..N_KEYS {
+        assert_eq!(
+            engine.store().row_vec(k),
+            serial.store.row_vec(k),
+            "Adagrad diverged at key {k}"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end training runs with the real models (DLRM, KG scorers)
+//! through the full Frugal engine.
+
+use frugal::core::{FrugalConfig, FrugalEngine, TrainReport};
+use frugal::data::{KgDatasetSpec, KgTrace, RecDatasetSpec, RecTrace};
+use frugal::models::{Dlrm, KgModel, KgScorer};
+
+fn small_rec_trace(n_gpus: usize, batch: usize) -> RecTrace {
+    let mut spec = RecDatasetSpec::avazu().scaled_to_ids(2_000);
+    spec.embedding_dim = 8;
+    RecTrace::new(spec, batch, n_gpus, 7).unwrap()
+}
+
+#[test]
+fn dlrm_trains_end_to_end_through_frugal() {
+    let trace = small_rec_trace(2, 64);
+    let model = Dlrm::new(trace.clone(), &[8, 32, 1], 0.05, 3, true);
+    let mut cfg = FrugalConfig::commodity(2, 40);
+    cfg.flush_threads = 2;
+    cfg.lr = 1.0;
+    let engine = FrugalEngine::new(cfg, trace.spec().n_ids, 8);
+    let report = engine.run(&trace, &model);
+    assert_eq!(report.stats.len(), 40);
+    assert!(
+        report.final_loss < report.first_loss,
+        "BCE should improve: {} -> {}",
+        report.first_loss,
+        report.final_loss
+    );
+    assert_eq!(report.violations, 0);
+}
+
+#[test]
+fn transe_trains_end_to_end_through_frugal() {
+    let mut spec = KgDatasetSpec::fb15k().scaled_to_entities(500);
+    spec.embedding_dim = 8;
+    spec.neg_sample_size = 8;
+    let trace = KgTrace::new(spec.clone(), 32, 2, 11).unwrap();
+    let model = KgModel::new(KgScorer::TransE, trace.clone(), 5, true);
+    let mut cfg = FrugalConfig::commodity(2, 80);
+    cfg.flush_threads = 2;
+    cfg.lr = 0.03; // L1 sign gradients accumulate across shared negatives
+
+    let engine = FrugalEngine::new(cfg, spec.n_entities, 8);
+    let report = engine.run(&trace, &model);
+    // The structured synthetic graph is learnable: the margin loss falls.
+    assert!(
+        report.final_loss < report.first_loss,
+        "margin loss should improve: {} -> {}",
+        report.first_loss,
+        report.final_loss
+    );
+}
+
+#[test]
+fn every_kg_scorer_runs_through_the_engine() {
+    let mut spec = KgDatasetSpec::fb15k().scaled_to_entities(300);
+    spec.embedding_dim = 8;
+    spec.neg_sample_size = 4;
+    for scorer in KgScorer::all() {
+        let trace = KgTrace::new(spec.clone(), 16, 2, 13).unwrap();
+        let model = KgModel::new(scorer, trace.clone(), 5, true);
+        let mut cfg = FrugalConfig::commodity(2, 8);
+        cfg.flush_threads = 2;
+        let engine = FrugalEngine::new(cfg, spec.n_entities, 8);
+        let report: TrainReport = engine.run(&trace, &model);
+        assert!(report.throughput() > 0.0, "{}", scorer.name());
+        assert!(report.final_loss.is_finite());
+    }
+}
+
+#[test]
+fn dlrm_depth_sweep_runs() {
+    // Exp #11's depth sensitivity, smoke-tested end to end.
+    let trace = small_rec_trace(2, 32);
+    for depth in [2usize, 4, 6] {
+        let mut dims = vec![8usize];
+        for _ in 0..depth.saturating_sub(2) {
+            dims.push(16);
+        }
+        dims.push(8);
+        dims.push(1);
+        let model = Dlrm::new(trace.clone(), &dims, 0.05, 3, true);
+        let mut cfg = FrugalConfig::commodity(2, 5);
+        cfg.flush_threads = 2;
+        let engine = FrugalEngine::new(cfg, trace.spec().n_ids, 8);
+        let report = engine.run(&trace, &model);
+        assert!(report.throughput() > 0.0, "depth {depth}");
+    }
+}
+
+#[test]
+fn hit_ratio_rises_with_cache_size() {
+    let trace = small_rec_trace(2, 128);
+    let mut ratios = Vec::new();
+    for cache_ratio in [0.01, 0.05, 0.20] {
+        let model = Dlrm::new(trace.clone(), &[8, 16, 1], 0.05, 3, false);
+        let mut cfg = FrugalConfig::commodity(2, 15);
+        cfg.flush_threads = 2;
+        cfg.cache_ratio = cache_ratio;
+        let engine = FrugalEngine::new(cfg, trace.spec().n_ids, 8);
+        let report = engine.run(&trace, &model);
+        ratios.push(report.hit_ratio);
+    }
+    assert!(
+        ratios[0] < ratios[2],
+        "bigger caches should hit more: {ratios:?}"
+    );
+}
+
+#[test]
+fn dlrm_training_improves_auc() {
+    use frugal::models::auc;
+    let trace = small_rec_trace(2, 96);
+    let model = Dlrm::new(trace.clone(), &[8, 32, 1], 0.05, 3, true);
+    let dim = 8;
+
+    // Score a held-out step (beyond the training horizon) before/after.
+    let eval = |store: &frugal::embed::HostStore| {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for gpu in 0..2 {
+            let batch = trace.step_batch(900, gpu);
+            let mut rows = vec![0.0f32; batch.keys.len() * dim];
+            for (i, &k) in batch.keys.iter().enumerate() {
+                store.read_row(k, &mut rows[i * dim..(i + 1) * dim]);
+            }
+            scores.extend(model.predict(&batch.keys, &rows));
+            labels.extend(batch.labels.clone());
+        }
+        auc(&scores, &labels)
+    };
+
+    let mut cfg = FrugalConfig::commodity(2, 60);
+    cfg.flush_threads = 2;
+    cfg.lr = 1.0;
+    let engine = FrugalEngine::new(cfg, trace.spec().n_ids, dim);
+    let before = eval(engine.store());
+    engine.run(&trace, &model);
+    let after = eval(engine.store());
+    assert!(
+        after > before && after > 0.55,
+        "AUC should improve: {before:.3} -> {after:.3}"
+    );
+}
+
+#[test]
+fn checkpoint_roundtrips_a_trained_store() {
+    use frugal::embed::{load_checkpoint, save_checkpoint, HostStore};
+    let trace = small_rec_trace(2, 32);
+    let model = Dlrm::new(trace.clone(), &[8, 16, 1], 0.05, 3, false);
+    let mut cfg = FrugalConfig::commodity(2, 10);
+    cfg.flush_threads = 2;
+    let engine = FrugalEngine::new(cfg, trace.spec().n_ids, 8);
+    engine.run(&trace, &model);
+
+    let mut buf = Vec::new();
+    save_checkpoint(engine.store(), &mut buf).unwrap();
+    let restored = HostStore::new(trace.spec().n_ids, 8, 999);
+    load_checkpoint(&restored, buf.as_slice()).unwrap();
+    for k in (0..trace.spec().n_ids).step_by(37) {
+        assert_eq!(engine.store().row_vec(k), restored.row_vec(k));
+    }
+}
