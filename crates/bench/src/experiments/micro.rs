@@ -28,9 +28,8 @@ pub fn fig3_motivation(scale: &Scale) -> Vec<ExpTable> {
         &["batch", "A30", "RTX3090"],
     );
     for &batch in &scale.batches {
-        let trace =
-            SyntheticTrace::new(scale.micro_keys, KeyDistribution::Zipf(0.9), batch, n, 11)
-                .expect("valid trace");
+        let trace = SyntheticTrace::new(scale.micro_keys, KeyDistribution::Zipf(0.9), batch, n, 11)
+            .expect("valid trace");
         let d = run_system(
             System::HugeCtr,
             &RunOptions::datacenter(n, scale.steps),

@@ -12,7 +12,9 @@ mod sensitivity;
 mod tables;
 mod tech;
 
-pub use ablations::{ablation_cache_policy, ablation_flush_batch, ablation_lookahead, ablation_optimizer};
+pub use ablations::{
+    ablation_cache_policy, ablation_flush_batch, ablation_lookahead, ablation_optimizer,
+};
 pub use micro::{exp1_microbenchmark, fig3_motivation};
 pub use overall::{exp6_kg, exp7_rec, exp8_scalability, exp9_cost};
 pub use sensitivity::{exp10_flush_threads, exp11_models};

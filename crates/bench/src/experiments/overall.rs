@@ -35,7 +35,13 @@ pub fn exp6_kg(scale: &Scale) -> Vec<ExpTable> {
         .max(16);
         let mut t = ExpTable::new(
             format!("Fig 13 ({}): KG throughput (triples/s)", spec.name),
-            &["cache", "DGL-KE", "DGL-KE-cached", "Frugal", "Frugal/DGL-KE"],
+            &[
+                "cache",
+                "DGL-KE",
+                "DGL-KE-cached",
+                "Frugal",
+                "Frugal/DGL-KE",
+            ],
         );
         for cache_ratio in [0.05, 0.10] {
             let trace = KgTrace::new(spec.clone(), batch, scale.gpus, 29).expect("valid trace");
@@ -119,7 +125,9 @@ pub fn exp8_scalability(scale: &Scale) -> Vec<ExpTable> {
         }
         tkg.row(cells);
     }
-    tkg.note("paper: cache-less systems plateau at >=4 GPUs (root-complex bound); Frugal keeps scaling");
+    tkg.note(
+        "paper: cache-less systems plateau at >=4 GPUs (root-complex bound); Frugal keeps scaling",
+    );
     out.push(tkg);
 
     // (b) REC on Avazu-shaped data.
@@ -160,7 +168,14 @@ pub fn exp9_cost(scale: &Scale) -> Vec<ExpTable> {
     // (a) KG: FB15k- and Freebase-shaped.
     let mut tkg = ExpTable::new(
         "Fig 16a (KG): best-on-A30 vs Frugal-on-3090 (triples/s)",
-        &["dataset", "gpus", "A30 best", "Frugal 3090", "thr ratio", "cost-eff x"],
+        &[
+            "dataset",
+            "gpus",
+            "A30 best",
+            "Frugal 3090",
+            "thr ratio",
+            "cost-eff x",
+        ],
     );
     for spec in [
         KgDatasetSpec::fb15k().scaled_to_entities(scale.kg_entities),
@@ -183,7 +198,8 @@ pub fn exp9_cost(scale: &Scale) -> Vec<ExpTable> {
             )
             .throughput();
             let thr_ratio = frugal / best_a30;
-            let cost_eff = (frugal / (n as f64 * r3090_price)) / (best_a30 / (n as f64 * a30_price));
+            let cost_eff =
+                (frugal / (n as f64 * r3090_price)) / (best_a30 / (n as f64 * a30_price));
             tkg.row(vec![
                 spec.name.clone(),
                 n.to_string(),
@@ -194,21 +210,29 @@ pub fn exp9_cost(scale: &Scale) -> Vec<ExpTable> {
             ]);
         }
     }
-    tkg.note("paper: Frugal reaches 89-97% of datacenter throughput at 4.0-4.3x better cost-efficiency");
+    tkg.note(
+        "paper: Frugal reaches 89-97% of datacenter throughput at 4.0-4.3x better cost-efficiency",
+    );
     out.push(tkg);
 
     // (b) REC: Avazu- and Criteo-shaped.
     let mut trec = ExpTable::new(
         "Fig 16b (REC): best-on-A30 vs Frugal-on-3090 (samples/s)",
-        &["dataset", "gpus", "A30 best", "Frugal 3090", "thr ratio", "cost-eff x"],
+        &[
+            "dataset",
+            "gpus",
+            "A30 best",
+            "Frugal 3090",
+            "thr ratio",
+            "cost-eff x",
+        ],
     );
     for spec in [
         RecDatasetSpec::avazu().scaled_to_ids(scale.rec_ids),
         RecDatasetSpec::criteo().scaled_to_ids(scale.rec_ids),
     ] {
         for n in [2usize, 3, 4] {
-            let trace =
-                RecTrace::new(spec.clone(), scale.rec_batch, n, 47).expect("valid trace");
+            let trace = RecTrace::new(spec.clone(), scale.rec_batch, n, 47).expect("valid trace");
             let dim = spec.embedding_dim as usize;
             let model = Dlrm::new(trace.clone(), &[dim, 512, 512, 256, 1], 0.01, 3, false);
             let dc = RunOptions::datacenter(n, scale.steps);
@@ -224,7 +248,8 @@ pub fn exp9_cost(scale: &Scale) -> Vec<ExpTable> {
             )
             .throughput();
             let thr_ratio = frugal / best_a30;
-            let cost_eff = (frugal / (n as f64 * r3090_price)) / (best_a30 / (n as f64 * a30_price));
+            let cost_eff =
+                (frugal / (n as f64 * r3090_price)) / (best_a30 / (n as f64 * a30_price));
             trec.row(vec![
                 spec.name.clone(),
                 n.to_string(),

@@ -69,9 +69,7 @@ pub fn exp11_models(scale: &Scale) -> Vec<ExpTable> {
     for depth in [2usize, 3, 4, 5, 6] {
         // Head widths: dim -> 512 x (depth-2) -> 256 -> 1.
         let mut dims = vec![dim];
-        for _ in 0..depth.saturating_sub(2) {
-            dims.push(512);
-        }
+        dims.extend(std::iter::repeat_n(512, depth.saturating_sub(2)));
         dims.push(256);
         dims.push(1);
         let trace =

@@ -46,7 +46,14 @@ pub fn table1_gpu_specs() -> ExpTable {
 pub fn table2_datasets() -> ExpTable {
     let mut t = ExpTable::new(
         "Table 2: datasets (synthetic stand-ins follow these shapes)",
-        &["dataset", "kind", "ids/entities", "samples/triples", "features/relations", "model size GiB"],
+        &[
+            "dataset",
+            "kind",
+            "ids/entities",
+            "samples/triples",
+            "features/relations",
+            "model size GiB",
+        ],
     );
     let gib = |b: u64| format!("{:.1}", b as f64 / (1u64 << 30) as f64);
     for kg in [

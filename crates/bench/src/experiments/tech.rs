@@ -2,11 +2,12 @@
 
 use super::Scale;
 use crate::systems::{run_system, RunOptions, System};
-use crate::table::{fmt_throughput, ExpTable};
+use crate::table::{fmt_throughput, telemetry_table, ExpTable};
 use frugal_core::{PqKind, PullToTarget, TrainReport};
 use frugal_data::{KeyDistribution, KgDatasetSpec, KgTrace, SyntheticTrace};
 use frugal_models::{KgModel, KgScorer};
 use frugal_sim::{CostModel, HostPath, Topology};
+use frugal_telemetry::Telemetry;
 
 /// Exp #2 (Fig 9): P²F vs write-through flushing — stall time and
 /// throughput on a Zipf-0.9 workload with 1 % cache.
@@ -14,16 +15,28 @@ pub fn exp2_p2f(scale: &Scale) -> Vec<ExpTable> {
     let model = PullToTarget::new(32, 7);
     let mut stall = ExpTable::new(
         "Fig 9a: training stall per iteration (us, log-scale in paper)",
-        &["batch", "SyncFlushing", "P2F", "reduction x"],
+        &[
+            "batch",
+            "SyncFlushing",
+            "P2F",
+            "reduction x",
+            "p95 (Sync/P2F)",
+            "p99 (Sync/P2F)",
+        ],
     );
     let mut thr = ExpTable::new(
         "Fig 9b: training throughput (samples/s)",
         &["batch", "SyncFlushing", "P2F", "speedup x"],
     );
     for &batch in &scale.batches {
-        let trace =
-            SyntheticTrace::new(scale.micro_keys, KeyDistribution::Zipf(0.9), batch, scale.gpus, 17)
-                .expect("valid trace");
+        let trace = SyntheticTrace::new(
+            scale.micro_keys,
+            KeyDistribution::Zipf(0.9),
+            batch,
+            scale.gpus,
+            17,
+        )
+        .expect("valid trace");
         let mut opts = RunOptions::commodity(scale.gpus, scale.steps);
         opts.cache_ratio = 0.01;
         let sync = run_system(System::FrugalSync, &opts, &trace, &model);
@@ -32,11 +45,14 @@ pub fn exp2_p2f(scale: &Scale) -> Vec<ExpTable> {
             sync.mean_stall().as_micros_f64(),
             p2f.mean_stall().as_micros_f64(),
         );
+        let tail = |r: &TrainReport, q: f64| r.stats.stall_percentile(q).as_micros_f64();
         stall.row(vec![
             batch.to_string(),
             format!("{ss:.0}"),
             format!("{sp:.0}"),
             format!("{:.1}", ss / sp.max(1.0)),
+            format!("{:.0}/{:.0}", tail(&sync, 0.95), tail(&p2f, 0.95)),
+            format!("{:.0}/{:.0}", tail(&sync, 0.99), tail(&p2f, 0.99)),
         ]);
         thr.row(vec![
             batch.to_string(),
@@ -46,6 +62,7 @@ pub fn exp2_p2f(scale: &Scale) -> Vec<ExpTable> {
         ]);
     }
     stall.note("paper: P2F reduces stall 34-101x");
+    stall.note("p95/p99 are nearest-rank tails of per-iteration stall (trainer.p2f_wait_ns)");
     thr.note("paper: stall reduction lifts end-to-end throughput 3.5-5.3x");
     vec![stall, thr]
 }
@@ -125,7 +142,9 @@ pub fn exp4_pq(scale: &Scale) -> Vec<ExpTable> {
     vec![t]
 }
 
-/// Exp #5 (Fig 12): per-technique time breakdown of one training step.
+/// Exp #5 (Fig 12): per-technique time breakdown of one training step,
+/// plus a telemetry-instrumented Frugal run at the largest batch showing
+/// the measured per-phase latency distributions behind the model.
 pub fn exp5_breakdown(scale: &Scale) -> Vec<ExpTable> {
     let model = PullToTarget::new(32, 7);
     let mut t = ExpTable::new(
@@ -133,9 +152,14 @@ pub fn exp5_breakdown(scale: &Scale) -> Vec<ExpTable> {
         &["batch", "PyTorch", "HugeCTR", "Frugal-Sync", "Frugal"],
     );
     for &batch in &scale.batches {
-        let trace =
-            SyntheticTrace::new(scale.micro_keys, KeyDistribution::Zipf(0.9), batch, scale.gpus, 19)
-                .expect("valid trace");
+        let trace = SyntheticTrace::new(
+            scale.micro_keys,
+            KeyDistribution::Zipf(0.9),
+            batch,
+            scale.gpus,
+            19,
+        )
+        .expect("valid trace");
         let mut cells = vec![batch.to_string()];
         for system in System::microbench_set() {
             let r = run_system(
@@ -157,7 +181,26 @@ pub fn exp5_breakdown(scale: &Scale) -> Vec<ExpTable> {
         t.row(cells);
     }
     t.note("paper: Frugal-Sync cuts forward comm 29-53% and host time up to 76%; Frugal cuts comm 60-85% and host ~98%");
-    vec![t]
+
+    // One instrumented run: where the modeled breakdown above comes from.
+    let batch = *scale.batches.last().expect("scale has batches");
+    let trace = SyntheticTrace::new(
+        scale.micro_keys,
+        KeyDistribution::Zipf(0.9),
+        batch,
+        scale.gpus,
+        19,
+    )
+    .expect("valid trace");
+    let mut opts = RunOptions::commodity(scale.gpus, scale.steps);
+    opts.telemetry = Telemetry::new();
+    let r = run_system(System::Frugal, &opts, &trace, &model);
+    let summary = r.telemetry.expect("telemetry was enabled");
+    let tele = telemetry_table(
+        format!("Fig 12 (instrumented): Frugal phase latencies, batch {batch}"),
+        &summary,
+    );
+    vec![t, tele]
 }
 
 #[cfg(test)]
@@ -193,7 +236,9 @@ mod tests {
 
     #[test]
     fn exp5_has_all_systems() {
-        let t = &exp5_breakdown(&Scale::quick())[0];
-        assert_eq!(t.n_rows(), Scale::quick().batches.len());
+        let tables = exp5_breakdown(&Scale::quick());
+        assert_eq!(tables[0].n_rows(), Scale::quick().batches.len());
+        // The instrumented run produced at least one phase histogram row.
+        assert!(tables[1].n_rows() > 0, "telemetry table is empty");
     }
 }

@@ -3,6 +3,7 @@
 use frugal_baselines::{BaselineConfig, BaselineEngine, BaselineKind};
 use frugal_core::{EmbeddingModel, FrugalConfig, FrugalEngine, PqKind, TrainReport, Workload};
 use frugal_sim::Topology;
+use frugal_telemetry::Telemetry;
 
 /// A competitor system from §4.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,11 @@ pub struct RunOptions {
     pub pq: PqKind,
     /// Sample-queue lookahead.
     pub lookahead: u64,
+    /// Telemetry handle threaded into the engine; off by default so bench
+    /// sweeps measure the zero-overhead path. Attach [`Telemetry::new`] to
+    /// get per-phase spans and a [`TelemetrySummary`]
+    /// (frugal_telemetry::TelemetrySummary) on the report.
+    pub telemetry: Telemetry,
 }
 
 impl RunOptions {
@@ -80,6 +86,7 @@ impl RunOptions {
             flush_threads: 8,
             pq: PqKind::TwoLevel,
             lookahead: 10,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -112,6 +119,7 @@ pub fn run_system(
             cfg.flush_threads = opts.flush_threads;
             cfg.pq = opts.pq;
             cfg.lookahead = opts.lookahead;
+            cfg.telemetry = opts.telemetry.clone();
             if system == System::FrugalSync {
                 cfg = cfg.write_through();
             }
@@ -127,6 +135,7 @@ pub fn run_system(
             let mut cfg = BaselineConfig::pytorch(opts.topology.clone(), opts.steps);
             cfg.kind = kind;
             cfg.cache_ratio = opts.cache_ratio;
+            cfg.telemetry = opts.telemetry.clone();
             let engine = BaselineEngine::new(cfg, n_keys, dim);
             engine.run(workload, model)
         }

@@ -5,6 +5,8 @@
 
 use std::fmt;
 
+use frugal_telemetry::TelemetrySummary;
+
 /// A rendered experiment result table.
 #[derive(Debug, Clone)]
 pub struct ExpTable {
@@ -74,7 +76,11 @@ impl fmt::Display for ExpTable {
             writeln!(f, "{}", line.trim_end())
         };
         print_row(f, &self.header)?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             print_row(f, row)?;
         }
@@ -83,6 +89,48 @@ impl fmt::Display for ExpTable {
         }
         Ok(())
     }
+}
+
+/// Renders a [`TelemetrySummary`] as an [`ExpTable`]: one row per phase
+/// histogram (count + p50/p95/p99/mean in microseconds), counters and the
+/// stall-attribution line as notes.
+pub fn telemetry_table(title: impl Into<String>, summary: &TelemetrySummary) -> ExpTable {
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+    let mut t = ExpTable::new(
+        title,
+        &["phase", "count", "p50 us", "p95 us", "p99 us", "mean us"],
+    );
+    for (name, h) in &summary.metrics.histograms {
+        t.row(vec![
+            name.clone(),
+            h.count.to_string(),
+            us(h.p50),
+            us(h.p95),
+            us(h.p99),
+            format!("{:.1}", h.mean() / 1e3),
+        ]);
+    }
+    for (name, v) in &summary.metrics.counters {
+        t.note(format!("{name} = {v}"));
+    }
+    for (name, v) in &summary.metrics.gauges {
+        t.note(format!("{name} = {v} (gauge)"));
+    }
+    if !summary.stalls.is_empty() {
+        let mut note = format!(
+            "{} P2F stalls, total wait {:.3} ms",
+            summary.stalls.len(),
+            summary.stalls.total_wait_ns() as f64 / 1e6
+        );
+        if let Some(l) = summary.stalls.longest() {
+            note.push_str(&format!(
+                "; longest at step {} blocked on priority {} ({} pending keys)",
+                l.step, l.blocking_priority, l.pending_keys
+            ));
+        }
+        t.note(note);
+    }
+    t
 }
 
 /// Formats a samples/second throughput compactly (e.g. `1.25M`, `310k`).

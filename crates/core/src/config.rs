@@ -2,6 +2,7 @@
 
 use frugal_embed::{AdagradRule, CachePolicy, SgdRule, UpdateRule};
 use frugal_sim::{CostModel, Topology};
+use frugal_telemetry::Telemetry;
 use frugal_tensor::RowOptimizer;
 use std::sync::Arc;
 
@@ -96,6 +97,12 @@ pub struct FrugalConfig {
     pub flush_throttle_us: u64,
     /// Seed for parameter initialization.
     pub seed: u64,
+    /// Telemetry handle: metrics registry, phase spans, and trace ring.
+    /// Defaults to [`Telemetry::off`] (near-zero instrumentation cost);
+    /// pass [`Telemetry::new`] to collect a
+    /// [`TelemetrySummary`](frugal_telemetry::TelemetrySummary) and
+    /// Chrome traces in the run's [`TrainReport`](crate::TrainReport).
+    pub telemetry: Telemetry,
 }
 
 impl FrugalConfig {
@@ -118,7 +125,14 @@ impl FrugalConfig {
             skip_wait: false,
             flush_throttle_us: 0,
             seed: 42,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Enables telemetry collection on this run.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Switches to the write-through Frugal-Sync baseline.

@@ -32,12 +32,56 @@ use frugal_data::Key;
 use frugal_embed::{GpuCache, GradAggregator, HostStore, Sharding};
 use frugal_pq::{PriorityQueue, TreeHeap, TwoLevelPq};
 use frugal_sim::{HostPath, IterBreakdown, Nanos, RunStats};
+use frugal_telemetry::{Counter, Gauge, Phase, Registry, SpanArgs, StallRecord, ThreadRecorder};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use std::time::Instant;
+
+/// Registry-backed run counters.
+///
+/// The engine's *logic* depends on several of these — the cache hit ratio
+/// and the measured flusher rates that feed [`virtual_stall`] — so they
+/// always live on a metric registry: the run's telemetry registry when
+/// telemetry is on, a private one otherwise. Either way each is the same
+/// atomic the engine used to hold inline, now visible by name
+/// (`cache.hits`, `flusher.dequeue_total_ns`, …) in telemetry snapshots.
+#[derive(Debug)]
+struct RunMetrics {
+    /// Counter `p2f.violations`: consistency-invariant violations seen on
+    /// host reads (checked mode).
+    violations: Arc<Counter>,
+    /// Counter `cache.hits`: unique keys served by a GPU cache.
+    hits: Arc<Counter>,
+    /// Counter `cache.misses`: unique keys read from host DRAM.
+    misses: Arc<Counter>,
+    /// Counters `flusher.dequeue_total_ns` / `flusher.apply_total_ns` /
+    /// `flush.rows`: measured flusher costs, split into the PQ-dequeue
+    /// part (which serializes on a tree heap) and the host-apply part.
+    flush_dequeue_ns: Arc<Counter>,
+    flush_apply_ns: Arc<Counter>,
+    flush_rows: Arc<Counter>,
+    /// Gauge `p2f.blocking_rows`: keys of the *next* step that still have
+    /// pending writes right after this step's registration — the rows
+    /// whose flush gates the next wait condition.
+    blocking_rows_next: Arc<Gauge>,
+}
+
+impl RunMetrics {
+    fn new(registry: &Registry) -> Self {
+        RunMetrics {
+            violations: registry.counter("p2f.violations"),
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            flush_dequeue_ns: registry.counter("flusher.dequeue_total_ns"),
+            flush_apply_ns: registry.counter("flusher.apply_total_ns"),
+            flush_rows: registry.counter("flush.rows"),
+            blocking_rows_next: registry.gauge("p2f.blocking_rows"),
+        }
+    }
+}
 
 /// Per-trainer, per-step instrumentation deposited at the barrier.
 #[derive(Debug, Clone, Default)]
@@ -48,6 +92,9 @@ struct PhaseTimes {
     other: Nanos,
     loss: f32,
 }
+
+/// Rows the leader routed to one GPU's cache: `(key, aggregated row)`.
+type CacheUpdates = Vec<(Key, Arc<[f32]>)>;
 
 /// Shared state between trainers, the leader, and flushers for one run.
 struct RunShared<'a> {
@@ -66,7 +113,7 @@ struct RunShared<'a> {
     /// Per-GPU aggregated gradients deposited before barrier 1.
     agg_slots: Vec<Mutex<Option<GradAggregator>>>,
     /// Per-GPU cache-update lists filled by the leader.
-    cache_updates: Vec<Mutex<Vec<(Key, Arc<[f32]>)>>>,
+    cache_updates: Vec<Mutex<CacheUpdates>>,
     /// Per-GPU phase instrumentation for the current step.
     phase_slots: Vec<Mutex<PhaseTimes>>,
     /// Leader-composed per-iteration records.
@@ -76,18 +123,8 @@ struct RunShared<'a> {
     flush_mutex: Mutex<()>,
     flush_cv: Condvar,
     shutdown: AtomicBool,
-    violations: AtomicUsize,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-    /// Measured flusher costs, split into the PQ-dequeue part (which
-    /// serializes on a tree heap) and the host-apply part.
-    flush_dequeue_ns: AtomicU64,
-    flush_apply_ns: AtomicU64,
-    flush_rows: AtomicU64,
-    /// Keys of the *next* step that still have pending writes right after
-    /// this step's registration — the rows whose flush gates the next wait
-    /// condition.
-    blocking_rows_next: AtomicU64,
+    /// Named run counters (see [`RunMetrics`]).
+    metrics: RunMetrics,
     /// Per-flusher priority currently being applied to host memory
     /// ([`frugal_pq::INFINITE`] when idle). Dequeuing removes an entry from
     /// the queue before its row write completes, so the wait condition must
@@ -122,11 +159,12 @@ pub struct FrugalEngine {
 impl FrugalEngine {
     /// Creates an engine with a fresh host store of `n_keys × dim`.
     pub fn new(cfg: FrugalConfig, n_keys: u64, dim: usize) -> Self {
-        let store = if cfg.checked {
+        let mut store = if cfg.checked {
             HostStore::new_checked(n_keys, dim, cfg.seed)
         } else {
             HostStore::new(n_keys, dim, cfg.seed)
         };
+        store.attach_telemetry(&cfg.telemetry);
         FrugalEngine {
             cfg,
             store: Arc::new(store),
@@ -160,10 +198,18 @@ impl FrugalEngine {
         }
 
         let max_priority = cfg.steps + cfg.lookahead + 2;
-        let pq: Box<dyn PriorityQueue> = match cfg.pq {
+        let mut pq: Box<dyn PriorityQueue> = match cfg.pq {
             PqKind::TwoLevel => Box::new(TwoLevelPq::new(max_priority)),
             PqKind::TreeHeap => Box::new(TreeHeap::new()),
         };
+        pq.attach_telemetry(&cfg.telemetry);
+        // Run counters live on the telemetry registry when one is attached,
+        // on a private registry otherwise (the engine's own logic reads them
+        // either way).
+        let registry = cfg
+            .telemetry
+            .registry()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
 
         let shared = RunShared {
             cfg,
@@ -183,13 +229,7 @@ impl FrugalEngine {
             flush_mutex: Mutex::new(()),
             flush_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            violations: AtomicUsize::new(0),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-            flush_dequeue_ns: AtomicU64::new(0),
-            flush_apply_ns: AtomicU64::new(0),
-            flush_rows: AtomicU64::new(0),
-            blocking_rows_next: AtomicU64::new(0),
+            metrics: RunMetrics::new(&registry),
             inflight: (0..cfg.flush_threads)
                 .map(|_| AtomicU64::new(frugal_pq::INFINITE))
                 .collect(),
@@ -249,8 +289,8 @@ impl FrugalEngine {
         } else {
             gentry_times.iter().copied().sum::<Nanos>() / gentry_times.len() as u64
         };
-        let hits = shared.hits.load(Ordering::Acquire) as u64;
-        let misses = shared.misses.load(Ordering::Acquire) as u64;
+        let hits = shared.metrics.hits.get();
+        let misses = shared.metrics.misses.get();
         let hit_ratio = if hits + misses == 0 {
             0.0
         } else {
@@ -260,10 +300,11 @@ impl FrugalEngine {
             stats,
             hit_ratio,
             mean_gentry_update: mean_gentry,
-            violations: shared.violations.load(Ordering::Acquire),
+            violations: shared.metrics.violations.get() as usize,
             races: self.store.race_count(),
             first_loss,
             final_loss,
+            telemetry: cfg.telemetry.summary(),
         }
     }
 }
@@ -285,6 +326,7 @@ fn register_reads(shared: &RunShared<'_>, s: u64) {
 
 /// One background flushing thread (paper §3.2, component 4).
 fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
+    let rec = shared.cfg.telemetry.recorder(format!("flusher-{slot}"));
     let mut out = Vec::with_capacity(shared.cfg.flush_batch);
     loop {
         out.clear();
@@ -297,13 +339,25 @@ fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
             std::thread::yield_now();
             continue;
         }
+        // Only non-empty dequeues are recorded: thousands of idle polls
+        // would swamp both the histogram and the trace ring.
         shared
+            .metrics
             .flush_dequeue_ns
-            .fetch_add(t_deq.elapsed().as_nanos() as u64, Ordering::AcqRel);
+            .add(t_deq.elapsed().as_nanos() as u64);
+        rec.record_completed(
+            Phase::FlushDequeue,
+            t_deq,
+            SpanArgs::one("batch", out.len() as u64),
+        );
         // Publish the lowest priority this batch touches *before* claiming
         // any writes: the wait condition must keep blocking until the rows
         // are actually in host memory, not merely out of the queue.
-        let batch_min = out.iter().map(|&(_, p)| p).min().unwrap_or(frugal_pq::INFINITE);
+        let batch_min = out
+            .iter()
+            .map(|&(_, p)| p)
+            .min()
+            .unwrap_or(frugal_pq::INFINITE);
         shared.inflight[slot].store(batch_min, Ordering::Release);
         let t_apply = Instant::now();
         let mut applied = 0u64;
@@ -319,9 +373,11 @@ fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
         }
         if applied > 0 {
             shared
+                .metrics
                 .flush_apply_ns
-                .fetch_add(t_apply.elapsed().as_nanos() as u64, Ordering::AcqRel);
-            shared.flush_rows.fetch_add(applied, Ordering::AcqRel);
+                .add(t_apply.elapsed().as_nanos() as u64);
+            shared.metrics.flush_rows.add(applied);
+            rec.record_completed(Phase::FlushApply, t_apply, SpanArgs::one("rows", applied));
             // Wake trainers blocked on the wait condition.
             shared.flush_cv.notify_all();
         }
@@ -342,6 +398,7 @@ fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
 /// One training process (paper §3.2): the per-GPU loop.
 fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
     let cfg = shared.cfg;
+    let rec = cfg.telemetry.recorder(format!("trainer-{g}"));
     let dim = shared.model.dim();
     let n = cfg.n_gpus();
     let n_keys = shared.workload.n_keys();
@@ -379,19 +436,47 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
                         .iter()
                         .any(|p| p.load(Ordering::Acquire) <= s)
             };
-            while blocked(shared) {
-                let mut guard = shared.flush_mutex.lock();
-                if !blocked(shared) {
-                    break;
+            if blocked(shared) {
+                // Stall attribution: what is this wait blocked *on*? The
+                // priority (deadline step) at the queue's top and the
+                // outstanding flush backlog at wait entry.
+                let top = shared.pq.top_priority();
+                let pending = shared.gstore.pending_keys() as u64;
+                let span = rec.span_with(
+                    Phase::P2fWait,
+                    SpanArgs::two("blocking_priority", top, "pending_keys", pending),
+                );
+                while blocked(shared) {
+                    let mut guard = shared.flush_mutex.lock();
+                    if !blocked(shared) {
+                        break;
+                    }
+                    shared
+                        .flush_cv
+                        .wait_for(&mut guard, std::time::Duration::from_micros(50));
                 }
-                shared
-                    .flush_cv
-                    .wait_for(&mut guard, std::time::Duration::from_micros(50));
+                let wait_ns = span.finish();
+                if wait_ns > 0 {
+                    cfg.telemetry.record_stall(StallRecord {
+                        step: s,
+                        wait_ns,
+                        blocking_priority: top,
+                        pending_keys: pending,
+                    });
+                }
             }
         }
 
-        // Forward: resolve unique keys through cache / host memory.
-        let keys = shared.workload.keys(s, g);
+        // Sample: draw this iteration's keys from the workload.
+        let keys = {
+            let _span = rec.span(Phase::Sample);
+            shared.workload.keys(s, g)
+        };
+
+        // Forward pass 1 — cache query: dedup the batch and resolve unique
+        // keys against the local cache, collecting the ones every cache
+        // missed.
+        let cq_span = rec.span(Phase::CacheQuery);
         let mut unique: Vec<Key> = Vec::with_capacity(keys.len());
         let mut index_of: HashMap<Key, usize> = HashMap::with_capacity(keys.len());
         for &key in &keys {
@@ -401,27 +486,35 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
             });
         }
         let mut urows = vec![0.0f32; unique.len() * dim];
-        let mut host_reads = 0u64;
-        let mut fills = 0u64;
+        let mut missing: Vec<(usize, Key)> = Vec::new();
         for (i, &key) in unique.iter().enumerate() {
             let slot = &mut urows[i * dim..(i + 1) * dim];
-            let local = shared.sharding.is_local(key, g);
-            if local {
+            if shared.sharding.is_local(key, g) {
                 if let Some(row) = cache.get(&key) {
                     slot.copy_from_slice(row);
                     hits += 1;
                     continue;
                 }
             }
-            // Host read (UVA zero-copy). Verify the consistency invariant
-            // first when checking is on.
+            missing.push((i, key));
+        }
+        drop(cq_span);
+
+        // Forward pass 2 — host reads (UVA zero-copy) for the cache misses.
+        // Safe to split from pass 1: keys are unique within a step, so a
+        // row admitted here can never be queried again before the barrier.
+        let host_reads = missing.len() as u64;
+        let mut fills = 0u64;
+        let hr_span = rec.span_with(Phase::HostRead, SpanArgs::one("rows", host_reads));
+        for &(i, key) in &missing {
+            let slot = &mut urows[i * dim..(i + 1) * dim];
+            // Verify the consistency invariant first when checking is on.
             if cfg.checked && !shared.gstore.invariant_holds(key, s) {
-                shared.violations.fetch_add(1, Ordering::AcqRel);
+                shared.metrics.violations.incr();
             }
             shared.store.read_row(key, slot);
-            host_reads += 1;
             misses += 1;
-            if local && cache.admits(key) {
+            if shared.sharding.is_local(key, g) && cache.admits(key) {
                 cache.insert(key, slot.to_vec());
                 // Synchronize the cache-side optimizer with the host path's
                 // per-row state (safe: P2F guarantees this key has no
@@ -432,6 +525,8 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
                 fills += 1;
             }
         }
+        drop(hr_span);
+
         // Scatter unique rows to per-instance rows for the model.
         let mut rows = vec![0.0f32; keys.len() * dim];
         for (i, &key) in keys.iter().enumerate() {
@@ -439,6 +534,7 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
             rows[i * dim..(i + 1) * dim].copy_from_slice(&urows[u * dim..(u + 1) * dim]);
         }
 
+        let compute_span = rec.span(Phase::Compute);
         let grads = shared.model.forward_backward(g, s, &keys, &rows);
 
         // Aggregate this GPU's gradients per key in arrival order.
@@ -446,6 +542,7 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
         for (i, &key) in keys.iter().enumerate() {
             agg.add(key, &grads.emb_grads[i * dim..(i + 1) * dim]);
         }
+        drop(compute_span);
 
         // Modeled hardware times for this iteration.
         let cost = &cfg.cost;
@@ -470,18 +567,20 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
         *shared.phase_slots[g].lock() = phase.clone();
 
         if barrier.wait().is_leader() {
-            leader_step(shared, s);
+            leader_step(shared, &rec, s);
         }
         barrier.wait();
     }
 
-    shared.hits.fetch_add(hits as usize, Ordering::AcqRel);
-    shared.misses.fetch_add(misses as usize, Ordering::AcqRel);
+    shared.metrics.hits.add(hits);
+    shared.metrics.misses.add(misses);
 }
 
 /// The barrier leader's per-step work: aggregation across GPUs, g-entry
 /// registration (the paper's controller duties), and bookkeeping.
-fn leader_step(shared: &RunShared<'_>, s: u64) {
+/// `rec` is the leading trainer's recorder (the leader can change between
+/// steps, so g-entry spans land on whichever thread led the step).
+fn leader_step(shared: &RunShared<'_>, rec: &ThreadRecorder, s: u64) {
     let cfg = shared.cfg;
     let n = cfg.n_gpus();
     let dim = shared.model.dim();
@@ -530,6 +629,9 @@ fn leader_step(shared: &RunShared<'_>, s: u64) {
             sync_stall = cfg.cost.sync_flush(n_rows, n);
         }
     }
+    if cfg.flush_mode == FlushMode::P2f {
+        rec.record_completed(Phase::GEntryUpdate, t0, SpanArgs::one("rows", n_rows));
+    }
     // Convert the measured registration time to reference-machine terms:
     // divide by how much slower this host runs the canonical registration
     // probe than the reference controller (see `calibrate`). Relative
@@ -562,8 +664,7 @@ fn leader_step(shared: &RunShared<'_>, s: u64) {
     // an oversubscription factor on the leader's software time (the Fig 17
     // "too many flushing threads divert CPU" effect).
     let cores = cfg.cost.topology().host().cpu_cores.max(1);
-    let oversub =
-        ((n + cfg.flush_threads + 2) as f64 / cores as f64).max(1.0);
+    let oversub = ((n + cfg.flush_threads + 2) as f64 / cores as f64).max(1.0);
     it.other += gentry_time * oversub + cfg.cost.framework_frugal();
     let hw_time = it.comm + it.host_dram + it.cache + it.other;
     it.stall = match cfg.flush_mode {
@@ -585,7 +686,7 @@ fn leader_step(shared: &RunShared<'_>, s: u64) {
                 }
             }
         }
-        shared.blocking_rows_next.store(blocked, Ordering::Release);
+        shared.metrics.blocking_rows_next.set(blocked as i64);
     }
     shared.iters.lock().push((it, loss_sum / n as f32));
 }
@@ -610,23 +711,19 @@ fn virtual_stall(shared: &RunShared<'_>, s: u64) -> Nanos {
         return Nanos::ZERO;
     }
     let cfg = shared.cfg;
-    let blocking = shared.blocking_rows_next.load(Ordering::Acquire);
+    let blocking = shared.metrics.blocking_rows_next.get().max(0) as u64;
     if blocking == 0 {
         return Nanos::ZERO;
     }
-    let rows = shared.flush_rows.load(Ordering::Acquire).max(1);
+    let rows = shared.metrics.flush_rows.get().max(1);
     // Measured per-row flusher costs, normalized to reference-machine terms
     // like the g-entry registration time (same calibration ratio).
     let slowdown = crate::calibrate::host_slowdown(cfg.cost.gentry_op_reference_ns(128));
-    let deq_ns =
-        (shared.flush_dequeue_ns.load(Ordering::Acquire) as f64 / rows as f64 / slowdown) as u64;
-    let apply_ns =
-        (shared.flush_apply_ns.load(Ordering::Acquire) as f64 / rows as f64 / slowdown) as u64;
+    let deq_ns = (shared.metrics.flush_dequeue_ns.get() as f64 / rows as f64 / slowdown) as u64;
+    let apply_ns = (shared.metrics.flush_apply_ns.get() as f64 / rows as f64 / slowdown) as u64;
     let cores = cfg.cost.topology().host().cpu_cores.max(1);
     let n = cfg.n_gpus();
-    let threads = cfg
-        .flush_threads
-        .min(cores.saturating_sub(n + 1).max(1)) as u64;
+    let threads = cfg.flush_threads.min(cores.saturating_sub(n + 1).max(1)) as u64;
     let per_row_ns = if shared.pq.dequeue_serializes() {
         // Dequeues funnel through one lock: they do not parallelize.
         deq_ns + apply_ns / threads

@@ -15,7 +15,7 @@
 //! priority ∞, so keeping them out changes no observable behaviour.
 
 use frugal_data::Key;
-use frugal_pq::{PriorityQueue, Priority, INFINITE};
+use frugal_pq::{Priority, PriorityQueue, INFINITE};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -159,13 +159,9 @@ impl GEntryStore {
     /// The current priority of `key`'s entry, if it exists (tests only).
     pub fn priority_of(&self, key: Key) -> Option<Priority> {
         let shard = self.shard(key).lock();
-        shard.get(&key).map(|e| {
-            if e.in_pq {
-                e.priority
-            } else {
-                INFINITE
-            }
-        })
+        shard
+            .get(&key)
+            .map(|e| if e.in_pq { e.priority } else { INFINITE })
     }
 
     /// True if `key` currently has pending writes (tests and invariant

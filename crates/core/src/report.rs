@@ -1,6 +1,7 @@
 //! Training-run reports.
 
 use frugal_sim::{IterBreakdown, Nanos, RunStats};
+use frugal_telemetry::TelemetrySummary;
 
 /// Everything a finished training run reports — the quantities the paper's
 /// evaluation plots.
@@ -8,13 +9,17 @@ use frugal_sim::{IterBreakdown, Nanos, RunStats};
 pub struct TrainReport {
     /// Per-iteration time breakdowns (modeled hardware + measured stall).
     pub stats: RunStats,
-    /// Aggregate GPU-cache hit ratio over all trainers.
+    /// Aggregate GPU-cache hit ratio over all trainers. Its denominator is
+    /// the `cache.hits` + `cache.misses` telemetry counters.
     pub hit_ratio: f64,
-    /// Mean per-step time to register a batch's g-entry updates
-    /// (Exp #4a's metric); zero for engines without g-entries.
+    /// Mean per-step time to register a batch's g-entry updates — the
+    /// paper's Exp #4a metric, the mean of the `leader.gentry_update_ns`
+    /// telemetry histogram. Zero for engines without g-entries.
     pub mean_gentry_update: Nanos,
-    /// Consistency-invariant violations observed on host reads
-    /// (checked mode; must be 0 unless failure injection is on).
+    /// Consistency-invariant violations observed on host reads — the
+    /// `p2f.violations` telemetry counter. Only collected in checked mode
+    /// ([`FrugalConfig::checked`](crate::FrugalConfig::checked)); must be 0
+    /// unless failure injection (`skip_wait`) is on.
     pub violations: usize,
     /// Seqlock read/write races detected by the host store (checked mode).
     pub races: usize,
@@ -22,6 +27,10 @@ pub struct TrainReport {
     pub first_loss: f32,
     /// Mean loss over the last recorded step.
     pub final_loss: f32,
+    /// Metrics, span percentiles, and stall attribution collected during
+    /// the run; `None` when the run's
+    /// [`Telemetry`](frugal_telemetry::Telemetry) handle was off.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl TrainReport {

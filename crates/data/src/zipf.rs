@@ -72,7 +72,8 @@ impl Zipf {
         }
         let h_integral_x1 = Self::h_integral(1.5, theta) - 1.0;
         let h_integral_num = Self::h_integral(n as f64 + 0.5, theta);
-        let s = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
+        let s = 2.0
+            - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
         Ok(Zipf {
             n,
             theta,

@@ -148,7 +148,11 @@ mod tests {
         agg.add(9, &[1.0]);
         agg.add(3, &[1.0]);
         agg.add(9, &[1.0]);
-        let keys: Vec<Key> = agg.into_arrival_order().into_iter().map(|(k, _)| k).collect();
+        let keys: Vec<Key> = agg
+            .into_arrival_order()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         assert_eq!(keys, vec![9, 3]);
     }
 

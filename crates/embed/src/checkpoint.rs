@@ -191,6 +191,8 @@ mod tests {
             expected: (3, 4),
         };
         assert!(e.to_string().contains("does not match"));
-        assert!(CheckpointError::BadHeader.to_string().contains("not a frugal"));
+        assert!(CheckpointError::BadHeader
+            .to_string()
+            .contains("not a frugal"));
     }
 }

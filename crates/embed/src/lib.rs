@@ -20,15 +20,15 @@
 #![warn(missing_debug_implementations)]
 
 mod agg;
-mod checkpoint;
 mod cache;
+mod checkpoint;
 mod rule;
 mod shard;
 mod store;
 
 pub use agg::GradAggregator;
-pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
 pub use cache::{CachePolicy, GpuCache, InsertOutcome};
+pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
 pub use rule::{AdagradRule, SgdRule, UpdateRule};
 pub use shard::Sharding;
 pub use store::{initial_value, HostStore};

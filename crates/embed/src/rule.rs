@@ -84,7 +84,9 @@ impl AdagradRule {
         AdagradRule {
             lr,
             eps: 1e-8,
-            shards: (0..ADAGRAD_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..ADAGRAD_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 

@@ -16,8 +16,10 @@
 //! trips.
 
 use frugal_data::Key;
+use frugal_telemetry::{Counter, Telemetry};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 fn mix(a: u64, b: u64) -> u64 {
     let mut z = a
@@ -56,6 +58,10 @@ pub struct HostStore {
     versions: Option<Box<[AtomicU64]>>,
     races: AtomicUsize,
     seed: u64,
+    /// Telemetry counters `store.row_reads` / `store.row_writes`
+    /// (None unless [`HostStore::attach_telemetry`] was called).
+    row_reads: Option<Arc<Counter>>,
+    row_writes: Option<Arc<Counter>>,
 }
 
 // SAFETY: concurrent access discipline is provided by the P²F algorithm
@@ -113,6 +119,19 @@ impl HostStore {
             versions,
             races: AtomicUsize::new(0),
             seed,
+            row_reads: None,
+            row_writes: None,
+        }
+    }
+
+    /// Attaches row-traffic counters (`store.row_reads`,
+    /// `store.row_writes`) resolved on `telemetry`. Must be called before
+    /// the store is shared across threads; a disabled telemetry handle
+    /// leaves the counters off (one branch per row access).
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        if let Some(reg) = telemetry.registry() {
+            self.row_reads = Some(reg.counter("store.row_reads"));
+            self.row_writes = Some(reg.counter("store.row_writes"));
         }
     }
 
@@ -153,6 +172,9 @@ impl HostStore {
     pub fn read_row(&self, key: Key, out: &mut [f32]) {
         assert_eq!(out.len(), self.dim, "output length != dim");
         let ptr = self.row_ptr(key);
+        if let Some(c) = &self.row_reads {
+            c.incr();
+        }
         match &self.versions {
             None => {
                 // SAFETY: P²F guarantees no concurrent writer to this row.
@@ -179,6 +201,9 @@ impl HostStore {
     /// Panics if `key` is out of range.
     pub fn write_row(&self, key: Key, f: impl FnOnce(&mut [f32])) {
         let ptr = self.row_ptr(key);
+        if let Some(c) = &self.row_writes {
+            c.incr();
+        }
         match &self.versions {
             None => {
                 // SAFETY: P²F guarantees this row has no concurrent readers

@@ -44,13 +44,23 @@ impl Dlrm {
     /// # Panics
     ///
     /// Panics if the widths don't satisfy the conditions above.
-    pub fn new(trace: RecTrace, dims: &[usize], dense_lr: f32, seed: u64, compute_dense: bool) -> Self {
+    pub fn new(
+        trace: RecTrace,
+        dims: &[usize],
+        dense_lr: f32,
+        seed: u64,
+        compute_dense: bool,
+    ) -> Self {
         assert_eq!(
             dims[0],
             trace.spec().embedding_dim as usize,
             "MLP input width must match the embedding dimension"
         );
-        assert_eq!(*dims.last().expect("non-empty dims"), 1, "CTR head is 1-wide");
+        assert_eq!(
+            *dims.last().expect("non-empty dims"),
+            1,
+            "CTR head is 1-wide"
+        );
         let n = trace.n_gpus();
         Dlrm {
             mlp: Mutex::new(Mlp::new(dims, seed)),
@@ -199,7 +209,10 @@ impl EmbeddingModel for Dlrm {
     }
 
     fn dense_param_bytes(&self) -> u64 {
-        self.dims.windows(2).map(|w| (w[0] * w[1] + w[1]) as u64 * 4).sum()
+        self.dims
+            .windows(2)
+            .map(|w| (w[0] * w[1] + w[1]) as u64 * 4)
+            .sum()
     }
 }
 

@@ -54,6 +54,9 @@ impl KgScorer {
     }
 }
 
+/// Per-GPU stashed relation gradients: `(relation key, gradient)`.
+type RelGrads = Vec<(Key, Vec<f32>)>;
+
 /// A knowledge-graph embedding model over a [`KgTrace`].
 #[derive(Debug)]
 pub struct KgModel {
@@ -62,7 +65,7 @@ pub struct KgModel {
     dim: usize,
     margin: f32,
     relations: Mutex<Vec<f32>>,
-    rel_stash: Mutex<Vec<Option<Vec<(Key, Vec<f32>)>>>>,
+    rel_stash: Mutex<Vec<Option<RelGrads>>>,
     rel_lr: f32,
     compute: bool,
 }
@@ -78,7 +81,11 @@ impl KgModel {
     pub fn new(scorer: KgScorer, trace: KgTrace, seed: u64, compute: bool) -> Self {
         let dim = trace.spec().embedding_dim as usize;
         if matches!(scorer, KgScorer::ComplEx | KgScorer::SimplE) {
-            assert!(dim % 2 == 0, "{} needs an even dimension", scorer.name());
+            assert!(
+                dim.is_multiple_of(2),
+                "{} needs an even dimension",
+                scorer.name()
+            );
         }
         let n_rel = trace.spec().n_relations;
         let mut relations = Vec::with_capacity(n_rel as usize * dim);

@@ -17,5 +17,5 @@ mod kg;
 mod metrics;
 
 pub use dlrm::Dlrm;
-pub use metrics::{auc, hits_at_k};
 pub use kg::{KgModel, KgScorer};
+pub use metrics::{auc, hits_at_k};

@@ -24,6 +24,6 @@ mod treeheap;
 mod two_level;
 
 pub use lockfree_set::LockFreeSet;
-pub use queue::{PriorityQueue, Priority, INFINITE};
+pub use queue::{PqProbes, Priority, PriorityQueue, INFINITE};
 pub use treeheap::TreeHeap;
 pub use two_level::TwoLevelPq;

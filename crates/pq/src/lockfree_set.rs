@@ -81,7 +81,9 @@ impl Default for LockFreeSet {
 
 impl std::fmt::Debug for LockFreeSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LockFreeSet").field("len", &self.len()).finish()
+        f.debug_struct("LockFreeSet")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

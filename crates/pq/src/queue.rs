@@ -14,6 +14,7 @@
 //! inconsistent g-entry by comparing its priority with the priority of the
 //! hash table in which it resides").
 
+use frugal_telemetry::{Probe, Telemetry};
 use std::fmt::Debug;
 
 /// A training-step priority. Smaller = flushed sooner.
@@ -21,6 +22,31 @@ pub type Priority = u64;
 
 /// The ∞ priority of Equation (1): entries that no upcoming step reads.
 pub const INFINITE: Priority = u64::MAX;
+
+/// Latency probes for the PQ operations on the g-entry critical path
+/// (the ops Exp #4a measures). Disabled probes cost one branch per op.
+#[derive(Debug, Clone, Default)]
+pub struct PqProbes {
+    /// Histogram `pq.enqueue_ns`: one [`PriorityQueue::enqueue`] call.
+    pub enqueue: Probe,
+    /// Histogram `pq.adjust_ns`: one [`PriorityQueue::adjust`] call.
+    pub adjust: Probe,
+    /// Histogram `pq.dequeue_ns`: one [`PriorityQueue::dequeue_batch`]
+    /// call (a whole batch, not per entry).
+    pub dequeue: Probe,
+}
+
+impl PqProbes {
+    /// Resolves the three probes on `telemetry` (all disabled when
+    /// telemetry is off).
+    pub fn from_telemetry(telemetry: &Telemetry) -> Self {
+        PqProbes {
+            enqueue: telemetry.probe("pq.enqueue_ns"),
+            adjust: telemetry.probe("pq.adjust_ns"),
+            dequeue: telemetry.probe("pq.dequeue_ns"),
+        }
+    }
+}
 
 /// A concurrent priority queue of g-entry keys.
 pub trait PriorityQueue: Send + Sync + Debug {
@@ -48,6 +74,11 @@ pub trait PriorityQueue: Send + Sync + Debug {
     /// (`current_step + L` — the scan-range compression of §3.4).
     /// Implementations may ignore it.
     fn set_upper_bound(&self, upper: Priority);
+
+    /// Attaches per-operation latency probes resolved on `telemetry`
+    /// (see [`PqProbes`]). Engines call this once, before sharing the
+    /// queue across threads. The default implementation ignores it.
+    fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
 
     /// True if concurrent dequeues serialize on shared state (a global or
     /// near-root lock). A tree heap funnels every dequeue through the root;

@@ -11,7 +11,8 @@
 //! A single lock models the serialization that near-root contention imposes
 //! on lock-per-node heaps: every operation still passes through the root.
 
-use crate::queue::{PriorityQueue, Priority, INFINITE};
+use crate::queue::{PqProbes, Priority, PriorityQueue, INFINITE};
+use frugal_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -41,6 +42,7 @@ pub struct TreeHeap {
     /// reproduce the lock *traffic* of the paper's baseline, which is where
     /// its O(log N) software cost lives.
     level_locks: Vec<AtomicBool>,
+    probes: PqProbes,
 }
 
 impl Default for TreeHeap {
@@ -48,6 +50,7 @@ impl Default for TreeHeap {
         TreeHeap {
             heap: Mutex::new(BinaryHeap::new()),
             level_locks: (0..MAX_LEVELS).map(|_| AtomicBool::new(false)).collect(),
+            probes: PqProbes::default(),
         }
     }
 }
@@ -76,6 +79,7 @@ impl TreeHeap {
 
 impl PriorityQueue for TreeHeap {
     fn enqueue(&self, key: u64, priority: Priority) {
+        let _t = self.probes.enqueue.timer();
         let mut heap = self.heap.lock();
         heap.push(Reverse((priority, key)));
         let len = heap.len();
@@ -86,6 +90,7 @@ impl PriorityQueue for TreeHeap {
     fn adjust(&self, key: u64, _old: Priority, new: Priority) {
         // Lazy invalidation: the copy at the old priority becomes stale and
         // is discarded by the caller's validation on dequeue.
+        let _t = self.probes.adjust.timer();
         let mut heap = self.heap.lock();
         heap.push(Reverse((new, key)));
         let len = heap.len();
@@ -94,6 +99,7 @@ impl PriorityQueue for TreeHeap {
     }
 
     fn dequeue_batch(&self, max: usize, out: &mut Vec<(u64, Priority)>) {
+        let _t = self.probes.dequeue.timer();
         let mut heap = self.heap.lock();
         let mut pops = 0;
         let len = heap.len();
@@ -122,6 +128,10 @@ impl PriorityQueue for TreeHeap {
 
     fn set_upper_bound(&self, _upper: Priority) {
         // Scan-range compression is a two-level-PQ concept; nothing to do.
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.probes = PqProbes::from_telemetry(telemetry);
     }
 
     fn dequeue_serializes(&self) -> bool {

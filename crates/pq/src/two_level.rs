@@ -14,7 +14,8 @@
 //! `L` steps ahead.
 
 use crate::lockfree_set::LockFreeSet;
-use crate::queue::{PriorityQueue, Priority, INFINITE};
+use crate::queue::{PqProbes, Priority, PriorityQueue, INFINITE};
+use frugal_telemetry::Telemetry;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The paper's two-level concurrent priority queue.
@@ -46,6 +47,7 @@ pub struct TwoLevelPq {
     /// Upper bound of live finite priorities (`current_step + L`).
     upper: AtomicU64,
     len: AtomicUsize,
+    probes: PqProbes,
 }
 
 impl std::fmt::Debug for TwoLevelPq {
@@ -53,7 +55,10 @@ impl std::fmt::Debug for TwoLevelPq {
         f.debug_struct("TwoLevelPq")
             .field("max_step", &self.max_step)
             .field("len", &self.len())
-            .field("lower", &(self.lower_epoch.load(Ordering::Relaxed) & LOWER_MASK))
+            .field(
+                "lower",
+                &(self.lower_epoch.load(Ordering::Relaxed) & LOWER_MASK),
+            )
             .field("upper", &self.upper.load(Ordering::Relaxed))
             .finish()
     }
@@ -82,6 +87,7 @@ impl TwoLevelPq {
             lower_epoch: AtomicU64::new(0),
             upper: AtomicU64::new(max_step),
             len: AtomicUsize::new(0),
+            probes: PqProbes::default(),
         }
     }
 
@@ -94,7 +100,11 @@ impl TwoLevelPq {
         if p == INFINITE {
             (self.max_step + 1) as usize
         } else {
-            assert!(p <= self.max_step, "priority {p} > max_step {}", self.max_step);
+            assert!(
+                p <= self.max_step,
+                "priority {p} > max_step {}",
+                self.max_step
+            );
             p as usize
         }
     }
@@ -165,31 +175,37 @@ impl TwoLevelPq {
 
 impl PriorityQueue for TwoLevelPq {
     fn enqueue(&self, key: u64, priority: Priority) {
-        self.buckets[self.bucket_index(priority)].insert(key);
-        self.len.fetch_add(1, Ordering::AcqRel);
-        self.note_insert(priority);
+        self.probes.enqueue.time(|| {
+            self.buckets[self.bucket_index(priority)].insert(key);
+            self.len.fetch_add(1, Ordering::AcqRel);
+            self.note_insert(priority);
+        })
     }
 
     fn adjust(&self, key: u64, old: Priority, new: Priority) {
         if old == new {
             return;
         }
-        // Paper ordering: insert into the new bucket first so dequeuers can
-        // never miss the entry, then delete from the old bucket. A dequeuer
-        // that grabbed the old copy will fail caller-side validation.
-        self.buckets[self.bucket_index(new)].insert(key);
-        self.note_insert(new);
-        if !self.buckets[self.bucket_index(old)].remove(key) {
-            // A dequeuer already took the old copy (and decremented len for
-            // it); our insert added a live copy, so account for it.
-            self.len.fetch_add(1, Ordering::AcqRel);
-        }
+        self.probes.adjust.time(|| {
+            // Paper ordering: insert into the new bucket first so dequeuers
+            // can never miss the entry, then delete from the old bucket. A
+            // dequeuer that grabbed the old copy will fail caller-side
+            // validation.
+            self.buckets[self.bucket_index(new)].insert(key);
+            self.note_insert(new);
+            if !self.buckets[self.bucket_index(old)].remove(key) {
+                // A dequeuer already took the old copy (and decremented len
+                // for it); our insert added a live copy, so account for it.
+                self.len.fetch_add(1, Ordering::AcqRel);
+            }
+        })
     }
 
     fn dequeue_batch(&self, max: usize, out: &mut Vec<(u64, Priority)>) {
         if max == 0 {
             return;
         }
+        let _t = self.probes.dequeue.timer();
         let mut taken = 0;
         let mut keys = Vec::new();
         let seen = self.lower_epoch.load(Ordering::Acquire);
@@ -222,9 +238,7 @@ impl PriorityQueue for TwoLevelPq {
         // any insert raced the scan).
         match first_live {
             Some(fp) => self.raise_lower(seen, fp),
-            None if taken == 0 => {
-                self.raise_lower(seen, end.saturating_add(1).min(self.max_step))
-            }
+            None if taken == 0 => self.raise_lower(seen, end.saturating_add(1).min(self.max_step)),
             None => {}
         }
         // Interval ② of the paper's scan: the ∞ bucket.
@@ -259,6 +273,10 @@ impl PriorityQueue for TwoLevelPq {
     fn set_upper_bound(&self, upper: Priority) {
         self.upper
             .store(upper.min(self.max_step), Ordering::Release);
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.probes = PqProbes::from_telemetry(telemetry);
     }
 
     fn len(&self) -> usize {

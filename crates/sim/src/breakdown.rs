@@ -121,6 +121,31 @@ impl RunStats {
         self.mean().stall
     }
 
+    /// Nearest-rank percentile (`0 < q <= 1`) of total iteration time —
+    /// `total_percentile(0.5)` is the median iteration. Tail iterations
+    /// dominate perceived training speed, so benches report p95/p99
+    /// alongside means. Returns zero if nothing was recorded.
+    pub fn total_percentile(&self, q: f64) -> Nanos {
+        Self::percentile(self.iters.iter().map(|it| it.total()).collect(), q)
+    }
+
+    /// Nearest-rank percentile (`0 < q <= 1`) of per-iteration stall time
+    /// (the Exp #2/#4 metric, `trainer.p2f_wait_ns` in telemetry terms).
+    /// Returns zero if nothing was recorded.
+    pub fn stall_percentile(&self, q: f64) -> Nanos {
+        Self::percentile(self.iters.iter().map(|it| it.stall).collect(), q)
+    }
+
+    fn percentile(mut values: Vec<Nanos>, q: f64) -> Nanos {
+        assert!(q > 0.0 && q <= 1.0, "percentile q must be in (0, 1]");
+        if values.is_empty() {
+            return Nanos::ZERO;
+        }
+        values.sort();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        values[rank - 1]
+    }
+
     /// End-to-end training throughput in samples/second: the paper's
     /// headline metric ("all throughputs refer to samples per second").
     pub fn throughput(&self) -> f64 {
@@ -179,8 +204,36 @@ mod tests {
         let mut s = RunStats::new(1_000);
         s.push(it([0, 0, 0, 10, 0])); // 10 ms
         s.push(it([0, 0, 0, 10, 0])); // 10 ms
-        // 2000 samples / 20 ms = 100k samples/s
+                                      // 2000 samples / 20 ms = 100k samples/s
         assert!((s.throughput() - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut s = RunStats::new(1);
+        for ms in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            s.push(it([0, 0, 0, ms, ms / 10]));
+        }
+        assert_eq!(s.total_percentile(0.5), Nanos::from_millis(55)); // 50 + 5 stall
+        assert_eq!(s.total_percentile(0.95), Nanos::from_millis(110));
+        assert_eq!(s.total_percentile(0.99), Nanos::from_millis(110));
+        assert_eq!(s.total_percentile(1.0), Nanos::from_millis(110));
+        assert_eq!(s.stall_percentile(0.5), Nanos::from_millis(5));
+        assert_eq!(s.stall_percentile(0.99), Nanos::from_millis(10));
+    }
+
+    #[test]
+    fn percentiles_of_empty_run_are_zero() {
+        let s = RunStats::new(1);
+        assert_eq!(s.total_percentile(0.99), Nanos::ZERO);
+        assert_eq!(s.stall_percentile(0.5), Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile q must be in (0, 1]")]
+    fn percentile_rejects_bad_quantile() {
+        let s = RunStats::new(1);
+        let _ = s.total_percentile(0.0);
     }
 
     #[test]

@@ -252,8 +252,11 @@ impl CostModel {
         } else {
             // Bounced traffic crosses the root complex twice (GPU→host,
             // host→GPU), so it is the aggregate 2·n·S that contends there.
-            let curve =
-                self.a2a_eff_gbps(per_gpu_bytes, p.a2a_peak_bounce_gbps, p.a2a_half_bounce_bytes);
+            let curve = self.a2a_eff_gbps(
+                per_gpu_bytes,
+                p.a2a_peak_bounce_gbps,
+                p.a2a_half_bounce_bytes,
+            );
             let root_cap = self.topo.host().root_complex_gbps / (2.0 * n as f64);
             (p.a2a_base_bounce_us, curve.min(root_cap))
         };
@@ -308,7 +311,13 @@ impl CostModel {
     /// Time to write `rows` updated rows back to host memory through `path`.
     /// Writes mirror reads: the CPU-involved path stages and DMAs out, UVA
     /// stores go straight to DRAM, UVM dirties pages that must migrate back.
-    pub fn host_write(&self, path: HostPath, rows: u64, row_bytes: u64, concurrent: usize) -> Nanos {
+    pub fn host_write(
+        &self,
+        path: HostPath,
+        rows: u64,
+        row_bytes: u64,
+        concurrent: usize,
+    ) -> Nanos {
         // Symmetric with reads in this model; the real asymmetries (write
         // combining, page dirtying) are second-order for the paper's story.
         self.host_read(path, rows, row_bytes, concurrent)
@@ -467,11 +476,7 @@ mod tests {
         // Fig 10's y-axis tops out around 250 µs at batch 2048.
         let m = commodity4();
         let cpu = m.host_read(HostPath::CpuInvolved, 2048, 128, 1);
-        assert!(
-            (150.0..350.0).contains(&cpu.as_micros_f64()),
-            "cpu {}",
-            cpu
-        );
+        assert!((150.0..350.0).contains(&cpu.as_micros_f64()), "cpu {}", cpu);
     }
 
     #[test]

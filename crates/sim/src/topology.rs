@@ -240,8 +240,10 @@ mod tests {
 
     #[test]
     fn with_host_overrides() {
-        let mut h = HostSpec::default();
-        h.root_complex_gbps = 1.0;
+        let h = HostSpec {
+            root_complex_gbps: 1.0,
+            ..Default::default()
+        };
         let t = Topology::commodity(2).with_host(h.clone());
         assert_eq!(t.host(), &h);
     }

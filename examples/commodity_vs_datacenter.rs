@@ -61,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         commodity_old_report.throughput(),
         cm_price,
     );
-    row("Frugal on 4x RTX 3090", frugal_report.throughput(), cm_price);
+    row(
+        "Frugal on 4x RTX 3090",
+        frugal_report.throughput(),
+        cm_price,
+    );
 
     let thr_ratio = frugal_report.throughput() / dc_report.throughput();
     let cost_eff = (frugal_report.throughput() / cm_price) / (dc_report.throughput() / dc_price);

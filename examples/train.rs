@@ -8,6 +8,14 @@
 //! cargo run --release --example train -- --workload micro --system pytorch \
 //!     --datacenter --cache-ratio 0.10
 //! ```
+//!
+//! Set `FRUGAL_TRACE=<path>` to enable telemetry: the run prints its metric
+//! summary and writes a Chrome trace-event file (load it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>):
+//!
+//! ```sh
+//! FRUGAL_TRACE=trace.json cargo run --release --example train
+//! ```
 
 use frugal::baselines::{BaselineConfig, BaselineEngine, BaselineKind};
 use frugal::core::{
@@ -18,6 +26,7 @@ use frugal::data::{
 };
 use frugal::models::{Dlrm, KgModel, KgScorer};
 use frugal::sim::Topology;
+use frugal::telemetry::Telemetry;
 
 #[derive(Debug)]
 struct Args {
@@ -56,16 +65,36 @@ impl Args {
             match argv[i].as_str() {
                 "--workload" => args.workload = take(&argv, i, "--workload")?,
                 "--system" => args.system = take(&argv, i, "--system")?,
-                "--gpus" => args.gpus = take(&argv, i, "--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
-                "--batch" => args.batch = take(&argv, i, "--batch")?.parse().map_err(|e| format!("--batch: {e}"))?,
-                "--steps" => args.steps = take(&argv, i, "--steps")?.parse().map_err(|e| format!("--steps: {e}"))?,
+                "--gpus" => {
+                    args.gpus = take(&argv, i, "--gpus")?
+                        .parse()
+                        .map_err(|e| format!("--gpus: {e}"))?
+                }
+                "--batch" => {
+                    args.batch = take(&argv, i, "--batch")?
+                        .parse()
+                        .map_err(|e| format!("--batch: {e}"))?
+                }
+                "--steps" => {
+                    args.steps = take(&argv, i, "--steps")?
+                        .parse()
+                        .map_err(|e| format!("--steps: {e}"))?
+                }
                 "--cache-ratio" => {
-                    args.cache_ratio = take(&argv, i, "--cache-ratio")?.parse().map_err(|e| format!("--cache-ratio: {e}"))?
+                    args.cache_ratio = take(&argv, i, "--cache-ratio")?
+                        .parse()
+                        .map_err(|e| format!("--cache-ratio: {e}"))?
                 }
                 "--flush-threads" => {
-                    args.flush_threads = take(&argv, i, "--flush-threads")?.parse().map_err(|e| format!("--flush-threads: {e}"))?
+                    args.flush_threads = take(&argv, i, "--flush-threads")?
+                        .parse()
+                        .map_err(|e| format!("--flush-threads: {e}"))?
                 }
-                "--keys" => args.keys = take(&argv, i, "--keys")?.parse().map_err(|e| format!("--keys: {e}"))?,
+                "--keys" => {
+                    args.keys = take(&argv, i, "--keys")?
+                        .parse()
+                        .map_err(|e| format!("--keys: {e}"))?
+                }
                 "--datacenter" => {
                     args.datacenter = true;
                     i += 1;
@@ -91,6 +120,7 @@ fn run(
     args: &Args,
     workload: &dyn Workload,
     model: &dyn EmbeddingModel,
+    telemetry: &Telemetry,
 ) -> Result<TrainReport, String> {
     let topology = if args.datacenter {
         Topology::datacenter(args.gpus)
@@ -103,6 +133,7 @@ fn run(
             cfg.cost = frugal::sim::CostModel::new(topology);
             cfg.cache_ratio = args.cache_ratio;
             cfg.flush_threads = args.flush_threads;
+            cfg.telemetry = telemetry.clone();
             if args.system == "frugal-sync" {
                 cfg = cfg.write_through();
             }
@@ -117,6 +148,7 @@ fn run(
                 _ => BaselineKind::Uvm,
             };
             cfg.cache_ratio = args.cache_ratio;
+            cfg.telemetry = telemetry.clone();
             let engine = BaselineEngine::new(cfg, workload.n_keys(), model.dim());
             Ok(engine.run(workload, model))
         }
@@ -127,6 +159,13 @@ fn run(
 fn main() -> Result<(), String> {
     let args = Args::parse()?;
     println!("{args:?}\n");
+
+    let trace_path = std::env::var("FRUGAL_TRACE").ok();
+    let telemetry = if trace_path.is_some() {
+        Telemetry::new()
+    } else {
+        Telemetry::off()
+    };
 
     let report = match args.workload.as_str() {
         "micro" => {
@@ -139,7 +178,7 @@ fn main() -> Result<(), String> {
             )
             .map_err(|e| e.to_string())?;
             let model = PullToTarget::new(32, 7);
-            run(&args, &trace, &model)?
+            run(&args, &trace, &model, &telemetry)?
         }
         "rec" => {
             let spec = RecDatasetSpec::avazu().scaled_to_ids(args.keys);
@@ -147,14 +186,14 @@ fn main() -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             let dim = spec.embedding_dim as usize;
             let model = Dlrm::new(trace.clone(), &[dim, 512, 512, 256, 1], 0.01, 7, false);
-            run(&args, &trace, &model)?
+            run(&args, &trace, &model, &telemetry)?
         }
         "kg" => {
             let spec = KgDatasetSpec::freebase().scaled_to_entities(args.keys.min(200_000));
-            let trace = KgTrace::new(spec.clone(), args.batch, args.gpus, 42)
-                .map_err(|e| e.to_string())?;
+            let trace =
+                KgTrace::new(spec.clone(), args.batch, args.gpus, 42).map_err(|e| e.to_string())?;
             let model = KgModel::new(KgScorer::TransE, trace.clone(), 7, false);
-            run(&args, &trace, &model)?
+            run(&args, &trace, &model, &telemetry)?
         }
         other => return Err(format!("unknown workload {other}")),
     };
@@ -169,7 +208,19 @@ fn main() -> Result<(), String> {
     println!("  other     {}", m.other);
     println!("  stall     {}", m.stall);
     if report.mean_gentry_update.as_nanos() > 0 {
-        println!("g-entry updates  {:>12} per step", report.mean_gentry_update.to_string());
+        println!(
+            "g-entry updates  {:>12} per step",
+            report.mean_gentry_update.to_string()
+        );
+    }
+    if let Some(summary) = &report.telemetry {
+        println!("\ntelemetry:\n{}", summary.render());
+    }
+    if let Some(path) = &trace_path {
+        telemetry
+            .write_chrome_trace(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("Chrome trace written to {path} (open in chrome://tracing)");
     }
     Ok(())
 }

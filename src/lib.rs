@@ -13,6 +13,8 @@
 //!   Frugal / Frugal-Sync training engines.
 //! * [`baselines`] — PyTorch-, HugeCTR-, DGL-KE- and UVM-like comparators.
 //! * [`models`] — DLRM and the knowledge-graph scorers.
+//! * [`telemetry`] — dependency-free metrics, phase spans, and Chrome-trace
+//!   export for all of the above.
 
 #![warn(missing_docs)]
 
@@ -23,4 +25,5 @@ pub use frugal_embed as embed;
 pub use frugal_models as models;
 pub use frugal_pq as pq;
 pub use frugal_sim as sim;
+pub use frugal_telemetry as telemetry;
 pub use frugal_tensor as tensor;

@@ -49,7 +49,11 @@ fn all_engines_agree_bitwise() {
             (0..N_KEYS).map(|k| engine.store().row_vec(k)).collect(),
         ));
     }
-    for kind in [BaselineKind::NoCache, BaselineKind::Cached, BaselineKind::Uvm] {
+    for kind in [
+        BaselineKind::NoCache,
+        BaselineKind::Cached,
+        BaselineKind::Uvm,
+    ] {
         let mut cfg = BaselineConfig::pytorch(Topology::commodity(2), STEPS);
         cfg.kind = kind;
         cfg.cache_ratio = 0.1;
@@ -128,7 +132,11 @@ fn deferred_updates_are_never_lost() {
     engine.run(&t, &model);
     let serial = train_serial(&t, &model, STEPS, 0.1, 42);
     for k in 0..5_000 {
-        assert_eq!(engine.store().row_vec(k), serial.store.row_vec(k), "key {k}");
+        assert_eq!(
+            engine.store().row_vec(k),
+            serial.store.row_vec(k),
+            "key {k}"
+        );
     }
 }
 
@@ -143,7 +151,11 @@ fn flush_thread_count_does_not_affect_parameters() {
         cfg.flush_threads = threads;
         let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
         engine.run(&t, &model);
-        results.push((0..N_KEYS).map(|k| engine.store().row_vec(k)).collect::<Vec<_>>());
+        results.push(
+            (0..N_KEYS)
+                .map(|k| engine.store().row_vec(k))
+                .collect::<Vec<_>>(),
+        );
     }
     assert_eq!(results[0], results[1]);
     assert_eq!(results[1], results[2]);

@@ -75,9 +75,7 @@ fn dlrm_depth_sweep_runs() {
     let trace = small_rec_trace(2, 32);
     for depth in [2usize, 4, 6] {
         let mut dims = vec![8usize];
-        for _ in 0..depth.saturating_sub(2) {
-            dims.push(16);
-        }
+        dims.extend(std::iter::repeat_n(16, depth.saturating_sub(2)));
         dims.push(8);
         dims.push(1);
         let model = Dlrm::new(trace.clone(), &dims, 0.05, 3, true);

@@ -1,0 +1,111 @@
+//! Integration tests for the telemetry pipeline: registry counters must
+//! agree with the engine's own report, and the exported Chrome trace must
+//! be well-formed without any external JSON library.
+
+use frugal::core::{FrugalConfig, FrugalEngine, PullToTarget};
+use frugal::data::{KeyDistribution, SyntheticTrace};
+use frugal::telemetry::json::{self, Json};
+use frugal::telemetry::Telemetry;
+
+/// One checked-mode 2-GPU run with telemetry attached.
+fn instrumented_run(telemetry: &Telemetry) -> frugal::core::TrainReport {
+    let trace = SyntheticTrace::new(5_000, KeyDistribution::Zipf(0.9), 64, 2, 31).unwrap();
+    let model = PullToTarget::new(8, 3);
+    let mut cfg = FrugalConfig::commodity(2, 25)
+        .checked()
+        .with_telemetry(telemetry.clone());
+    cfg.flush_threads = 2;
+    cfg.cache_ratio = 0.02;
+    let engine = FrugalEngine::new(cfg, trace.n_keys(), 8);
+    engine.run(&trace, &model)
+}
+
+#[test]
+fn registry_counters_match_the_report() {
+    let telemetry = Telemetry::new();
+    let report = instrumented_run(&telemetry);
+    let summary = report.telemetry.as_ref().expect("telemetry was on");
+
+    let hits = summary.counter("cache.hits").expect("cache.hits");
+    let misses = summary.counter("cache.misses").expect("cache.misses");
+    assert!(hits + misses > 0, "the run looked up keys");
+
+    // hit_ratio is defined as hits over the same two counters.
+    let expected = hits as f64 / (hits + misses) as f64;
+    assert!(
+        (report.hit_ratio - expected).abs() < 1e-12,
+        "hit_ratio {} != {hits}/({hits}+{misses})",
+        report.hit_ratio
+    );
+
+    // Checked mode with no failure injection: the P2F invariant holds.
+    assert_eq!(summary.counter("p2f.violations"), Some(0));
+    assert_eq!(report.violations, 0);
+
+    // Every cache miss reads one host row.
+    assert_eq!(summary.counter("store.row_reads"), Some(misses));
+
+    // Each of the 2 trainers timed every phase of every step.
+    let compute = summary.histogram("trainer.compute_ns").expect("compute");
+    assert_eq!(compute.count, 2 * 25);
+}
+
+#[test]
+fn chrome_trace_is_valid_balanced_and_monotonic() {
+    let telemetry = Telemetry::new();
+    instrumented_run(&telemetry);
+    let doc = telemetry.chrome_trace_json().expect("telemetry was on");
+
+    let root = json::parse(&doc).expect("trace must be valid JSON");
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Count B/E per thread and check per-thread ts never goes backwards.
+    let mut open: Vec<(f64, i64, i64)> = Vec::new(); // (last_ts, depth, tid)
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        if ph == "M" {
+            continue; // thread_name metadata carries no ts
+        }
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as i64;
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        let slot = match open.iter_mut().find(|(_, _, t)| *t == tid) {
+            Some(s) => s,
+            None => {
+                open.push((f64::MIN, 0, tid));
+                open.last_mut().unwrap()
+            }
+        };
+        assert!(
+            ts >= slot.0,
+            "thread {tid}: ts went backwards ({ts} < {})",
+            slot.0
+        );
+        slot.0 = ts;
+        match ph {
+            "B" => slot.1 += 1,
+            "E" => slot.1 -= 1,
+            other => panic!("unexpected phase {other}"),
+        }
+        assert!(slot.1 >= 0, "thread {tid}: E without matching B");
+    }
+    assert!(open.len() >= 2, "at least the two trainer threads traced");
+    for (_, depth, tid) in &open {
+        assert_eq!(*depth, 0, "thread {tid}: unbalanced B/E events");
+    }
+}
+
+#[test]
+fn disabled_telemetry_stays_dark() {
+    let telemetry = Telemetry::off();
+    let report = instrumented_run(&telemetry);
+    assert!(report.telemetry.is_none());
+    assert!(telemetry.chrome_trace_json().is_none());
+    assert!(telemetry.metrics_jsonl().is_none());
+    assert!(!telemetry
+        .write_chrome_trace("/nonexistent/should-not-write")
+        .unwrap_or(true));
+}

@@ -1,0 +1,321 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A small but *measuring* bench harness: it warms up, sizes iteration
+//! counts to the configured measurement time, runs the configured number
+//! of samples, and prints mean / min / max ns-per-iteration for each
+//! benchmark. No statistics beyond that — no outlier analysis, no HTML
+//! reports, no baselines. See `vendor/README.md` for why external
+//! dependencies are vendored.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (ignored by this shim: every batch
+/// is one routine call, which matches `LargeInput` semantics and is
+/// correct — if slightly slower to run — for the others).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup dominates; one call per batch).
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `{function_id}/{parameter}`.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_id.into()),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall time budgeted for measurement per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall time budgeted for warm-up per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        self.run_one(&name, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(name);
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&name, f);
+        self
+    }
+
+    /// Ends the group (printing happens per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` with no per-iteration setup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            let t0 = Instant::now();
+            black_box(routine());
+            t0.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            t0.elapsed()
+        });
+    }
+
+    /// Shared engine: `timed_call` performs one iteration and returns the
+    /// on-clock duration of that iteration.
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_call: F) {
+        // Warm-up, and a per-iteration cost estimate from its tail.
+        let warm_start = Instant::now();
+        let mut est = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            est += timed_call();
+            warm_iters += 1;
+        }
+        let per_iter = est / warm_iters.max(1) as u32;
+
+        // Size samples so the whole measurement fits the time budget.
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        self.samples_ns.clear();
+        self.iters = iters_per_sample;
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                total += timed_call();
+            }
+            self.samples_ns
+                .push(total.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} no samples collected");
+            return;
+        }
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let min = self
+            .samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .samples_ns
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            self.samples_ns.len(),
+            self.iters,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a bench group function, optionally with a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main()` running the given groups (ignores harness CLI args).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 128],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repo derives `Serialize`/`Deserialize` on a few spec structs for
+//! forward compatibility but never drives them through a serde
+//! serializer (telemetry hand-rolls its JSON; checkpoints use a framed
+//! binary format). This shim keeps those derives compiling offline:
+//! marker traits plus no-op derive macros of the same names. See
+//! `crates/vendor/README.md`.
+
+#![warn(missing_docs)]
+
+/// Marker for types declared serializable. No serializer exists in this
+/// offline build, so the trait carries no methods.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable (no methods; see
+/// [`Serialize`]).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

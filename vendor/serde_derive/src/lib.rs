@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The repo only *derives* `Serialize`/`Deserialize` on a handful of spec
+//! structs and never serializes them through serde (the telemetry layer
+//! hand-rolls its JSON). These derives therefore expand to nothing: the
+//! attribute stays valid, no code is generated, and the shim needs no
+//! parser. See `crates/vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
