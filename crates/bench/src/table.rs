@@ -134,10 +134,14 @@ pub fn telemetry_table(title: impl Into<String>, summary: &TelemetrySummary) -> 
 }
 
 /// Formats a samples/second throughput compactly (e.g. `1.25M`, `310k`).
+///
+/// Unit thresholds sit at the value where the smaller unit would *round*
+/// into the larger one, not at the unit boundary itself: `999_500` prints
+/// `1.00M` (never `1000k`), and `999.95` prints `1k` (never `1000.0`).
 pub fn fmt_throughput(v: f64) -> String {
-    if v >= 1e6 {
+    if v >= 999_500.0 {
         format!("{:.2}M", v / 1e6)
-    } else if v >= 1e3 {
+    } else if v >= 999.95 {
         format!("{:.0}k", v / 1e3)
     } else {
         format!("{v:.1}")
@@ -173,5 +177,17 @@ mod tests {
         assert_eq!(fmt_throughput(1_250_000.0), "1.25M");
         assert_eq!(fmt_throughput(310_000.0), "310k");
         assert_eq!(fmt_throughput(42.0), "42.0");
+    }
+
+    #[test]
+    fn throughput_unit_boundaries_round_up_cleanly() {
+        // Values that round to the next unit must switch units — `1000k`
+        // and `1000.0` are never valid outputs.
+        assert_eq!(fmt_throughput(999_500.0), "1.00M");
+        assert_eq!(fmt_throughput(999_499.0), "999k");
+        assert_eq!(fmt_throughput(999.95), "1k");
+        assert_eq!(fmt_throughput(999.94), "999.9");
+        assert_eq!(fmt_throughput(1_000_000.0), "1.00M");
+        assert_eq!(fmt_throughput(1_000.0), "1k");
     }
 }

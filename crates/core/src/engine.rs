@@ -27,6 +27,7 @@ use crate::config::{FlushMode, FrugalConfig, PqKind};
 use crate::gentry::GEntryStore;
 use crate::model::EmbeddingModel;
 use crate::report::TrainReport;
+use crate::wait::{self, InflightTable};
 use crate::workload::Workload;
 use frugal_data::Key;
 use frugal_embed::{GpuCache, GradAggregator, HostStore, Sharding};
@@ -35,7 +36,7 @@ use frugal_sim::{HostPath, IterBreakdown, Nanos, RunStats};
 use frugal_telemetry::{Counter, Gauge, Phase, Registry, SpanArgs, StallRecord, ThreadRecorder};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 
 use std::time::Instant;
@@ -125,12 +126,11 @@ struct RunShared<'a> {
     shutdown: AtomicBool,
     /// Named run counters (see [`RunMetrics`]).
     metrics: RunMetrics,
-    /// Per-flusher priority currently being applied to host memory
-    /// ([`frugal_pq::INFINITE`] when idle). Dequeuing removes an entry from
-    /// the queue before its row write completes, so the wait condition must
-    /// also check these slots — otherwise a trainer could read a row
-    /// mid-flush.
-    inflight: Vec<AtomicU64>,
+    /// Per-flusher in-flight markers checked by the wait condition (see
+    /// [`InflightTable`]): dequeuing removes an entry from the queue before
+    /// its row write completes, so the queue's `top_priority` alone cannot
+    /// cover it.
+    inflight: InflightTable,
 }
 
 /// The Frugal / Frugal-Sync training engine.
@@ -230,9 +230,7 @@ impl FrugalEngine {
             flush_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             metrics: RunMetrics::new(&registry),
-            inflight: (0..cfg.flush_threads)
-                .map(|_| AtomicU64::new(frugal_pq::INFINITE))
-                .collect(),
+            inflight: InflightTable::new(cfg.flush_threads),
         };
 
         // Initial sample-queue prefetch: reads of steps 0..L (paper §3.2).
@@ -331,7 +329,17 @@ fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
     loop {
         out.clear();
         let t_deq = Instant::now();
-        shared.pq.dequeue_batch(shared.cfg.flush_batch, &mut out);
+        // Guarded dequeue: the in-flight marker is published *before* each
+        // entry leaves the queue, so there is no instant at which a pending
+        // flush is visible to neither `top_priority` nor the marker scan.
+        // (Publishing after `dequeue_batch` returned — the engine's old
+        // order — left exactly that window; the schedule explorer found a
+        // trainer slipping through it. See DESIGN.md §8 race 3.)
+        shared.pq.dequeue_batch_guarded(
+            shared.cfg.flush_batch,
+            &mut out,
+            shared.inflight.guard(slot),
+        );
         if out.is_empty() {
             if shared.shutdown.load(Ordering::Acquire) && shared.gstore.pending_keys() == 0 {
                 return;
@@ -350,15 +358,6 @@ fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
             t_deq,
             SpanArgs::one("batch", out.len() as u64),
         );
-        // Publish the lowest priority this batch touches *before* claiming
-        // any writes: the wait condition must keep blocking until the rows
-        // are actually in host memory, not merely out of the queue.
-        let batch_min = out
-            .iter()
-            .map(|&(_, p)| p)
-            .min()
-            .unwrap_or(frugal_pq::INFINITE);
-        shared.inflight[slot].store(batch_min, Ordering::Release);
         let t_apply = Instant::now();
         let mut applied = 0u64;
         for &(key, bucket_p) in &out {
@@ -381,7 +380,7 @@ fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
             // Wake trainers blocked on the wait condition.
             shared.flush_cv.notify_all();
         }
-        shared.inflight[slot].store(frugal_pq::INFINITE, Ordering::Release);
+        shared.inflight.clear(slot);
         if applied > 0 {
             // Rows are now durably in host memory; wake waiters again in
             // case they blocked on the in-flight marker.
@@ -429,13 +428,8 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
         // The physical wait enforces consistency; the *reported* stall is
         // modeled by `virtual_stall` (see its docs for why).
         if cfg.flush_mode == FlushMode::P2f && !cfg.skip_wait {
-            let blocked = |shared: &RunShared<'_>| {
-                shared.pq.top_priority() <= s
-                    || shared
-                        .inflight
-                        .iter()
-                        .any(|p| p.load(Ordering::Acquire) <= s)
-            };
+            let blocked =
+                |shared: &RunShared<'_>| wait::blocked(shared.pq.as_ref(), &shared.inflight, s);
             if blocked(shared) {
                 // Stall attribution: what is this wait blocked *on*? The
                 // priority (deadline step) at the queue's top and the

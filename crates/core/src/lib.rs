@@ -17,6 +17,16 @@
 
 #![warn(missing_docs)]
 
+// Yield-point hook for the schedule-exploration harness; compiles to
+// nothing without the `sched` feature. Defined before the modules so it is
+// textually in scope throughout the crate.
+macro_rules! sched_point {
+    ($label:expr) => {{
+        #[cfg(feature = "sched")]
+        frugal_sched::yield_point($label);
+    }};
+}
+
 mod calibrate;
 mod config;
 mod engine;
@@ -24,6 +34,7 @@ mod gentry;
 mod model;
 mod report;
 mod serial;
+mod wait;
 mod workload;
 
 pub use calibrate::{host_gentry_ns, host_slowdown};
@@ -33,4 +44,5 @@ pub use gentry::{GEntryStore, PendingWrites};
 pub use model::{BatchGrads, EmbeddingModel, PullToTarget};
 pub use report::TrainReport;
 pub use serial::{train_serial, train_serial_with, SerialRun};
+pub use wait::{admits, blocked, InflightTable};
 pub use workload::Workload;

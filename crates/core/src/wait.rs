@@ -1,0 +1,124 @@
+//! The P²F wait condition (paper §3.3) and the in-flight flush table.
+//!
+//! A trainer may start step `s` only when no pending update could still be
+//! read by `s`. Two sources must both clear:
+//!
+//! 1. **Queued** entries: `PQ.top() > s` (strictly) — the queue's
+//!    conservative lower bound covers everything not yet dequeued.
+//! 2. **In-flight** entries: a flusher that dequeued a batch but has not
+//!    finished applying it to host memory holds those entries *outside*
+//!    the queue. Each flusher publishes the minimum priority of its
+//!    current batch in an [`InflightTable`] slot; the wait condition
+//!    blocks while any slot is ≤ `s`.
+//!
+//! Losing either check re-admits a historical race (DESIGN.md §8 race 2).
+//! The handoff between them is itself delicate: markers must be published
+//! *before* entries leave the queue ([`frugal_pq::PriorityQueue::dequeue_batch_guarded`]),
+//! or there is an instant where an extracted entry is covered by neither
+//! check — the dequeue-to-publish race the schedule explorer found.
+
+use frugal_pq::{PriorityQueue, INFINITE};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One marker slot per flushing thread: the minimum priority of the batch
+/// the flusher is currently moving to host memory, [`INFINITE`] when idle.
+#[derive(Debug)]
+pub struct InflightTable {
+    slots: Vec<AtomicU64>,
+}
+
+impl InflightTable {
+    /// Creates a table with `n` idle slots (one per flushing thread).
+    pub fn new(n: usize) -> Self {
+        InflightTable {
+            slots: (0..n).map(|_| AtomicU64::new(INFINITE)).collect(),
+        }
+    }
+
+    /// The raw marker slot for flusher `slot`, to be passed as the guard of
+    /// [`PriorityQueue::dequeue_batch_guarded`].
+    pub fn guard(&self, slot: usize) -> &AtomicU64 {
+        &self.slots[slot]
+    }
+
+    /// Marks flusher `slot` idle again — call only after every row of its
+    /// batch is durably in host memory.
+    pub fn clear(&self, slot: usize) {
+        self.slots[slot].store(INFINITE, Ordering::Release);
+    }
+
+    /// True if any flusher is applying a batch containing priority ≤ `step`.
+    pub fn any_at_or_below(&self, step: u64) -> bool {
+        self.slots.iter().any(|p| {
+            sched_point!("wait.inflight.slot");
+            p.load(Ordering::Acquire) <= step
+        })
+    }
+
+    /// The smallest in-flight priority across all flushers ([`INFINITE`]
+    /// when all idle).
+    pub fn min(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|p| p.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(INFINITE)
+    }
+}
+
+/// The full wait condition: true while step `s` must NOT start.
+///
+/// Checked in this order — queue first, then in-flight markers — because
+/// entries move from the queue *into* a marker: a guarded dequeue
+/// publishes the marker before extraction, so an entry missed by the
+/// `top_priority` read is already visible to the marker scan that follows.
+/// (The reverse order would be racy even with guarded dequeues.)
+pub fn blocked(pq: &dyn PriorityQueue, inflight: &InflightTable, s: u64) -> bool {
+    if pq.top_priority() <= s {
+        return true;
+    }
+    sched_point!("wait.between_checks");
+    inflight.any_at_or_below(s)
+}
+
+/// Convenience inverse of [`blocked`]: true when step `s` may start.
+pub fn admits(pq: &dyn PriorityQueue, inflight: &InflightTable, s: u64) -> bool {
+    !blocked(pq, inflight, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frugal_pq::TwoLevelPq;
+
+    #[test]
+    fn idle_table_blocks_nothing() {
+        let pq = TwoLevelPq::new(10);
+        let table = InflightTable::new(3);
+        assert_eq!(table.min(), INFINITE);
+        assert!(!table.any_at_or_below(10));
+        assert!(admits(&pq, &table, 5));
+    }
+
+    #[test]
+    fn queued_entry_blocks_its_step() {
+        let pq = TwoLevelPq::new(10);
+        pq.enqueue(1, 4);
+        let table = InflightTable::new(1);
+        assert!(blocked(&pq, &table, 4), "top == s must block (strict >)");
+        assert!(blocked(&pq, &table, 7));
+        assert!(admits(&pq, &table, 3));
+    }
+
+    #[test]
+    fn inflight_marker_blocks_like_a_queued_entry() {
+        let pq = TwoLevelPq::new(10);
+        let table = InflightTable::new(2);
+        table.guard(1).store(6, Ordering::SeqCst);
+        assert!(blocked(&pq, &table, 6));
+        assert!(admits(&pq, &table, 5));
+        assert_eq!(table.min(), 6);
+        table.clear(1);
+        assert!(admits(&pq, &table, 6));
+    }
+}

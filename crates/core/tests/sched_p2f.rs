@@ -1,0 +1,195 @@
+//! Schedule exploration of the P²F wait-condition path (DESIGN.md §8).
+//!
+//! Drives the real [`frugal_core::blocked`]/[`frugal_core::admits`] wait
+//! condition against a real [`TwoLevelPq`] and [`InflightTable`] under the
+//! deterministic scheduler, with a model flusher and a probing trainer:
+//!
+//! * **Race 2 (historical)** — the flusher dequeues a batch and applies it
+//!   without ever publishing an in-flight marker. Once the entries leave
+//!   the queue, `top_priority` no longer covers them and nothing else
+//!   does: a trainer is admitted while the flush is still pending.
+//! * **Race 3 (found by this harness)** — the flusher *does* publish a
+//!   marker, but only *after* `dequeue_batch` returns. The window between
+//!   extraction and publication is invisible to both halves of the wait
+//!   condition.
+//! * **Fixed** — [`PriorityQueue::dequeue_batch_guarded`] publishes the
+//!   marker before each entry leaves the queue; the sweep must be clean.
+//!
+//! The full `FrugalEngine` spawns its own uninstrumented OS threads, so
+//! these tests exercise the extracted wait/marker machinery directly —
+//! the exact code the engine's trainer and flusher loops call.
+
+#![cfg(feature = "sched")]
+
+use frugal_core::{admits, InflightTable};
+use frugal_pq::{PriorityQueue, TwoLevelPq, INFINITE};
+use frugal_sched::{explore, replay, yield_point, ExploreConfig, SimBuilder};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// How the model flusher hands off dequeued entries to the wait condition.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Historical race 2: no in-flight marker at all.
+    NoMarker,
+    /// Race 3: marker published only after the batch has left the queue.
+    PublishAfter,
+    /// Current code: guard published before extraction.
+    Guarded,
+}
+
+/// One pending write with priority 3; the trainer asks to start step 3.
+/// Until the flusher has durably applied the write (`applied` flips true,
+/// monotonically), `admits(pq, inflight, 3)` must be false in every
+/// reachable interleaving.
+fn flush_handoff(mode: Mode) -> impl FnMut(&mut SimBuilder) {
+    move |sim: &mut SimBuilder| {
+        let pq = Arc::new(TwoLevelPq::new(16));
+        pq.enqueue(9, 3);
+        let inflight = Arc::new(InflightTable::new(1));
+        let applied = Arc::new(AtomicBool::new(false));
+
+        {
+            let pq = Arc::clone(&pq);
+            let inflight = Arc::clone(&inflight);
+            let applied = Arc::clone(&applied);
+            sim.thread("flusher", move || {
+                let mut out = Vec::new();
+                match mode {
+                    Mode::Guarded => {
+                        pq.dequeue_batch_guarded(8, &mut out, inflight.guard(0));
+                    }
+                    Mode::NoMarker | Mode::PublishAfter => {
+                        pq.dequeue_batch(8, &mut out);
+                        if mode == Mode::PublishAfter {
+                            // The dequeue-to-publish window: entries are
+                            // out of the queue but no marker covers them.
+                            yield_point("flusher.publish_gap");
+                            let min = out.iter().map(|&(_, p)| p).min().unwrap_or(INFINITE);
+                            inflight.guard(0).store(min, Ordering::SeqCst);
+                        }
+                    }
+                }
+                yield_point("flusher.apply");
+                applied.store(true, Ordering::SeqCst);
+                inflight.clear(0);
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            let inflight = Arc::clone(&inflight);
+            let applied = Arc::clone(&applied);
+            sim.thread("trainer", move || {
+                for _ in 0..6 {
+                    let ok = admits(pq.as_ref(), &inflight, 3);
+                    // `applied` only ever goes false→true, so if it is
+                    // still false *after* the probe, it was false for the
+                    // probe's whole duration — the flush was pending and
+                    // step 3 must have been refused.
+                    if !applied.load(Ordering::SeqCst) {
+                        assert!(!ok, "pending flush invisible to the wait condition");
+                    }
+                    yield_point("trainer.probe");
+                }
+            });
+        }
+    }
+}
+
+fn quiet(seeds: std::ops::Range<u64>) -> ExploreConfig {
+    ExploreConfig {
+        seeds,
+        announce_failure: false,
+        ..ExploreConfig::default()
+    }
+}
+
+#[test]
+fn race2_missing_marker_is_found_and_replays() {
+    let cfg = quiet(0..1024);
+    let outcome = explore(&cfg, flush_handoff(Mode::NoMarker));
+    let failure = outcome
+        .failure
+        .expect("historical race 2 (no in-flight marker) must be found");
+    assert!(failure.failures[0]
+        .message
+        .contains("pending flush invisible"));
+    eprintln!("race 2 (missing marker): replay seed {}", failure.seed);
+    let replayed = replay(failure.seed, &cfg.sim, flush_handoff(Mode::NoMarker));
+    assert!(replayed.failed());
+    assert_eq!(replayed.trace, failure.trace);
+}
+
+#[test]
+fn race3_publish_after_dequeue_is_found_and_replays() {
+    let cfg = quiet(0..1024);
+    let outcome = explore(&cfg, flush_handoff(Mode::PublishAfter));
+    let failure = outcome
+        .failure
+        .expect("race 3 (dequeue-to-publish window) must be found");
+    assert!(failure.failures[0]
+        .message
+        .contains("pending flush invisible"));
+    eprintln!(
+        "race 3 (publish-after-dequeue): replay seed {}",
+        failure.seed
+    );
+    let replayed = replay(failure.seed, &cfg.sim, flush_handoff(Mode::PublishAfter));
+    assert!(replayed.failed());
+    assert_eq!(replayed.trace, failure.trace);
+}
+
+#[test]
+fn guarded_dequeue_survives_sweep() {
+    let outcome = explore(&quiet(0..1024), flush_handoff(Mode::Guarded));
+    assert!(
+        !outcome.found_violation(),
+        "guarded dequeue must keep the wait condition sound: {:?}",
+        outcome.failure
+    );
+    assert_eq!(outcome.runs, 1024);
+}
+
+#[test]
+fn guarded_dequeue_with_two_pending_writes_survives_sweep() {
+    // Same shape, two entries straddling the step: the guard must cover
+    // the batch minimum, not just the first bucket scanned.
+    let outcome = explore(&quiet(0..512), |sim| {
+        let pq = Arc::new(TwoLevelPq::new(16));
+        pq.enqueue(9, 3);
+        pq.enqueue(11, 2);
+        let inflight = Arc::new(InflightTable::new(1));
+        let applied = Arc::new(AtomicBool::new(false));
+        {
+            let pq = Arc::clone(&pq);
+            let inflight = Arc::clone(&inflight);
+            let applied = Arc::clone(&applied);
+            sim.thread("flusher", move || {
+                let mut out = Vec::new();
+                pq.dequeue_batch_guarded(8, &mut out, inflight.guard(0));
+                yield_point("flusher.apply");
+                applied.store(true, Ordering::SeqCst);
+                inflight.clear(0);
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            let inflight = Arc::clone(&inflight);
+            let applied = Arc::clone(&applied);
+            sim.thread("trainer", move || {
+                for _ in 0..6 {
+                    let ok = admits(pq.as_ref(), &inflight, 3);
+                    if !applied.load(Ordering::SeqCst) {
+                        assert!(!ok, "pending flush invisible to the wait condition");
+                    }
+                    yield_point("trainer.probe");
+                }
+            });
+        }
+    });
+    assert!(
+        !outcome.found_violation(),
+        "multi-entry guarded dequeue must stay sound: {:?}",
+        outcome.failure
+    );
+}

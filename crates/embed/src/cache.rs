@@ -129,12 +129,14 @@ impl GpuCache {
         self.policy
     }
 
-    /// `(hits, misses)` counted by [`GpuCache::get`].
+    /// `(hits, misses)` counted by [`GpuCache::get`] and
+    /// [`GpuCache::get_mut`].
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
 
-    /// Hit ratio over all `get` calls so far (0 when unused).
+    /// Hit ratio over all lookups (`get` + `get_mut`) so far (0 when
+    /// unused).
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -193,13 +195,18 @@ impl GpuCache {
     }
 
     /// Looks up `key` mutably (for in-cache updates), refreshing recency.
+    /// Counts toward [`Self::stats`] exactly like [`Self::get`].
     pub fn get_mut(&mut self, key: &Key) -> Option<&mut [f32]> {
         match self.map.get(key).copied() {
             Some(idx) => {
                 self.touch(idx);
+                self.hits += 1;
                 Some(self.slots[idx].row.as_mut_slice())
             }
-            None => None,
+            None => {
+                self.misses += 1;
+                None
+            }
         }
     }
 
@@ -385,6 +392,17 @@ mod tests {
         let _ = c.get(&2);
         let _ = c.get(&1);
         assert_eq!(c.stats(), (2, 1));
+        assert!((c.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn get_mut_counts_hits_and_misses_like_get() {
+        let mut c = GpuCache::new(2, 1, CachePolicy::Lru);
+        c.insert(1, vec![1.0]);
+        assert!(c.get_mut(&1).is_some());
+        assert!(c.get_mut(&2).is_none());
+        assert!(c.get_mut(&1).is_some());
+        assert_eq!(c.stats(), (2, 1), "get_mut must feed the same counters");
         assert!((c.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
     }
 

@@ -28,6 +28,9 @@ pub enum CheckpointError {
         /// Rows × dim of the store being restored.
         expected: (u64, usize),
     },
+    /// Data follows the last expected row: the stream is longer than the
+    /// header promised (corrupted, concatenated, or from a foreign tool).
+    TrailingBytes,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -39,6 +42,9 @@ impl std::fmt::Display for CheckpointError {
                 f,
                 "checkpoint shape {found:?} does not match store {expected:?}"
             ),
+            CheckpointError::TrailingBytes => {
+                write!(f, "checkpoint has trailing bytes after the last row")
+            }
         }
     }
 }
@@ -89,9 +95,12 @@ pub fn save_checkpoint<W: Write>(store: &HostStore, mut w: W) -> Result<(), Chec
 ///
 /// # Errors
 ///
-/// Returns [`CheckpointError::BadHeader`] for foreign data and
+/// Returns [`CheckpointError::BadHeader`] for foreign data,
 /// [`CheckpointError::ShapeMismatch`] when the checkpoint was taken from a
-/// differently shaped store.
+/// differently shaped store, and [`CheckpointError::TrailingBytes`] when
+/// the stream continues past the last row the header promised. In the
+/// trailing-bytes case the store has already been fully overwritten with
+/// the (self-consistent) prefix.
 pub fn load_checkpoint<R: Read>(store: &HostStore, mut r: R) -> Result<(), CheckpointError> {
     let mut header = [0u8; 28];
     r.read_exact(&mut header)?;
@@ -126,7 +135,14 @@ pub fn load_checkpoint<R: Read>(store: &HostStore, mut r: R) -> Result<(), Check
             key += 1;
         }
     }
-    Ok(())
+    // A well-formed stream ends exactly at the last row. Anything further
+    // means the header lied about the payload size — surface it rather
+    // than silently accepting a corrupted or concatenated stream.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(()),
+        _ => Err(CheckpointError::TrailingBytes),
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +201,27 @@ mod tests {
     }
 
     #[test]
+    fn trailing_bytes_are_rejected() {
+        let a = HostStore::new(100, 4, 1);
+        let mut buf = Vec::new();
+        save_checkpoint(&a, &mut buf).unwrap();
+        buf.push(0xAB);
+        assert!(matches!(
+            load_checkpoint(&a, buf.as_slice()),
+            Err(CheckpointError::TrailingBytes)
+        ));
+
+        // A second checkpoint concatenated onto the first is also caught.
+        let mut twice = Vec::new();
+        save_checkpoint(&a, &mut twice).unwrap();
+        save_checkpoint(&a, &mut twice).unwrap();
+        assert!(matches!(
+            load_checkpoint(&a, twice.as_slice()),
+            Err(CheckpointError::TrailingBytes)
+        ));
+    }
+
+    #[test]
     fn error_display() {
         let e = CheckpointError::ShapeMismatch {
             found: (1, 2),
@@ -194,5 +231,8 @@ mod tests {
         assert!(CheckpointError::BadHeader
             .to_string()
             .contains("not a frugal"));
+        assert!(CheckpointError::TrailingBytes
+            .to_string()
+            .contains("trailing bytes"));
     }
 }

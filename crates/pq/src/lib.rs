@@ -18,6 +18,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// Yield-point instrumentation for the schedule-exploration harness.
+///
+/// With the `sched` feature this cedes control to `frugal-sched`'s
+/// deterministic scheduler (a no-op outside a simulation); without it the
+/// macro compiles to nothing. Placed at every shared-memory transition
+/// that participates in a cross-thread protocol, so interleavings are
+/// enumerable at exactly the granularity the correctness argument uses.
+// Defined before the modules so it is textually in scope throughout the
+// crate (legacy macro scoping) — no per-module import needed.
+macro_rules! sched_point {
+    ($label:expr) => {{
+        #[cfg(feature = "sched")]
+        frugal_sched::yield_point($label);
+    }};
+}
+
 mod lockfree_set;
 mod queue;
 mod treeheap;

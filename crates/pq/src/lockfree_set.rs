@@ -13,6 +13,8 @@
 //! tombstones the slot; tombstones are reusable, which bounds memory by the
 //! peak population rather than total traffic.
 
+#[cfg(feature = "sched")]
+use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 /// Capacity of the first segment; later segments double.
@@ -68,9 +70,24 @@ impl Segment {
 /// The head segment is allocated lazily, so an empty set costs only a few
 /// words — important because the priority index holds one set per training
 /// step.
+///
+/// # Counter discipline
+///
+/// `len` and per-segment `occupied` follow the *conservative counter* rule:
+/// increment **before** a key becomes visible (the slot CAS), decrement
+/// **after** it stops being visible (the tombstone CAS). Counters may
+/// transiently over-count mid-operation, never under-count — so a reader
+/// that can find a key via [`Self::contains`] is guaranteed
+/// `!is_empty()`, which the P²F wait condition relies on when it treats an
+/// empty bucket as "no pending flush at this priority".
 pub struct LockFreeSet {
     head: AtomicPtr<Segment>,
     len: AtomicUsize,
+    /// Test-only: reverts insert to the historical publish-then-count
+    /// order (slot CAS before `len`/`occupied` increments), reopening the
+    /// visibility window for the schedule explorer to demonstrate.
+    #[cfg(feature = "sched")]
+    bug_publish_window: AtomicBool,
 }
 
 impl Default for LockFreeSet {
@@ -93,11 +110,34 @@ impl LockFreeSet {
         LockFreeSet {
             head: AtomicPtr::new(std::ptr::null_mut()),
             len: AtomicUsize::new(0),
+            #[cfg(feature = "sched")]
+            bug_publish_window: AtomicBool::new(false),
         }
     }
 
-    /// Approximate number of keys currently in the set. Exact when quiescent.
+    /// Test-only: reverts [`Self::insert`] to the historical
+    /// publish-then-count order so the schedule explorer can replay the
+    /// occupancy-visibility race it fixes (DESIGN.md §8).
+    #[cfg(feature = "sched")]
+    pub fn set_bug_publish_window(&self, on: bool) {
+        self.bug_publish_window.store(on, Ordering::SeqCst);
+    }
+
+    #[cfg(feature = "sched")]
+    fn bug_publish_window(&self) -> bool {
+        self.bug_publish_window.load(Ordering::Relaxed)
+    }
+
+    #[cfg(not(feature = "sched"))]
+    fn bug_publish_window(&self) -> bool {
+        false
+    }
+
+    /// Approximate number of keys currently in the set. Never
+    /// under-counts: a key findable by [`Self::contains`] is already
+    /// counted. Exact when quiescent.
     pub fn len(&self) -> usize {
+        sched_point!("lfs.len.load");
         self.len.load(Ordering::Acquire)
     }
 
@@ -129,10 +169,23 @@ impl LockFreeSet {
     }
 
     /// Tries to claim a free (empty or tombstoned) slot in `seg` for `enc`.
-    fn try_insert_segment(seg: &Segment, enc: u64, key: u64) -> bool {
+    ///
+    /// Occupancy is *reserved* (incremented) before the slot CAS and rolled
+    /// back if no slot is claimed, per the conservative counter rule: a
+    /// visible key must already be counted, or [`Self::take_any`]'s
+    /// skip-full heuristic could skip a segment that holds it.
+    fn try_insert_segment(&self, seg: &Segment, enc: u64, key: u64) -> bool {
+        let buggy = self.bug_publish_window();
         let cap = seg.capacity();
-        // Leave a little slack so probes stay short near fullness.
-        if seg.occupied.load(Ordering::Acquire) + cap / 16 >= cap {
+        if !buggy {
+            let prev = seg.occupied.fetch_add(1, Ordering::AcqRel);
+            // Leave a little slack so probes stay short near fullness.
+            if prev + cap / 16 >= cap {
+                seg.occupied.fetch_sub(1, Ordering::AcqRel);
+                return false;
+            }
+            sched_point!("lfs.insert.occupied_reserved");
+        } else if seg.occupied.load(Ordering::Acquire) + cap / 16 >= cap {
             return false;
         }
         let start = (hash(key) as usize) % cap;
@@ -142,12 +195,19 @@ impl LockFreeSet {
             while cur == EMPTY || cur == TOMBSTONE {
                 match slot.compare_exchange_weak(cur, enc, Ordering::AcqRel, Ordering::Acquire) {
                     Ok(_) => {
-                        seg.occupied.fetch_add(1, Ordering::AcqRel);
+                        sched_point!("lfs.insert.slot_cas");
+                        if buggy {
+                            // Historical order: count after publishing.
+                            seg.occupied.fetch_add(1, Ordering::AcqRel);
+                        }
                         return true;
                     }
                     Err(now) => cur = now,
                 }
             }
+        }
+        if !buggy {
+            seg.occupied.fetch_sub(1, Ordering::AcqRel);
         }
         false
     }
@@ -161,12 +221,25 @@ impl LockFreeSet {
     pub fn insert(&self, key: u64) {
         assert!(key < u64::MAX - 1, "key too large (reserved encoding)");
         let enc = encode(key);
+        let buggy = self.bug_publish_window();
+        if !buggy {
+            // Count before the key can become visible (insert cannot fail,
+            // so this never rolls back). The historical order — slot CAS
+            // first, count after — left a window where `contains(key)` was
+            // true while `is_empty()` reported empty, which the P²F wait
+            // condition reads as "nothing pending at this priority".
+            self.len.fetch_add(1, Ordering::AcqRel);
+            sched_point!("lfs.insert.len_published");
+        }
         let mut seg_ptr = self.head_or_install();
         loop {
             // SAFETY: segments are never freed while the set is alive.
             let seg = unsafe { &*seg_ptr };
-            if Self::try_insert_segment(seg, enc, key) {
-                self.len.fetch_add(1, Ordering::AcqRel);
+            if self.try_insert_segment(seg, enc, key) {
+                if buggy {
+                    sched_point!("lfs.insert.bug_window");
+                    self.len.fetch_add(1, Ordering::AcqRel);
+                }
                 return;
             }
             // Segment (effectively) full: walk or append the chain with a
@@ -211,6 +284,9 @@ impl LockFreeSet {
                         .compare_exchange(enc, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                 {
+                    // Conservative counters: decrement only after the key
+                    // stopped being visible (the tombstone CAS above).
+                    sched_point!("lfs.remove.tombstoned");
                     seg.occupied.fetch_sub(1, Ordering::AcqRel);
                     self.len.fetch_sub(1, Ordering::AcqRel);
                     return true;
@@ -249,6 +325,7 @@ impl LockFreeSet {
                             .compare_exchange(cur, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
                             .is_ok()
                     {
+                        sched_point!("lfs.take.tombstoned");
                         seg.occupied.fetch_sub(1, Ordering::AcqRel);
                         self.len.fetch_sub(1, Ordering::AcqRel);
                         out.push(decode(cur));
@@ -264,6 +341,7 @@ impl LockFreeSet {
     /// True if `key` is currently present (linearizable at some point during
     /// the call).
     pub fn contains(&self, key: u64) -> bool {
+        sched_point!("lfs.contains.scan");
         let enc = encode(key);
         let mut seg_ptr = self.head.load(Ordering::Acquire);
         while !seg_ptr.is_null() {

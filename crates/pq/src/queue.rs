@@ -16,6 +16,7 @@
 
 use frugal_telemetry::{Probe, Telemetry};
 use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A training-step priority. Smaller = flushed sooner.
 pub type Priority = u64;
@@ -63,6 +64,40 @@ pub trait PriorityQueue: Send + Sync + Debug {
     /// order, appending `(key, priority)` pairs to `out`. Entries may be
     /// stale; callers validate against the g-entry store.
     fn dequeue_batch(&self, max: usize, out: &mut Vec<(u64, Priority)>);
+
+    /// Like [`Self::dequeue_batch`], but publishes a conservative lower
+    /// bound of the extracted entries' priorities into `guard` **before**
+    /// each entry leaves the queue.
+    ///
+    /// This closes the dequeue-to-publish window of the P²F wait
+    /// condition: an entry that has left the queue (so `top_priority` no
+    /// longer covers it) but whose in-flight marker is not yet published
+    /// is invisible to `top > s ∨ ∃ inflight ≤ s`, and a trainer can slip
+    /// past it. With this method there is no instant at which an extracted
+    /// entry is covered by neither `top_priority` nor `guard`.
+    ///
+    /// Contract: on return, `guard` holds the minimum priority of the
+    /// entries appended to `out` ([`INFINITE`] if none); during the call
+    /// it is only ever ≤ that minimum (transiently lower is allowed — the
+    /// conservative direction). The caller resets `guard` to [`INFINITE`]
+    /// once the batch's writes are applied.
+    ///
+    /// The default implementation brackets [`Self::dequeue_batch`] with
+    /// the strongest guard (0 — "assume the batch could contain
+    /// anything"), which is correct for any implementation at the cost of
+    /// briefly over-blocking the wait condition. Implementations that can
+    /// publish per-bucket (or peeked) priorities should override it.
+    fn dequeue_batch_guarded(&self, max: usize, out: &mut Vec<(u64, Priority)>, guard: &AtomicU64) {
+        let before = out.len();
+        guard.store(0, Ordering::SeqCst);
+        self.dequeue_batch(max, out);
+        let min = out[before..]
+            .iter()
+            .map(|&(_, p)| p)
+            .min()
+            .unwrap_or(INFINITE);
+        guard.store(min, Ordering::SeqCst);
+    }
 
     /// A conservative lower bound on the smallest priority present:
     /// never larger than the true minimum, [`INFINITE`] when (apparently)

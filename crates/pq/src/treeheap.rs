@@ -16,7 +16,7 @@ use frugal_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Maximum heap depth whose per-level locks we materialize (2^40 entries).
 const MAX_LEVELS: usize = 40;
@@ -101,6 +101,34 @@ impl PriorityQueue for TreeHeap {
     fn dequeue_batch(&self, max: usize, out: &mut Vec<(u64, Priority)>) {
         let _t = self.probes.dequeue.timer();
         let mut heap = self.heap.lock();
+        let mut pops = 0;
+        let len = heap.len();
+        for _ in 0..max {
+            match heap.pop() {
+                Some(Reverse((p, k))) => {
+                    out.push((k, p));
+                    pops += 1;
+                }
+                None => break,
+            }
+        }
+        drop(heap);
+        for _ in 0..pops {
+            self.sift_lock_traffic(len);
+        }
+    }
+
+    fn dequeue_batch_guarded(&self, max: usize, out: &mut Vec<(u64, Priority)>, guard: &AtomicU64) {
+        let _t = self.probes.dequeue.timer();
+        let mut heap = self.heap.lock();
+        // The min-heap pops in ascending order, so the first peek is the
+        // whole batch's minimum; publishing it before any pop (still under
+        // the lock) leaves no instant at which an extracted entry is
+        // covered by neither `top_priority` nor the guard.
+        match heap.peek() {
+            Some(Reverse((p, _))) => guard.store(*p, Ordering::SeqCst),
+            None => guard.store(INFINITE, Ordering::SeqCst),
+        }
         let mut pops = 0;
         let len = heap.len();
         for _ in 0..max {

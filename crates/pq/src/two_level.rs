@@ -16,6 +16,8 @@
 use crate::lockfree_set::LockFreeSet;
 use crate::queue::{PqProbes, Priority, PriorityQueue, INFINITE};
 use frugal_telemetry::Telemetry;
+#[cfg(feature = "sched")]
+use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The paper's two-level concurrent priority queue.
@@ -48,6 +50,11 @@ pub struct TwoLevelPq {
     upper: AtomicU64,
     len: AtomicUsize,
     probes: PqProbes,
+    /// Test-only: reverts the scan-raise fix (epoch stamping + verification
+    /// rescan, DESIGN.md §8 race 1) so the schedule explorer can replay the
+    /// historical race.
+    #[cfg(feature = "sched")]
+    bug_scan_raise: AtomicBool,
 }
 
 impl std::fmt::Debug for TwoLevelPq {
@@ -88,7 +95,38 @@ impl TwoLevelPq {
             upper: AtomicU64::new(max_step),
             len: AtomicUsize::new(0),
             probes: PqProbes::default(),
+            #[cfg(feature = "sched")]
+            bug_scan_raise: AtomicBool::new(false),
         }
+    }
+
+    /// Test-only: disables the epoch stamp in [`Self::note_insert`] and the
+    /// verification rescan in [`Self::raise_lower`], reproducing the
+    /// pre-fix scan-raise race (DESIGN.md §8 race 1) for replay by the
+    /// schedule explorer.
+    #[cfg(feature = "sched")]
+    pub fn set_bug_scan_raise(&self, on: bool) {
+        self.bug_scan_raise.store(on, Ordering::SeqCst);
+    }
+
+    /// Test-only: reverts every bucket's insert to the historical
+    /// publish-then-count order (see
+    /// [`LockFreeSet::set_bug_publish_window`]).
+    #[cfg(feature = "sched")]
+    pub fn set_bug_publish_window(&self, on: bool) {
+        for b in &self.buckets {
+            b.set_bug_publish_window(on);
+        }
+    }
+
+    #[cfg(feature = "sched")]
+    fn bug_scan_raise(&self) -> bool {
+        self.bug_scan_raise.load(Ordering::Relaxed)
+    }
+
+    #[cfg(not(feature = "sched"))]
+    fn bug_scan_raise(&self) -> bool {
+        false
     }
 
     /// Largest finite priority this queue accepts.
@@ -116,11 +154,20 @@ impl TwoLevelPq {
         if p == INFINITE {
             return;
         }
+        sched_point!("pq.note_insert");
+        let buggy = self.bug_scan_raise();
         let mut cur = self.lower_epoch.load(Ordering::Acquire);
         loop {
             let lower = cur & LOWER_MASK;
             let epoch = cur >> 32;
-            let next = (epoch.wrapping_add(1) << 32) | lower.min(p);
+            if buggy && p >= lower {
+                // Historical code: only lower the bound, never stamp the
+                // epoch — so an in-flight scan cannot tell that this
+                // insert raced it.
+                return;
+            }
+            let epoch_next = if buggy { epoch } else { epoch.wrapping_add(1) };
+            let next = (epoch_next << 32) | lower.min(p);
             match self.lower_epoch.compare_exchange_weak(
                 cur,
                 next,
@@ -147,6 +194,7 @@ impl TwoLevelPq {
         if to <= seen_lower {
             return;
         }
+        sched_point!("pq.raise.cas");
         let next = (seen & !LOWER_MASK) | to.min(LOWER_MASK);
         if self
             .lower_epoch
@@ -155,6 +203,11 @@ impl TwoLevelPq {
         {
             return;
         }
+        if self.bug_scan_raise() {
+            // Historical code stopped here: no verification rescan.
+            return;
+        }
+        sched_point!("pq.raise.rescan");
         let end = to.min(self.max_step);
         for p in seen_lower..end {
             if !self.buckets[p as usize].is_empty() {
@@ -171,37 +224,15 @@ impl TwoLevelPq {
     fn infinity_bucket(&self) -> &LockFreeSet {
         &self.buckets[(self.max_step + 1) as usize]
     }
-}
 
-impl PriorityQueue for TwoLevelPq {
-    fn enqueue(&self, key: u64, priority: Priority) {
-        self.probes.enqueue.time(|| {
-            self.buckets[self.bucket_index(priority)].insert(key);
-            self.len.fetch_add(1, Ordering::AcqRel);
-            self.note_insert(priority);
-        })
-    }
-
-    fn adjust(&self, key: u64, old: Priority, new: Priority) {
-        if old == new {
-            return;
-        }
-        self.probes.adjust.time(|| {
-            // Paper ordering: insert into the new bucket first so dequeuers
-            // can never miss the entry, then delete from the old bucket. A
-            // dequeuer that grabbed the old copy will fail caller-side
-            // validation.
-            self.buckets[self.bucket_index(new)].insert(key);
-            self.note_insert(new);
-            if !self.buckets[self.bucket_index(old)].remove(key) {
-                // A dequeuer already took the old copy (and decremented len
-                // for it); our insert added a live copy, so account for it.
-                self.len.fetch_add(1, Ordering::AcqRel);
-            }
-        })
-    }
-
-    fn dequeue_batch(&self, max: usize, out: &mut Vec<(u64, Priority)>) {
+    /// Shared body of [`PriorityQueue::dequeue_batch`] and
+    /// [`PriorityQueue::dequeue_batch_guarded`]. With a `guard`, the
+    /// bucket's priority is published into it (monotonically, via
+    /// `fetch_min`) *before* any entry is extracted from that bucket, so
+    /// extracted-but-unreported entries are always covered by either
+    /// `top_priority` or the guard. The ∞ bucket needs no guard: ∞ entries
+    /// can never block a step.
+    fn dequeue_impl(&self, max: usize, out: &mut Vec<(u64, Priority)>, guard: Option<&AtomicU64>) {
         if max == 0 {
             return;
         }
@@ -214,8 +245,13 @@ impl PriorityQueue for TwoLevelPq {
         let mut first_live: Option<u64> = None;
         let mut p = seen_lower;
         while p <= end && taken < max {
+            sched_point!("pq.dequeue.scan");
             let bucket = &self.buckets[p as usize];
             if !bucket.is_empty() {
+                if let Some(g) = guard {
+                    g.fetch_min(p, Ordering::AcqRel);
+                    sched_point!("pq.dequeue.guard_published");
+                }
                 keys.clear();
                 let got = bucket.take_any(max - taken, &mut keys);
                 if got > 0 && first_live.is_none() {
@@ -254,18 +290,73 @@ impl PriorityQueue for TwoLevelPq {
             self.len.fetch_sub(taken, Ordering::AcqRel);
         }
     }
+}
+
+impl PriorityQueue for TwoLevelPq {
+    fn enqueue(&self, key: u64, priority: Priority) {
+        self.probes.enqueue.time(|| {
+            // Conservative counter rule (see LockFreeSet): count the entry
+            // before it becomes visible, so `len` never under-reports a
+            // findable entry.
+            sched_point!("pq.enqueue.len");
+            self.len.fetch_add(1, Ordering::AcqRel);
+            self.buckets[self.bucket_index(priority)].insert(key);
+            sched_point!("pq.enqueue.inserted");
+            self.note_insert(priority);
+        })
+    }
+
+    fn adjust(&self, key: u64, old: Priority, new: Priority) {
+        if old == new {
+            return;
+        }
+        self.probes.adjust.time(|| {
+            // Paper ordering: insert into the new bucket first so dequeuers
+            // can never miss the entry, then delete from the old bucket. A
+            // dequeuer that grabbed the old copy will fail caller-side
+            // validation.
+            self.buckets[self.bucket_index(new)].insert(key);
+            self.note_insert(new);
+            if !self.buckets[self.bucket_index(old)].remove(key) {
+                // A dequeuer already took the old copy (and decremented len
+                // for it); our insert added a live copy, so account for it.
+                self.len.fetch_add(1, Ordering::AcqRel);
+            }
+        })
+    }
+
+    fn dequeue_batch(&self, max: usize, out: &mut Vec<(u64, Priority)>) {
+        self.dequeue_impl(max, out, None);
+    }
+
+    fn dequeue_batch_guarded(&self, max: usize, out: &mut Vec<(u64, Priority)>, guard: &AtomicU64) {
+        let before = out.len();
+        self.dequeue_impl(max, out, Some(guard));
+        // Settle the guard at the batch's exact minimum (it is currently ≤
+        // that: scanned-but-drained buckets may have pushed it lower).
+        // Every extracted entry is already in `out`, so raising back up to
+        // the true minimum cannot uncover anything.
+        let min = out[before..]
+            .iter()
+            .map(|&(_, p)| p)
+            .min()
+            .unwrap_or(INFINITE);
+        guard.store(min, Ordering::SeqCst);
+    }
 
     fn top_priority(&self) -> Priority {
         let seen = self.lower_epoch.load(Ordering::Acquire);
         let end = self.scan_end();
         let mut p = seen & LOWER_MASK;
         while p <= end {
+            sched_point!("pq.top.scan");
             if !self.buckets[p as usize].is_empty() {
                 self.raise_lower(seen, p);
                 return p;
             }
             p += 1;
         }
+        sched_point!("pq.top.raise");
         self.raise_lower(seen, end.saturating_add(1).min(self.max_step));
         INFINITE
     }

@@ -1,0 +1,270 @@
+//! Deterministic schedule exploration of the PQ concurrency core
+//! (`cargo test -p frugal-pq --features sched --test sched_explore`).
+//!
+//! Each race has two tests: with the historical code re-enabled behind its
+//! test-only flag, the explorer must *find* the violating interleaving and
+//! *replay* it from the recorded seed; with the current code, a full
+//! seed sweep must report zero violations. The sweeps are seeded and the
+//! scheduler is deterministic, so these tests have no flake surface: one
+//! seed names one interleaving, forever.
+
+#![cfg(feature = "sched")]
+
+use frugal_pq::{LockFreeSet, PriorityQueue, TwoLevelPq, INFINITE};
+use frugal_sched::{explore, replay, yield_point, ExploreConfig, SimBuilder, SimConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn quiet(seeds: std::ops::Range<u64>) -> ExploreConfig {
+    ExploreConfig {
+        seeds,
+        sim: SimConfig::default(),
+        announce_failure: false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Race: LockFreeSet publish window (insert published the slot before
+// counting it, so a key could be visible while `is_empty()` said empty).
+
+fn publish_window_scenario(buggy: bool) -> impl FnMut(&mut SimBuilder) {
+    move |sim: &mut SimBuilder| {
+        let set = Arc::new(LockFreeSet::new());
+        set.set_bug_publish_window(buggy);
+        {
+            let set = Arc::clone(&set);
+            sim.thread("writer", move || set.insert(5));
+        }
+        {
+            let set = Arc::clone(&set);
+            sim.thread("reader", move || {
+                for _ in 0..4 {
+                    // Invariant: a findable key is always counted. The P²F
+                    // wait condition treats an empty bucket as "no pending
+                    // flush at this priority", so the opposite ordering
+                    // admits a step with a pending write.
+                    if set.contains(5) {
+                        assert!(!set.is_empty(), "key visible but set reports empty");
+                    }
+                    yield_point("reader.probe");
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn lfs_publish_window_race_is_found_and_replays() {
+    let cfg = quiet(0..1024);
+    let outcome = explore(&cfg, publish_window_scenario(true));
+    let failure = outcome
+        .failure
+        .expect("historical publish-window race must be found");
+    assert!(failure.failures[0]
+        .message
+        .contains("key visible but set reports empty"));
+
+    eprintln!("publish-window race: replay seed {}", failure.seed);
+    let replayed = replay(failure.seed, &cfg.sim, publish_window_scenario(true));
+    assert!(replayed.failed(), "seed {} must replay", failure.seed);
+    assert_eq!(replayed.trace, failure.trace);
+}
+
+#[test]
+fn lfs_count_before_publish_survives_sweep() {
+    let outcome = explore(&quiet(0..1024), publish_window_scenario(false));
+    assert!(
+        outcome.failure.is_none(),
+        "count-before-publish order must be race-free: {:?}",
+        outcome.failure
+    );
+    assert_eq!(outcome.runs, 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Race: scan-raise (DESIGN.md §8 race 1). A scanner raising the lower
+// bound over a prefix it proved empty can hide an entry inserted into that
+// prefix mid-scan. Fix: epoch-stamped bound + verification rescan.
+
+fn scan_raise_scenario(buggy: bool) -> impl FnMut(&mut SimBuilder) {
+    move |sim: &mut SimBuilder| {
+        let pq = Arc::new(TwoLevelPq::new(8));
+        pq.set_bug_scan_raise(buggy);
+        // Pre-seeded entry at priority 3 gives the scanner a reason to
+        // raise the bound over 0..3 (build phase: not yet scheduled).
+        pq.enqueue(100, 3);
+        {
+            let pq = Arc::clone(&pq);
+            sim.thread("scanner", move || {
+                pq.top_priority();
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            sim.thread("inserter", move || pq.enqueue(200, 1));
+        }
+        let pq = Arc::clone(&pq);
+        sim.check("bound is conservative", move || {
+            // Both enqueues have returned; the smallest live priority is 1.
+            // top_priority must never exceed it (it is exactly what the
+            // P²F wait condition compares against the step number).
+            let top = pq.top_priority();
+            assert!(top <= 1, "scan-raise hid a pending entry: top = {top}");
+        });
+    }
+}
+
+#[test]
+fn scan_raise_race_is_found_and_replays() {
+    let cfg = quiet(0..4096);
+    let outcome = explore(&cfg, scan_raise_scenario(true));
+    let failure = outcome
+        .failure
+        .expect("historical scan-raise race must be found");
+    assert!(failure.failures[0]
+        .message
+        .contains("scan-raise hid a pending entry"));
+
+    eprintln!("scan-raise race: replay seed {}", failure.seed);
+    let replayed = replay(failure.seed, &cfg.sim, scan_raise_scenario(true));
+    assert!(replayed.failed(), "seed {} must replay", failure.seed);
+    assert_eq!(replayed.trace, failure.trace);
+}
+
+#[test]
+fn epoch_stamped_raise_survives_sweep() {
+    let outcome = explore(&quiet(0..1024), scan_raise_scenario(false));
+    assert!(
+        outcome.failure.is_none(),
+        "epoch-stamped raise must be race-free: {:?}",
+        outcome.failure
+    );
+    assert_eq!(outcome.runs, 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Race: dequeue-to-publish window (found by this harness). Between an
+// entry leaving the queue and the flusher publishing its in-flight
+// marker, the entry is covered by neither `top_priority` nor the marker.
+// Fix: `dequeue_batch_guarded` publishes into the guard *before*
+// extraction.
+
+fn dequeue_publish_scenario(guarded: bool) -> impl FnMut(&mut SimBuilder) {
+    move |sim: &mut SimBuilder| {
+        let pq = Arc::new(TwoLevelPq::new(8));
+        pq.enqueue(9, 3);
+        let guard = Arc::new(AtomicU64::new(INFINITE));
+        let applied = Arc::new(AtomicBool::new(false));
+        {
+            let pq = Arc::clone(&pq);
+            let guard = Arc::clone(&guard);
+            let applied = Arc::clone(&applied);
+            sim.thread("flusher", move || {
+                let mut out = Vec::new();
+                if guarded {
+                    pq.dequeue_batch_guarded(4, &mut out, &guard);
+                } else {
+                    // The historical engine ordering: extract first,
+                    // publish the marker after.
+                    pq.dequeue_batch(4, &mut out);
+                    yield_point("flusher.publish_gap");
+                    let min = out.iter().map(|&(_, p)| p).min().unwrap_or(INFINITE);
+                    guard.store(min, Ordering::SeqCst);
+                }
+                yield_point("flusher.apply");
+                applied.store(true, Ordering::SeqCst);
+                guard.store(INFINITE, Ordering::SeqCst);
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            let guard = Arc::clone(&guard);
+            let applied = Arc::clone(&applied);
+            sim.thread("trainer", move || {
+                for _ in 0..6 {
+                    // The P²F wait condition: step s may proceed iff
+                    // top > s and no in-flight marker ≤ s. Until the
+                    // flush of the priority-3 entry is applied, step 3
+                    // must stay blocked — i.e. covered by one of the two.
+                    let covered = pq.top_priority().min(guard.load(Ordering::SeqCst));
+                    if !applied.load(Ordering::SeqCst) {
+                        assert!(
+                            covered <= 3,
+                            "pending flush invisible to the wait condition"
+                        );
+                    }
+                    yield_point("trainer.recheck");
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn dequeue_publish_race_is_found_and_replays() {
+    let cfg = quiet(0..1024);
+    let outcome = explore(&cfg, dequeue_publish_scenario(false));
+    let failure = outcome
+        .failure
+        .expect("dequeue-to-publish race must be found");
+    assert!(failure.failures[0]
+        .message
+        .contains("pending flush invisible"));
+
+    eprintln!("dequeue-to-publish race: replay seed {}", failure.seed);
+    let replayed = replay(failure.seed, &cfg.sim, dequeue_publish_scenario(false));
+    assert!(replayed.failed(), "seed {} must replay", failure.seed);
+    assert_eq!(replayed.trace, failure.trace);
+}
+
+#[test]
+fn guarded_dequeue_survives_sweep() {
+    let outcome = explore(&quiet(0..1024), dequeue_publish_scenario(true));
+    assert!(
+        outcome.failure.is_none(),
+        "guarded dequeue must leave no window: {:?}",
+        outcome.failure
+    );
+    assert_eq!(outcome.runs, 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Model check: concurrent set traffic must lose and duplicate nothing.
+
+#[test]
+fn lfs_concurrent_traffic_is_linearizable_to_a_set() {
+    let outcome = explore(&quiet(0..256), |sim| {
+        let set = Arc::new(LockFreeSet::new());
+        let taken = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for (name, key) in [("ins-a", 1u64), ("ins-b", 2)] {
+            let set = Arc::clone(&set);
+            sim.thread(name, move || set.insert(key));
+        }
+        {
+            let set = Arc::clone(&set);
+            let taken = Arc::clone(&taken);
+            sim.thread("taker", move || {
+                let mut out = Vec::new();
+                set.take_any(2, &mut out);
+                taken.lock().extend(out);
+            });
+        }
+        let set = Arc::clone(&set);
+        let taken = Arc::clone(&taken);
+        sim.check("no loss, no duplication", move || {
+            let mut all = taken.lock().clone();
+            for k in [1u64, 2] {
+                if set.contains(k) {
+                    all.push(k);
+                }
+            }
+            all.sort_unstable();
+            assert_eq!(all, vec![1, 2], "keys lost or duplicated");
+        });
+    });
+    assert!(
+        outcome.failure.is_none(),
+        "set model check failed: {:?}",
+        outcome.failure
+    );
+}

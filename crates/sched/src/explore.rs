@@ -1,0 +1,160 @@
+//! Seed-sweep driver: run a scenario under many schedules, stop at the
+//! first violation, and make it replayable.
+
+use crate::sim::{run_schedule, RunOutcome, SimBuilder, SimConfig};
+use std::ops::Range;
+
+/// Configuration for a seed sweep.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Seed range to sweep (one schedule per seed).
+    pub seeds: Range<u64>,
+    /// Per-run limits and policy.
+    pub sim: SimConfig,
+    /// Print the failing seed and trace to stderr when a violation is
+    /// found (so a CI log alone suffices to replay it).
+    pub announce_failure: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            seeds: 0..256,
+            sim: SimConfig::default(),
+            announce_failure: true,
+        }
+    }
+}
+
+/// Result of a seed sweep.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// Schedules actually executed (≤ the seed range's length: the sweep
+    /// stops at the first failure).
+    pub runs: u64,
+    /// The first failing run, if any. Its `seed` replays it via [`replay`].
+    pub failure: Option<RunOutcome>,
+    /// How many runs were aborted for exceeding the step budget. These are
+    /// not failures, but a high count means the budget is too small for
+    /// the scenario and coverage is degraded.
+    pub budget_exceeded_runs: u64,
+}
+
+impl ExploreOutcome {
+    /// True if some schedule violated a check or panicked a thread.
+    pub fn found_violation(&self) -> bool {
+        self.failure.is_some()
+    }
+}
+
+/// Sweeps `cfg.seeds`, building a fresh scenario per seed via `build`, and
+/// stops at the first violating schedule.
+///
+/// The builder closure is `FnMut` because it runs once per seed; scenario
+/// state must be created *inside* it so runs stay independent.
+pub fn explore(cfg: &ExploreConfig, mut build: impl FnMut(&mut SimBuilder)) -> ExploreOutcome {
+    let mut runs = 0;
+    let mut budget_exceeded_runs = 0;
+    for seed in cfg.seeds.clone() {
+        let outcome = run_schedule(seed, &cfg.sim, &mut build);
+        runs += 1;
+        if outcome.budget_exceeded {
+            budget_exceeded_runs += 1;
+        }
+        if outcome.failed() {
+            if cfg.announce_failure {
+                eprintln!(
+                    "frugal-sched: violation at seed {seed} after {} steps \
+                     (replay with frugal_sched::replay({seed}, ..)):",
+                    outcome.steps
+                );
+                for f in &outcome.failures {
+                    eprintln!("  [{}] {}", f.thread_name, f.message);
+                }
+                eprint!("{}", outcome.format_trace());
+            }
+            return ExploreOutcome {
+                runs,
+                failure: Some(outcome),
+                budget_exceeded_runs,
+            };
+        }
+    }
+    ExploreOutcome {
+        runs,
+        failure: None,
+        budget_exceeded_runs,
+    }
+}
+
+/// Re-executes exactly the schedule that seed `seed` produces under `sim` —
+/// the deterministic replay of a failure printed by [`explore`].
+pub fn replay(seed: u64, sim: &SimConfig, build: impl FnOnce(&mut SimBuilder)) -> RunOutcome {
+    run_schedule(seed, sim, build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::yield_point;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn lost_update(sim: &mut SimBuilder) {
+        let cell = Arc::new(AtomicU64::new(0));
+        for name in ["a", "b"] {
+            let cell = Arc::clone(&cell);
+            sim.thread(name, move || {
+                let v = cell.load(Ordering::SeqCst);
+                yield_point("rmw gap");
+                cell.store(v + 1, Ordering::SeqCst);
+            });
+        }
+        let cell = Arc::clone(&cell);
+        sim.check("sum", move || {
+            assert_eq!(cell.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }
+
+    #[test]
+    fn finds_and_replays_lost_update() {
+        let cfg = ExploreConfig {
+            announce_failure: false,
+            ..ExploreConfig::default()
+        };
+        let outcome = explore(&cfg, lost_update);
+        let failure = outcome.failure.expect("race must be found");
+        assert!(failure.failures[0].message.contains("lost update"));
+
+        // The printed seed replays the identical interleaving.
+        let replayed = replay(failure.seed, &cfg.sim, lost_update);
+        assert!(replayed.failed());
+        assert_eq!(replayed.trace, failure.trace);
+    }
+
+    #[test]
+    fn clean_scenario_sweeps_all_seeds() {
+        let cfg = ExploreConfig {
+            seeds: 0..40,
+            announce_failure: false,
+            ..ExploreConfig::default()
+        };
+        let outcome = explore(&cfg, |sim| {
+            let cell = Arc::new(AtomicU64::new(0));
+            for name in ["a", "b"] {
+                let cell = Arc::clone(&cell);
+                sim.thread(name, move || {
+                    cell.fetch_add(1, Ordering::SeqCst); // atomic RMW: no race
+                    yield_point("after add");
+                });
+            }
+            let cell = Arc::clone(&cell);
+            sim.check("sum", move || {
+                assert_eq!(cell.load(Ordering::SeqCst), 2);
+            });
+        });
+        assert!(!outcome.found_violation());
+        assert_eq!(outcome.runs, 40);
+        assert_eq!(outcome.budget_exceeded_runs, 0);
+    }
+}
