@@ -1,0 +1,144 @@
+//! Fixed-seed engine perf smoke: the per-PR perf trajectory tracker.
+//!
+//! Runs the full Frugal engine on a deterministic workload (2 GPUs,
+//! Zipf 0.9, 200 steps by default) and writes `BENCH_engine.json` with the
+//! three numbers the perf trajectory tracks from this PR onward:
+//!
+//! * `steps_per_sec` — wall-clock engine steps per second (best of
+//!   `FRUGAL_SMOKE_REPEATS` runs, to cut scheduler noise),
+//! * `mean_gentry_ns` — mean per-step g-entry registration time
+//!   (calibrated, the paper's Exp #4a metric),
+//! * `p95_stall_ns` — 95th-percentile modeled training stall.
+//!
+//! Environment knobs: `FRUGAL_SMOKE_STEPS` (default 200),
+//! `FRUGAL_SMOKE_REPEATS` (default 3), `FRUGAL_SMOKE_OUT` (default
+//! `BENCH_engine.json`), `FRUGAL_SMOKE_BASELINE` (path to a previous
+//! output whose `current` block is embedded as `baseline` for
+//! side-by-side comparison).
+
+use frugal_core::{FrugalConfig, FrugalEngine, PullToTarget};
+use frugal_data::{KeyDistribution, SyntheticTrace};
+use std::time::Instant;
+
+const N_KEYS: u64 = 10_000;
+const BATCH: usize = 256;
+const N_GPUS: usize = 2;
+const DIM: usize = 32;
+const SEED: u64 = 7;
+
+#[derive(Debug, Clone, Copy)]
+struct SmokeNumbers {
+    steps_per_sec: f64,
+    mean_gentry_ns: u64,
+    p95_stall_ns: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_once(steps: u64) -> SmokeNumbers {
+    let trace = SyntheticTrace::new(N_KEYS, KeyDistribution::Zipf(0.9), BATCH, N_GPUS, SEED)
+        .expect("valid trace");
+    let mut cfg = FrugalConfig::commodity(N_GPUS, steps);
+    cfg.flush_threads = 2;
+    cfg.seed = SEED;
+    let model = PullToTarget::new(DIM, SEED);
+    let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
+    let t0 = Instant::now();
+    let report = engine.run(&trace, &model);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(report.stats.len(), steps as usize);
+    assert_eq!(report.violations, 0);
+    SmokeNumbers {
+        steps_per_sec: steps as f64 / wall.max(1e-9),
+        mean_gentry_ns: report.mean_gentry_update.as_nanos(),
+        p95_stall_ns: report.stats.stall_percentile(0.95).as_nanos(),
+    }
+}
+
+/// Extracts `"field": <number>` from the `"current"` object of a previous
+/// smoke output (the files are flat and machine-written; a full JSON parser
+/// is not warranted for three known keys).
+fn extract_number(json: &str, field: &str) -> Option<f64> {
+    let cur = json.find("\"current\"")?;
+    let tail = &json[cur..];
+    let pos = tail.find(&format!("\"{field}\""))?;
+    let rest = &tail[pos + field.len() + 2..];
+    let colon = rest.find(':')?;
+    let val: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    val.parse().ok()
+}
+
+fn block(n: &SmokeNumbers) -> String {
+    format!(
+        "{{\n    \"steps_per_sec\": {:.2},\n    \"mean_gentry_ns\": {},\n    \"p95_stall_ns\": {}\n  }}",
+        n.steps_per_sec, n.mean_gentry_ns, n.p95_stall_ns
+    )
+}
+
+fn main() {
+    let steps = env_u64("FRUGAL_SMOKE_STEPS", 200);
+    let repeats = env_u64("FRUGAL_SMOKE_REPEATS", 3).max(1);
+    let out_path =
+        std::env::var("FRUGAL_SMOKE_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+
+    // Warmup run (page-faults the store, primes the allocator), then take
+    // the best of `repeats` measured runs.
+    let _ = run_once(steps.min(20));
+    let mut best: Option<SmokeNumbers> = None;
+    for i in 0..repeats {
+        let n = run_once(steps);
+        eprintln!(
+            "run {}/{}: {:.1} steps/s, gentry {} ns, p95 stall {} ns",
+            i + 1,
+            repeats,
+            n.steps_per_sec,
+            n.mean_gentry_ns,
+            n.p95_stall_ns
+        );
+        best = Some(match best {
+            Some(b) if b.steps_per_sec >= n.steps_per_sec => b,
+            _ => n,
+        });
+    }
+    let current = best.expect("at least one run");
+
+    let baseline = std::env::var("FRUGAL_SMOKE_BASELINE")
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|json| {
+            Some(SmokeNumbers {
+                steps_per_sec: extract_number(&json, "steps_per_sec")?,
+                mean_gentry_ns: extract_number(&json, "mean_gentry_ns")? as u64,
+                p95_stall_ns: extract_number(&json, "p95_stall_ns")? as u64,
+            })
+        });
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"engine_smoke\",\n  \"workload\": {{\n    \"n_gpus\": {N_GPUS},\n    \"zipf\": 0.9,\n    \"steps\": {steps},\n    \"n_keys\": {N_KEYS},\n    \"batch\": {BATCH},\n    \"seed\": {SEED}\n  }},\n"
+    ));
+    if let Some(b) = &baseline {
+        json.push_str(&format!("  \"baseline\": {},\n", block(b)));
+    }
+    json.push_str(&format!("  \"current\": {}\n}}\n", block(&current)));
+    std::fs::write(&out_path, &json).expect("write smoke output");
+    println!(
+        "wrote {out_path}: {:.1} steps/s, gentry {} ns, p95 stall {} ns",
+        current.steps_per_sec, current.mean_gentry_ns, current.p95_stall_ns
+    );
+    if let Some(b) = baseline {
+        println!(
+            "baseline: {:.1} steps/s, gentry {} ns, p95 stall {} ns",
+            b.steps_per_sec, b.mean_gentry_ns, b.p95_stall_ns
+        );
+    }
+}

@@ -8,13 +8,17 @@
 //!   with UVA-style zero-copy reads, which are safe because the wait
 //!   condition guarantees no key read at step `s` has unflushed updates.
 //! * **Backward** — per-GPU gradients are aggregated per key in canonical
-//!   order at a step barrier; the barrier leader registers them as g-entry
-//!   writes (`add_write`, adjusting PQ priorities — "on the critical path",
-//!   Exp #4a measures exactly this), registers the reads of step `s + L`
-//!   (the sample-queue prefetch), and routes each key's aggregated update to
-//!   its owner GPU so the owner keeps its cached copy current.
+//!   order at a step barrier; the barrier leader merges them and publishes
+//!   the step's update list, then **every trainer registers the g-entry
+//!   writes (and the step `s + L` reads) for the [`GEntryStore`] shards it
+//!   owns** using the batch APIs (`add_writes_batch` / `add_reads_batch`)
+//!   — the registration work the paper puts on the critical path (Exp #4a)
+//!   is sharded across trainers instead of serialized on the leader. Each
+//!   trainer also folds its owner-routed aggregated updates into its local
+//!   cache in the same pass.
 //! * **Flushing threads** — dequeue the highest-priority g-entries and apply
-//!   their pending updates to the host store in step order.
+//!   their pending updates to the host store in step order; idle flushers
+//!   park on the flush condvar (bounded wait) instead of burning a core.
 //! * **Wait condition** — a trainer may start step `s` only when
 //!   `PQ.top() > s` (strictly), the exact condition of §3.3, which this
 //!   module measures as the training stall.
@@ -22,9 +26,27 @@
 //! The same engine runs the **Frugal-Sync** baseline (write-through): the
 //! leader applies every update to host memory synchronously at the barrier,
 //! and the time it takes is the stall.
+//!
+//! # The parallel-registration step protocol
+//!
+//! Each step crosses three barriers (A, B, C). The thread the barrier
+//! elects can differ at each crossing, so leader state lives in
+//! [`RunShared`], not thread-locals:
+//!
+//! 1. trainers deposit per-GPU aggregates and phase times → **A** →
+//! 2. the A-leader merges aggregates (GPU index order — canonical),
+//!    publishes the step's [`StepWork`] (update list + `s + L` read lists),
+//!    and, in write-through mode, applies updates synchronously → **B** →
+//! 3. *every* trainer runs its [`register_phase`]: own-shard write/read
+//!    batch registration, own-cache updates, and the own-shard blocking
+//!    count for `s + 1`; the B-leader then composes the iteration's phase
+//!    maxima (before C, so slow trainers cannot race slot reuse) → **C** →
+//! 4. the C-leader finalizes bookkeeping (`set_upper_bound`, stall model,
+//!    iteration record) while other trainers already enter step `s + 1` —
+//!    nothing it does gates their wait condition.
 
 use crate::config::{FlushMode, FrugalConfig, PqKind};
-use crate::gentry::GEntryStore;
+use crate::gentry::{GEntryStore, PqOpScratch};
 use crate::model::EmbeddingModel;
 use crate::report::TrainReport;
 use crate::wait::{self, InflightTable};
@@ -34,12 +56,17 @@ use frugal_embed::{GpuCache, GradAggregator, HostStore, Sharding};
 use frugal_pq::{PriorityQueue, TreeHeap, TwoLevelPq};
 use frugal_sim::{HostPath, IterBreakdown, Nanos, RunStats};
 use frugal_telemetry::{Counter, Gauge, Phase, Registry, SpanArgs, StallRecord, ThreadRecorder};
-use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use std::time::Instant;
+
+/// How long an idle flusher parks on the flush condvar before re-polling.
+/// Bounded so shutdown and missed notifications (a registration that lands
+/// between the empty dequeue and the park) cannot stall the drain.
+const FLUSHER_PARK: std::time::Duration = std::time::Duration::from_micros(100);
 
 /// Registry-backed run counters.
 ///
@@ -64,6 +91,14 @@ struct RunMetrics {
     flush_dequeue_ns: Arc<Counter>,
     flush_apply_ns: Arc<Counter>,
     flush_rows: Arc<Counter>,
+    /// Counter `flusher.parked_ns`: time idle flushers spent parked on the
+    /// flush condvar instead of spinning (the Fig 17 "flushers divert CPU"
+    /// effect, avoided).
+    flusher_parked_ns: Arc<Counter>,
+    /// Counter `gentry.batch_ns`: total wall time trainers spent inside
+    /// the sharded batch-registration phase (writes + reads), summed
+    /// across trainers and steps.
+    gentry_batch_ns: Arc<Counter>,
     /// Gauge `p2f.blocking_rows`: keys of the *next* step that still have
     /// pending writes right after this step's registration — the rows
     /// whose flush gates the next wait condition.
@@ -79,6 +114,8 @@ impl RunMetrics {
             flush_dequeue_ns: registry.counter("flusher.dequeue_total_ns"),
             flush_apply_ns: registry.counter("flusher.apply_total_ns"),
             flush_rows: registry.counter("flush.rows"),
+            flusher_parked_ns: registry.counter("flusher.parked_ns"),
+            gentry_batch_ns: registry.counter("gentry.batch_ns"),
             blocking_rows_next: registry.gauge("p2f.blocking_rows"),
         }
     }
@@ -94,8 +131,84 @@ struct PhaseTimes {
     loss: f32,
 }
 
-/// Rows the leader routed to one GPU's cache: `(key, aggregated row)`.
-type CacheUpdates = Vec<(Key, Arc<[f32]>)>;
+/// The step's shared work product, written by the A-leader between
+/// barriers A and B, read by every trainer between B and C. The barriers
+/// serialize the write against the reads, so the lock is never contended —
+/// it exists to keep the hand-off safe without `unsafe`.
+#[derive(Debug, Default)]
+struct StepWork {
+    /// This step's merged updates in canonical arrival order, each row
+    /// shared between the g-entry W set and the owner GPU's cache.
+    updates: Vec<(Key, Arc<[f32]>)>,
+    /// Raw per-GPU key lists of step `s + L` (the sample-queue prefetch);
+    /// empty when `s + L` is past the end of training or in write-through
+    /// mode. Gathered once by the leader so trainers do not re-query the
+    /// workload `n` times each.
+    reads: Vec<Vec<Key>>,
+    /// The step the `reads` lists belong to.
+    read_step: u64,
+}
+
+/// Totals of the flusher cost counters as of the previous step, kept by
+/// the leader so [`virtual_stall`] can use a *windowed* per-row estimate
+/// (deltas since the previous step) instead of lifetime averages that let
+/// early cheap flushes dilute late-run stalls.
+#[derive(Debug, Default, Clone, Copy)]
+struct FlushWindow {
+    dequeue_ns: u64,
+    apply_ns: u64,
+    rows: u64,
+}
+
+/// Advances `win` to the current counter totals and returns the windowed
+/// per-row `(dequeue_ns, apply_ns)` estimate. Steps in which no rows were
+/// flushed fall back to the lifetime average (there is no fresh signal),
+/// and a run with no flushed rows at all estimates zero.
+fn windowed_per_row(
+    win: &mut FlushWindow,
+    dequeue_ns: u64,
+    apply_ns: u64,
+    rows: u64,
+) -> (f64, f64) {
+    let d_rows = rows.saturating_sub(win.rows);
+    let est = if d_rows > 0 {
+        (
+            dequeue_ns.saturating_sub(win.dequeue_ns) as f64 / d_rows as f64,
+            apply_ns.saturating_sub(win.apply_ns) as f64 / d_rows as f64,
+        )
+    } else if rows > 0 {
+        (
+            dequeue_ns as f64 / rows as f64,
+            apply_ns as f64 / rows as f64,
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    *win = FlushWindow {
+        dequeue_ns,
+        apply_ns,
+        rows,
+    };
+    est
+}
+
+/// Rotating-leader state: the barrier can elect a different thread at each
+/// of the step's three crossings, so everything a "leader" produces for a
+/// later crossing lives here.
+#[derive(Debug)]
+struct LeaderState {
+    /// Cross-GPU merged aggregates (reused arena; drained every step).
+    merged: GradAggregator,
+    /// Write-through: the modeled synchronous flush stall of this step.
+    sync_stall: Nanos,
+    /// Rows in this step's update list.
+    n_rows: u64,
+    /// Phase maxima composed by the B-leader, finalized by the C-leader.
+    it: IterBreakdown,
+    loss_sum: f32,
+    /// Flusher-counter totals at the previous step (see [`FlushWindow`]).
+    window: FlushWindow,
+}
 
 /// Shared state between trainers, the leader, and flushers for one run.
 struct RunShared<'a> {
@@ -111,16 +224,27 @@ struct RunShared<'a> {
     gstore: GEntryStore,
     pq: Box<dyn PriorityQueue>,
     sharding: Sharding,
-    /// Per-GPU aggregated gradients deposited before barrier 1.
-    agg_slots: Vec<Mutex<Option<GradAggregator>>>,
-    /// Per-GPU cache-update lists filled by the leader.
-    cache_updates: Vec<Mutex<CacheUpdates>>,
+    /// Per-GPU aggregators: trainers swap their full scratch aggregator in
+    /// before barrier A; the A-leader drains them in GPU index order. Kept
+    /// warm (arena reuse) across steps.
+    agg_slots: Vec<Mutex<GradAggregator>>,
     /// Per-GPU phase instrumentation for the current step.
     phase_slots: Vec<Mutex<PhaseTimes>>,
+    /// The step's published work (see [`StepWork`]).
+    step_work: RwLock<StepWork>,
+    /// Rotating-leader state (see [`LeaderState`]).
+    leader: Mutex<LeaderState>,
+    /// Keys of step `s + 1` with pending writes after registration, summed
+    /// across trainers (each counts only its own shards).
+    blocking_next: AtomicU64,
+    /// Slowest trainer's write-registration time this step — the sharded
+    /// critical path (the Exp #4a quantity under parallel registration).
+    reg_ns_max: AtomicU64,
     /// Leader-composed per-iteration records.
     iters: Mutex<Vec<(IterBreakdown, f32)>>,
     gentry_times: Mutex<Vec<Nanos>>,
-    /// Trainer-wait condvar, notified by flushers after applying updates.
+    /// Trainer-wait and flusher-park condvar, notified by flushers after
+    /// applying updates and by trainers after registering new entries.
     flush_mutex: Mutex<()>,
     flush_cv: Condvar,
     shutdown: AtomicBool,
@@ -131,6 +255,61 @@ struct RunShared<'a> {
     /// its row write completes, so the queue's `top_priority` alone cannot
     /// cover it.
     inflight: InflightTable,
+}
+
+/// A trainer's reusable hot-loop buffers: batch dedup, row staging, the
+/// gradient aggregator, and the registration-side shard buckets. Everything
+/// here is cleared (capacity kept) instead of re-allocated, so after
+/// warm-up the per-step loop allocates only what is semantically shared
+/// (the per-row `Arc` gradients and the workload's sampled key lists).
+struct StepScratch {
+    /// Batch dedup: key → slot in `unique`.
+    index_of: HashMap<Key, usize>,
+    unique: Vec<Key>,
+    /// Unique rows, `unique.len() × dim`.
+    urows: Vec<f32>,
+    /// Per-sample rows, `keys.len() × dim`.
+    rows: Vec<f32>,
+    /// Cache misses: `(unique index, key)`.
+    missing: Vec<(usize, Key)>,
+    /// Per-GPU gradient aggregator (swapped with the deposit slot).
+    agg: GradAggregator,
+    /// Own-shard write batches, one bucket per owned g-entry shard.
+    write_bufs: Vec<Vec<(Key, Arc<[f32]>)>>,
+    /// Own-shard read batches, one bucket per owned g-entry shard.
+    read_bufs: Vec<Vec<Key>>,
+    /// Per-step dedup of own-shard lookahead reads.
+    read_seen: HashSet<Key>,
+    /// Staged PQ operations for the g-entry batch calls.
+    pq_ops: PqOpScratch,
+    /// Own-shard deduped lookahead key lists by `step % ring len`, written
+    /// at registration time and read back for the blocking-rows count —
+    /// the cache that replaces `leader_step`'s old re-query of
+    /// `workload.keys(s + 1, g)`.
+    ring: Vec<Vec<Key>>,
+}
+
+impl StepScratch {
+    fn new(dim: usize, lookahead: u64, n_gpus: usize, gpu: usize) -> Self {
+        let owned = (0..GEntryStore::n_shards())
+            .filter(|sid| sid % n_gpus == gpu)
+            .count();
+        StepScratch {
+            index_of: HashMap::new(),
+            unique: Vec::new(),
+            urows: Vec::new(),
+            rows: Vec::new(),
+            missing: Vec::new(),
+            agg: GradAggregator::new(dim),
+            write_bufs: (0..owned).map(|_| Vec::new()).collect(),
+            read_bufs: (0..owned).map(|_| Vec::new()).collect(),
+            read_seen: HashSet::new(),
+            pq_ops: PqOpScratch::default(),
+            // Slots for steps s..=s+L plus one of slack so a slot is never
+            // rewritten before the blocking count for its step has run.
+            ring: (0..lookahead + 2).map(|_| Vec::new()).collect(),
+        }
+    }
 }
 
 /// The Frugal / Frugal-Sync training engine.
@@ -221,9 +400,21 @@ impl FrugalEngine {
             gstore: GEntryStore::new(),
             pq,
             sharding: Sharding::new(n),
-            agg_slots: (0..n).map(|_| Mutex::new(None)).collect(),
-            cache_updates: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            agg_slots: (0..n)
+                .map(|_| Mutex::new(GradAggregator::new(model.dim())))
+                .collect(),
             phase_slots: (0..n).map(|_| Mutex::new(PhaseTimes::default())).collect(),
+            step_work: RwLock::new(StepWork::default()),
+            leader: Mutex::new(LeaderState {
+                merged: GradAggregator::new(model.dim()),
+                sync_stall: Nanos::ZERO,
+                n_rows: 0,
+                it: IterBreakdown::default(),
+                loss_sum: 0.0,
+                window: FlushWindow::default(),
+            }),
+            blocking_next: AtomicU64::new(0),
+            reg_ns_max: AtomicU64::new(0),
             iters: Mutex::new(Vec::with_capacity(cfg.steps as usize)),
             gentry_times: Mutex::new(Vec::with_capacity(cfg.steps as usize)),
             flush_mutex: Mutex::new(()),
@@ -233,11 +424,7 @@ impl FrugalEngine {
             inflight: InflightTable::new(cfg.flush_threads),
         };
 
-        // Initial sample-queue prefetch: reads of steps 0..L (paper §3.2).
         if cfg.flush_mode == FlushMode::P2f {
-            for s in 0..cfg.lookahead.min(cfg.steps) {
-                register_reads(&shared, s);
-            }
             shared.pq.set_upper_bound(cfg.lookahead + 1);
         }
 
@@ -263,6 +450,9 @@ impl FrugalEngine {
             }
             // Drain: wait for all deferred updates to reach host memory.
             shared.shutdown.store(true, Ordering::Release);
+            // Parked flushers re-check shutdown on wake; their park timeout
+            // bounds the drain latency even if this signal races a park.
+            shared.flush_cv.notify_all();
             for f in flushers {
                 f.join().expect("flusher panicked");
             }
@@ -307,21 +497,6 @@ impl FrugalEngine {
     }
 }
 
-/// Registers the reads of step `s` for all GPUs (the sample queue).
-fn register_reads(shared: &RunShared<'_>, s: u64) {
-    if s >= shared.cfg.steps {
-        return;
-    }
-    let mut seen = std::collections::HashSet::new();
-    for g in 0..shared.workload.n_gpus() {
-        for key in shared.workload.keys(s, g) {
-            if seen.insert(key) {
-                shared.gstore.add_read(key, s, shared.pq.as_ref());
-            }
-        }
-    }
-}
-
 /// One background flushing thread (paper §3.2, component 4).
 fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
     let rec = shared.cfg.telemetry.recorder(format!("flusher-{slot}"));
@@ -344,7 +519,21 @@ fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
             if shared.shutdown.load(Ordering::Acquire) && shared.gstore.pending_keys() == 0 {
                 return;
             }
-            std::thread::yield_now();
+            // Park until registration notifies (or the bounded timeout
+            // fires — the safety net against a notify that lands between
+            // the empty dequeue above and this wait). The old code spun on
+            // `yield_now`, which burned a core per idle flusher and
+            // diverted CPU from trainers (the paper's Fig 17 effect).
+            let t_park = Instant::now();
+            let mut guard = shared.flush_mutex.lock();
+            if !shared.shutdown.load(Ordering::Acquire) {
+                shared.flush_cv.wait_for(&mut guard, FLUSHER_PARK);
+            }
+            drop(guard);
+            shared
+                .metrics
+                .flusher_parked_ns
+                .add(t_park.elapsed().as_nanos() as u64);
             continue;
         }
         // Only non-empty dequeues are recorded: thousands of idle polls
@@ -394,6 +583,260 @@ fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
     }
 }
 
+/// Registers trainer `g`'s owned-shard reads of step `read_step`, drawing
+/// the per-GPU key lists from `lists`: filters to owned shards, dedups into
+/// the shard buckets, registers each bucket with one batch call, and files
+/// the deduped (shard-grouped) keys in the lookahead ring for the later
+/// blocking-rows count.
+fn register_own_reads(
+    shared: &RunShared<'_>,
+    g: usize,
+    read_step: u64,
+    lists: &[Vec<Key>],
+    scratch: &mut StepScratch,
+) {
+    let n = shared.cfg.n_gpus();
+    for buf in &mut scratch.read_bufs {
+        buf.clear();
+    }
+    scratch.read_seen.clear();
+    for list in lists {
+        for &key in list {
+            let sid = GEntryStore::shard_of(key);
+            if sid % n == g && scratch.read_seen.insert(key) {
+                scratch.read_bufs[sid / n].push(key);
+            }
+        }
+    }
+    let slot = (read_step % scratch.ring.len() as u64) as usize;
+    scratch.ring[slot].clear();
+    for buf in &scratch.read_bufs {
+        if !buf.is_empty() {
+            shared
+                .gstore
+                .add_reads_batch(read_step, buf, shared.pq.as_ref(), &mut scratch.pq_ops);
+            scratch.ring[slot].extend_from_slice(buf);
+        }
+    }
+}
+
+/// The A-leader's work between barriers A and B: merge the per-GPU
+/// aggregates in GPU index order (canonical), publish the step's update
+/// list and `s + L` read lists as [`StepWork`], and in write-through mode
+/// apply the updates to host memory synchronously (the Frugal-Sync stall).
+fn leader_prepare(shared: &RunShared<'_>, s: u64) {
+    let cfg = shared.cfg;
+    let leader = &mut *shared.leader.lock();
+    for slot in &shared.agg_slots {
+        leader.merged.merge_from(&mut slot.lock());
+    }
+    shared.model.end_step(s);
+
+    let mut work = shared.step_work.write();
+    work.updates.clear();
+    leader.merged.drain_arcs(&mut work.updates);
+    leader.n_rows = work.updates.len() as u64;
+
+    // Sample queue: gather the raw reads of step s + L once for all
+    // trainers (they filter to their own shards between B and C).
+    work.reads.clear();
+    let rs = s + cfg.lookahead;
+    work.read_step = rs;
+    if cfg.flush_mode == FlushMode::P2f && rs < cfg.steps {
+        for g in 0..cfg.n_gpus() {
+            let keys = shared.workload.keys(rs, g);
+            work.reads.push(keys);
+        }
+    }
+
+    leader.sync_stall = Nanos::ZERO;
+    if cfg.flush_mode == FlushMode::WriteThrough {
+        // The write-through flush the paper describes: every update crosses
+        // PCIe to host memory synchronously, with no background overlap —
+        // the "long stall" of §3.1 (the real apply below runs at
+        // host-memcpy speed and is not representative).
+        let mut opt = shared.sync_opt.lock();
+        for (key, grad) in &work.updates {
+            shared.store.write_row(*key, |row| {
+                opt.update_row(*key, row, grad);
+            });
+        }
+        leader.sync_stall = cfg.cost.sync_flush(leader.n_rows, cfg.n_gpus());
+    }
+    drop(work);
+
+    shared.blocking_next.store(0, Ordering::Release);
+    shared.reg_ns_max.store(0, Ordering::Release);
+}
+
+/// Every trainer's work between barriers B and C: apply the owner-routed
+/// cache updates, register own-shard g-entry writes (batch), register the
+/// own-shard reads of step `s + L` (batch), and count the own-shard keys
+/// of step `s + 1` whose pending writes will gate the next wait condition.
+///
+/// Shard ownership: trainer `g` owns every [`GEntryStore`] shard `sid`
+/// with `sid % n_gpus == g`. Shards partition the key space, so exactly
+/// one trainer mutates any given g-entry this step — trainers never
+/// contend on a shard lock, only (rarely) with flushers draining it.
+#[allow(clippy::too_many_arguments)]
+fn register_phase(
+    shared: &RunShared<'_>,
+    rec: &ThreadRecorder,
+    s: u64,
+    g: usize,
+    scratch: &mut StepScratch,
+    cache: &mut GpuCache,
+    cache_opt: &mut dyn frugal_tensor::RowOptimizer,
+) {
+    let cfg = shared.cfg;
+    let n = cfg.n_gpus();
+    let p2f = cfg.flush_mode == FlushMode::P2f;
+    let work = shared.step_work.read();
+    let t0 = Instant::now();
+
+    // Single pass over the step's updates: fold owner-routed rows into the
+    // local cache (the cache sees the same per-key gradient sequence as
+    // the host path, keeping both bit-identical) and bucket own-shard rows
+    // for batch registration.
+    for buf in &mut scratch.write_bufs {
+        buf.clear();
+    }
+    for (key, grad) in &work.updates {
+        if shared.sharding.is_local(*key, g) {
+            if let Some(row) = cache.get_mut(key) {
+                cache_opt.update_row(*key, row, grad);
+            }
+        }
+        if p2f {
+            let sid = GEntryStore::shard_of(*key);
+            if sid % n == g {
+                scratch.write_bufs[sid / n].push((*key, Arc::clone(grad)));
+            }
+        }
+    }
+    if p2f {
+        // Write registration — the sharded critical path. The slowest
+        // trainer's time here is the step's g-entry registration time
+        // (what `leader_step` used to spend serially on *all* keys).
+        let t_writes = Instant::now();
+        let mut own_rows = 0u64;
+        for buf in &scratch.write_bufs {
+            if !buf.is_empty() {
+                own_rows += buf.len() as u64;
+                shared
+                    .gstore
+                    .add_writes_batch(s, buf, shared.pq.as_ref(), &mut scratch.pq_ops);
+            }
+        }
+        shared
+            .reg_ns_max
+            .fetch_max(t_writes.elapsed().as_nanos() as u64, Ordering::AcqRel);
+
+        // Sample-queue prefetch: the reads of step s + L, own shards only.
+        if work.read_step < cfg.steps {
+            register_own_reads(shared, g, work.read_step, &work.reads, scratch);
+        }
+        // Fresh entries (and tightened priorities) may unblock flushers'
+        // scan ranges; wake any parked ones.
+        shared.flush_cv.notify_all();
+
+        // Blocking rows for step s + 1: reuse the deduped lookahead keys
+        // registration filed in the ring — no workload re-query, no fresh
+        // dedup set.
+        if s + 1 < cfg.steps {
+            let slot = ((s + 1) % scratch.ring.len() as u64) as usize;
+            let blocked = shared.gstore.count_pending(&scratch.ring[slot]);
+            if blocked > 0 {
+                shared.blocking_next.fetch_add(blocked, Ordering::AcqRel);
+            }
+        }
+        shared
+            .metrics
+            .gentry_batch_ns
+            .add(t0.elapsed().as_nanos() as u64);
+        rec.record_completed(Phase::GEntryUpdate, t0, SpanArgs::one("rows", own_rows));
+    }
+}
+
+/// The B-leader's compose, run between barriers B and C (after its own
+/// [`register_phase`]): fold the per-GPU phase times into the iteration's
+/// maxima. This must finish before C — once trainers pass C they may
+/// deposit step `s + 1` times into the same slots.
+fn compose_phases(shared: &RunShared<'_>) {
+    let mut leader = shared.leader.lock();
+    let mut it = IterBreakdown::default();
+    let mut loss_sum = 0.0f32;
+    for slot in &shared.phase_slots {
+        let p = slot.lock();
+        it.comm = it.comm.max(p.comm);
+        it.host_dram = it.host_dram.max(p.host_dram);
+        it.cache = it.cache.max(p.cache);
+        it.other = it.other.max(p.other);
+        loss_sum += p.loss;
+    }
+    leader.it = it;
+    leader.loss_sum = loss_sum;
+}
+
+/// The C-leader's bookkeeping after barrier C: raise the PQ scan bound,
+/// convert the measured registration maximum to reference-machine terms,
+/// model the stall, and push the iteration record. Nothing here gates the
+/// other trainers' next step — they are already past C — and the next
+/// barrier A cannot complete before this thread arrives, so the next
+/// [`leader_prepare`] never races these reads.
+fn leader_finish(shared: &RunShared<'_>, s: u64) {
+    let cfg = shared.cfg;
+    let n = cfg.n_gpus();
+    if cfg.flush_mode == FlushMode::P2f {
+        shared.pq.set_upper_bound(s + 1 + cfg.lookahead);
+        // New low-priority entries may unblock flushers' scan ranges.
+        shared.flush_cv.notify_all();
+    }
+
+    // Convert the measured registration time to reference-machine terms:
+    // divide by how much slower this host runs the canonical registration
+    // probe than the reference controller (see `calibrate`). Relative
+    // effects — tree heap vs two-level PQ, sharded vs serial registration,
+    // batch sizes — are already inside the measurement and survive intact.
+    let slowdown = crate::calibrate::host_slowdown(cfg.cost.gentry_op_reference_ns(128));
+    let gentry_time = match cfg.flush_mode {
+        FlushMode::P2f => {
+            let max_ns = shared.reg_ns_max.load(Ordering::Acquire);
+            Nanos::from_nanos(max_ns) * (1.0 / slowdown)
+        }
+        // Write-through has no g-entries; its flush cost is the stall.
+        FlushMode::WriteThrough => Nanos::ZERO,
+    };
+    shared.gentry_times.lock().push(gentry_time);
+
+    let mut leader = shared.leader.lock();
+    let mut it = leader.it;
+    let loss_sum = leader.loss_sum;
+    // The controller/flushers contend with trainers for CPU cores: charge
+    // an oversubscription factor on the critical-path registration time
+    // (the Fig 17 "too many flushing threads divert CPU" effect).
+    let cores = cfg.cost.topology().host().cpu_cores.max(1);
+    let oversub = ((n + cfg.flush_threads + 2) as f64 / cores as f64).max(1.0);
+    it.other += gentry_time * oversub + cfg.cost.framework_frugal();
+    it.stall = match cfg.flush_mode {
+        FlushMode::WriteThrough => leader.sync_stall,
+        FlushMode::P2f => {
+            // Advance the flusher-cost window every step so the per-row
+            // estimate tracks *current* flusher behaviour.
+            let (deq_ns, apply_ns) = windowed_per_row(
+                &mut leader.window,
+                shared.metrics.flush_dequeue_ns.get(),
+                shared.metrics.flush_apply_ns.get(),
+                shared.metrics.flush_rows.get(),
+            );
+            let blocking = shared.blocking_next.load(Ordering::Acquire);
+            shared.metrics.blocking_rows_next.set(blocking as i64);
+            virtual_stall(shared, s, blocking, deq_ns, apply_ns)
+        }
+    };
+    shared.iters.lock().push((it, loss_sum / n as f32));
+}
+
 /// One training process (paper §3.2): the per-GPU loop.
 fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
     let cfg = shared.cfg;
@@ -411,19 +854,21 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
     let mut hits = 0u64;
     let mut misses = 0u64;
     let batch_per_gpu = shared.workload.samples_per_step() / n as u64;
+    let mut scratch = StepScratch::new(dim, cfg.lookahead, n, g);
+
+    // Initial sample-queue prefetch (paper §3.2): each trainer registers
+    // its own shards' reads of steps 0..L before the first step. No writes
+    // exist yet, so this issues no queue operations and needs no
+    // cross-trainer ordering; each trainer only requires its *own*
+    // prefetch done before its own first wait, which program order gives.
+    if cfg.flush_mode == FlushMode::P2f {
+        for s0 in 0..cfg.lookahead.min(cfg.steps) {
+            let lists: Vec<Vec<Key>> = (0..n).map(|gg| shared.workload.keys(s0, gg)).collect();
+            register_own_reads(shared, g, s0, &lists, &mut scratch);
+        }
+    }
 
     for s in 0..cfg.steps {
-        // Apply the previous step's aggregated updates to owned cached rows
-        // so the cache always holds the exact synchronous value.
-        {
-            let updates = std::mem::take(&mut *shared.cache_updates[g].lock());
-            for (key, grad) in updates {
-                if let Some(row) = cache.get_mut(&key) {
-                    cache_opt.update_row(key, row, &grad);
-                }
-            }
-        }
-
         // P²F wait condition: start step s only when PQ.top() > s (§3.3).
         // The physical wait enforces consistency; the *reported* stall is
         // modeled by `virtual_stall` (see its docs for why).
@@ -432,13 +877,13 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
                 |shared: &RunShared<'_>| wait::blocked(shared.pq.as_ref(), &shared.inflight, s);
             if blocked(shared) {
                 // Stall attribution: what is this wait blocked *on*? The
-                // priority (deadline step) at the queue's top and the
-                // outstanding flush backlog at wait entry.
-                let top = shared.pq.top_priority();
+                // lowest deadline across the queue top and in-flight
+                // flushes, and the outstanding backlog at wait entry.
+                let floor = wait::pending_floor(shared.pq.as_ref(), &shared.inflight);
                 let pending = shared.gstore.pending_keys() as u64;
                 let span = rec.span_with(
                     Phase::P2fWait,
-                    SpanArgs::two("blocking_priority", top, "pending_keys", pending),
+                    SpanArgs::two("blocking_priority", floor, "pending_keys", pending),
                 );
                 while blocked(shared) {
                     let mut guard = shared.flush_mutex.lock();
@@ -454,7 +899,7 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
                     cfg.telemetry.record_stall(StallRecord {
                         step: s,
                         wait_ns,
-                        blocking_priority: top,
+                        blocking_priority: floor,
                         pending_keys: pending,
                     });
                 }
@@ -469,20 +914,23 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
 
         // Forward pass 1 — cache query: dedup the batch and resolve unique
         // keys against the local cache, collecting the ones every cache
-        // missed.
+        // missed. All staging buffers are per-trainer scratch — cleared,
+        // never re-allocated.
         let cq_span = rec.span(Phase::CacheQuery);
-        let mut unique: Vec<Key> = Vec::with_capacity(keys.len());
-        let mut index_of: HashMap<Key, usize> = HashMap::with_capacity(keys.len());
+        scratch.index_of.clear();
+        scratch.unique.clear();
+        scratch.missing.clear();
         for &key in &keys {
-            index_of.entry(key).or_insert_with(|| {
-                unique.push(key);
-                unique.len() - 1
-            });
+            if let std::collections::hash_map::Entry::Vacant(e) = scratch.index_of.entry(key) {
+                e.insert(scratch.unique.len());
+                scratch.unique.push(key);
+            }
         }
-        let mut urows = vec![0.0f32; unique.len() * dim];
-        let mut missing: Vec<(usize, Key)> = Vec::new();
-        for (i, &key) in unique.iter().enumerate() {
-            let slot = &mut urows[i * dim..(i + 1) * dim];
+        let unique_n = scratch.unique.len();
+        scratch.urows.clear();
+        scratch.urows.resize(unique_n * dim, 0.0);
+        for (i, &key) in scratch.unique.iter().enumerate() {
+            let slot = &mut scratch.urows[i * dim..(i + 1) * dim];
             if shared.sharding.is_local(key, g) {
                 if let Some(row) = cache.get(&key) {
                     slot.copy_from_slice(row);
@@ -490,18 +938,18 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
                     continue;
                 }
             }
-            missing.push((i, key));
+            scratch.missing.push((i, key));
         }
         drop(cq_span);
 
         // Forward pass 2 — host reads (UVA zero-copy) for the cache misses.
         // Safe to split from pass 1: keys are unique within a step, so a
         // row admitted here can never be queried again before the barrier.
-        let host_reads = missing.len() as u64;
+        let host_reads = scratch.missing.len() as u64;
         let mut fills = 0u64;
         let hr_span = rec.span_with(Phase::HostRead, SpanArgs::one("rows", host_reads));
-        for &(i, key) in &missing {
-            let slot = &mut urows[i * dim..(i + 1) * dim];
+        for &(i, key) in &scratch.missing {
+            let slot = &mut scratch.urows[i * dim..(i + 1) * dim];
             // Verify the consistency invariant first when checking is on.
             if cfg.checked && !shared.gstore.invariant_holds(key, s) {
                 shared.metrics.violations.incr();
@@ -522,19 +970,24 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
         drop(hr_span);
 
         // Scatter unique rows to per-instance rows for the model.
-        let mut rows = vec![0.0f32; keys.len() * dim];
+        scratch.rows.clear();
+        scratch.rows.resize(keys.len() * dim, 0.0);
         for (i, &key) in keys.iter().enumerate() {
-            let u = index_of[&key];
-            rows[i * dim..(i + 1) * dim].copy_from_slice(&urows[u * dim..(u + 1) * dim]);
+            let u = scratch.index_of[&key];
+            scratch.rows[i * dim..(i + 1) * dim]
+                .copy_from_slice(&scratch.urows[u * dim..(u + 1) * dim]);
         }
 
         let compute_span = rec.span(Phase::Compute);
-        let grads = shared.model.forward_backward(g, s, &keys, &rows);
+        let grads = shared.model.forward_backward(g, s, &keys, &scratch.rows);
 
-        // Aggregate this GPU's gradients per key in arrival order.
-        let mut agg = GradAggregator::new(dim);
+        // Aggregate this GPU's gradients per key in arrival order (the
+        // aggregator arena is reused; `drain`ed by the merge, swapped back
+        // next step).
         for (i, &key) in keys.iter().enumerate() {
-            agg.add(key, &grads.emb_grads[i * dim..(i + 1) * dim]);
+            scratch
+                .agg
+                .add(key, &grads.emb_grads[i * dim..(i + 1) * dim]);
         }
         drop(compute_span);
 
@@ -548,7 +1001,7 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
                 Nanos::ZERO
             },
             host_dram: cost.host_read(HostPath::Uva, host_reads, row_bytes, n),
-            cache: cost.cache_query(unique.len() as u64) + cost.cache_update(fills),
+            cache: cost.cache_query(unique_n as u64) + cost.cache_update(fills),
             other: cost.dnn_time(
                 shared.model.dense_flops_per_sample() * batch_per_gpu as f64,
                 shared.model.dense_layers().max(1),
@@ -557,136 +1010,42 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
         };
         // The non-critical-path flush writes are *not* charged — that is
         // precisely Frugal's point. Frugal-Sync charges them below as stall.
-        *shared.agg_slots[g].lock() = Some(agg);
+        std::mem::swap(&mut *shared.agg_slots[g].lock(), &mut scratch.agg);
         *shared.phase_slots[g].lock() = phase.clone();
 
+        // Barrier A: aggregates deposited. The A-leader merges and
+        // publishes the step's work.
         if barrier.wait().is_leader() {
-            leader_step(shared, &rec, s);
+            leader_prepare(shared, s);
         }
-        barrier.wait();
+        // Barrier B: StepWork visible. Everyone registers their shards.
+        let b = barrier.wait();
+        register_phase(
+            shared,
+            &rec,
+            s,
+            g,
+            &mut scratch,
+            &mut cache,
+            cache_opt.as_mut(),
+        );
+        if b.is_leader() {
+            compose_phases(shared);
+        }
+        // Barrier C: registration complete — the step's entries are all
+        // queued before any trainer can evaluate step s + 1's wait
+        // condition. The C-leader finalizes bookkeeping concurrently.
+        if barrier.wait().is_leader() {
+            leader_finish(shared, s);
+        }
     }
 
     shared.metrics.hits.add(hits);
     shared.metrics.misses.add(misses);
 }
 
-/// The barrier leader's per-step work: aggregation across GPUs, g-entry
-/// registration (the paper's controller duties), and bookkeeping.
-/// `rec` is the leading trainer's recorder (the leader can change between
-/// steps, so g-entry spans land on whichever thread led the step).
-fn leader_step(shared: &RunShared<'_>, rec: &ThreadRecorder, s: u64) {
-    let cfg = shared.cfg;
-    let n = cfg.n_gpus();
-    let dim = shared.model.dim();
-
-    // Merge per-GPU aggregates in GPU index order (canonical).
-    let mut merged = GradAggregator::new(dim);
-    for slot in &shared.agg_slots {
-        let agg = slot.lock().take().expect("trainer deposited aggregate");
-        merged.merge(agg);
-    }
-    shared.model.end_step(s);
-
-    // Sample queue: prefetch the reads of step s + L.
-    register_reads(shared, s + cfg.lookahead);
-
-    // Route aggregated updates to owner caches and register them for
-    // flushing (P²F) or apply them write-through (Frugal-Sync).
-    let updates = merged.into_arrival_order();
-    let n_rows = updates.len() as u64;
-    let mut owner_lists: Vec<Vec<(Key, Arc<[f32]>)>> = (0..n).map(|_| Vec::new()).collect();
-    let t0 = Instant::now();
-    let mut sync_stall = Nanos::ZERO;
-    match cfg.flush_mode {
-        FlushMode::P2f => {
-            for (key, grad) in updates {
-                let grad: Arc<[f32]> = grad.into();
-                owner_lists[shared.sharding.owner(key)].push((key, Arc::clone(&grad)));
-                shared.gstore.add_write(key, s, grad, shared.pq.as_ref());
-            }
-            shared.pq.set_upper_bound(s + 1 + cfg.lookahead);
-            // New low-priority entries may unblock flushers' scan ranges.
-            shared.flush_cv.notify_all();
-        }
-        FlushMode::WriteThrough => {
-            let mut opt = shared.sync_opt.lock();
-            for (key, grad) in updates {
-                shared.store.write_row(key, |row| {
-                    opt.update_row(key, row, &grad);
-                });
-                owner_lists[shared.sharding.owner(key)].push((key, grad.into()));
-            }
-            // The write-through flush the paper describes: every update
-            // crosses PCIe to host memory synchronously, with no background
-            // overlap — the "long stall" of §3.1 (the real apply above runs
-            // at host-memcpy speed and is not representative).
-            sync_stall = cfg.cost.sync_flush(n_rows, n);
-        }
-    }
-    if cfg.flush_mode == FlushMode::P2f {
-        rec.record_completed(Phase::GEntryUpdate, t0, SpanArgs::one("rows", n_rows));
-    }
-    // Convert the measured registration time to reference-machine terms:
-    // divide by how much slower this host runs the canonical registration
-    // probe than the reference controller (see `calibrate`). Relative
-    // effects — tree heap vs two-level PQ, gradient widths, batch sizes —
-    // are already inside the measurement and survive intact.
-    let slowdown = crate::calibrate::host_slowdown(cfg.cost.gentry_op_reference_ns(128));
-    let gentry_time = match cfg.flush_mode {
-        FlushMode::P2f => Nanos::from(t0.elapsed()) * (1.0 / slowdown),
-        // Write-through has no g-entries; its flush cost is the stall.
-        FlushMode::WriteThrough => Nanos::ZERO,
-    };
-    shared.gentry_times.lock().push(gentry_time);
-    for (g, list) in owner_lists.into_iter().enumerate() {
-        shared.cache_updates[g].lock().extend(list);
-    }
-
-    // Compose the iteration record: per-phase max across GPUs (phases run
-    // in parallel), plus the leader's critical-path work.
-    let mut it = IterBreakdown::default();
-    let mut loss_sum = 0.0f32;
-    for slot in &shared.phase_slots {
-        let p = slot.lock();
-        it.comm = it.comm.max(p.comm);
-        it.host_dram = it.host_dram.max(p.host_dram);
-        it.cache = it.cache.max(p.cache);
-        it.other = it.other.max(p.other);
-        loss_sum += p.loss;
-    }
-    // The controller/flushers contend with trainers for CPU cores: charge
-    // an oversubscription factor on the leader's software time (the Fig 17
-    // "too many flushing threads divert CPU" effect).
-    let cores = cfg.cost.topology().host().cpu_cores.max(1);
-    let oversub = ((n + cfg.flush_threads + 2) as f64 / cores as f64).max(1.0);
-    it.other += gentry_time * oversub + cfg.cost.framework_frugal();
-    let hw_time = it.comm + it.host_dram + it.cache + it.other;
-    it.stall = match cfg.flush_mode {
-        FlushMode::WriteThrough => sync_stall,
-        FlushMode::P2f => virtual_stall(shared, s),
-    };
-    let _ = hw_time;
-    // Rows whose flush gates the next step's wait condition: keys of step
-    // s+1 that still have pending writes after this step's registration.
-    if cfg.flush_mode == FlushMode::P2f {
-        let mut blocked = 0u64;
-        if s + 1 < cfg.steps {
-            let mut seen = std::collections::HashSet::new();
-            for g in 0..n {
-                for key in shared.workload.keys(s + 1, g) {
-                    if seen.insert(key) && shared.gstore.has_pending_writes(key) {
-                        blocked += 1;
-                    }
-                }
-            }
-        }
-        shared.metrics.blocking_rows_next.set(blocked as i64);
-    }
-    shared.iters.lock().push((it, loss_sum / n as f32));
-}
-
 /// Models the P²F stall at step `s`'s wait condition as real hardware would
-/// see it: the flushing threads must push the `blocking_rows` updates —
+/// see it: the flushing threads must push the `blocking` updates —
 /// parameters written in the previous step and read again now (paper Fig 6,
 /// the k2 case) — to host memory before training may proceed. Deferred
 /// (∞-priority) updates do not stall unless an upcoming read reactivates
@@ -694,27 +1053,30 @@ fn leader_step(shared: &RunShared<'_>, rec: &ThreadRecorder, s: u64) {
 ///
 /// Per-row costs come from *measured* flusher behaviour (so the PQ
 /// implementation's efficiency — O(1) two-level vs O(log N) serialized tree
-/// heap — flows straight into the stall), divided across flushing threads
-/// according to whether dequeues serialize.
+/// heap — flows straight into the stall), **windowed to the deltas since
+/// the previous step** (see [`windowed_per_row`]) so early-run costs do not
+/// dilute late-run stalls, normalized to reference-machine terms, and
+/// divided across flushing threads according to whether dequeues serialize.
 ///
 /// The trainers still *physically* block on `PQ.top() > s` for correctness;
 /// only the reported time is modeled, because a single-core host cannot
 /// exhibit the overlap a multi-core controller provides.
-fn virtual_stall(shared: &RunShared<'_>, s: u64) -> Nanos {
-    if s == 0 {
+fn virtual_stall(
+    shared: &RunShared<'_>,
+    s: u64,
+    blocking: u64,
+    raw_deq_ns: f64,
+    raw_apply_ns: f64,
+) -> Nanos {
+    if s == 0 || blocking == 0 {
         return Nanos::ZERO;
     }
     let cfg = shared.cfg;
-    let blocking = shared.metrics.blocking_rows_next.get().max(0) as u64;
-    if blocking == 0 {
-        return Nanos::ZERO;
-    }
-    let rows = shared.metrics.flush_rows.get().max(1);
-    // Measured per-row flusher costs, normalized to reference-machine terms
-    // like the g-entry registration time (same calibration ratio).
+    // Normalize measured per-row costs to reference-machine terms like the
+    // g-entry registration time (same calibration ratio).
     let slowdown = crate::calibrate::host_slowdown(cfg.cost.gentry_op_reference_ns(128));
-    let deq_ns = (shared.metrics.flush_dequeue_ns.get() as f64 / rows as f64 / slowdown) as u64;
-    let apply_ns = (shared.metrics.flush_apply_ns.get() as f64 / rows as f64 / slowdown) as u64;
+    let deq_ns = (raw_deq_ns / slowdown) as u64;
+    let apply_ns = (raw_apply_ns / slowdown) as u64;
     let cores = cfg.cost.topology().host().cpu_cores.max(1);
     let n = cfg.n_gpus();
     let threads = cfg.flush_threads.min(cores.saturating_sub(n + 1).max(1)) as u64;
@@ -808,6 +1170,34 @@ mod tests {
     }
 
     #[test]
+    fn three_gpu_partitions_agree_with_serial() {
+        // 3 GPUs: the g-entry shard partition (shard % 3) does not coincide
+        // with the cache owner partition (key % 3) because 3 ∤ 64 — the two
+        // filters in `register_phase` must stay independent. All four
+        // execution strategies must produce bit-identical parameters.
+        let n_keys = 180u64;
+        let t = trace(n_keys, 33, 3);
+        let model = PullToTarget::new(4, 11);
+        let p2f = FrugalEngine::new(small_cfg(3, 12), n_keys, 4);
+        p2f.run(&t, &model);
+        let mut heap_cfg = small_cfg(3, 12);
+        heap_cfg.pq = PqKind::TreeHeap;
+        let heap = FrugalEngine::new(heap_cfg, n_keys, 4);
+        heap.run(&t, &model);
+        let sync = FrugalEngine::new(small_cfg(3, 12).write_through(), n_keys, 4);
+        sync.run(&t, &model);
+        let cfg = small_cfg(3, 12);
+        let serial =
+            crate::serial::train_serial_with(&t, &model, 12, cfg.lr, cfg.seed, cfg.optimizer);
+        for key in 0..n_keys {
+            let want = serial.store.row_vec(key);
+            assert_eq!(p2f.store().row_vec(key), want, "p2f key {key}");
+            assert_eq!(heap.store().row_vec(key), want, "treeheap key {key}");
+            assert_eq!(sync.store().row_vec(key), want, "write-through key {key}");
+        }
+    }
+
+    #[test]
     fn single_gpu_run_works() {
         let t = trace(100, 16, 1);
         let model = PullToTarget::new(4, 3);
@@ -830,6 +1220,62 @@ mod tests {
             "expected hot-key hits, got {}",
             report.hit_ratio
         );
+    }
+
+    #[test]
+    fn parked_flushers_still_drain() {
+        // A throttled, tiny run leaves flushers mostly idle: they must park
+        // (parked_ns grows) yet still drain every deferred update by the
+        // time `run` returns (the engine debug-asserts pending_keys == 0).
+        let t = trace(120, 16, 2);
+        let model = PullToTarget::new(4, 6);
+        let telemetry = frugal_telemetry::Telemetry::new();
+        let mut cfg = small_cfg(2, 8).with_telemetry(telemetry.clone());
+        cfg.flush_throttle_us = 50;
+        let engine = FrugalEngine::new(cfg, 120, 4);
+        let report = engine.run(&t, &model);
+        assert_eq!(report.stats.len(), 8);
+        let summary = report.telemetry.expect("telemetry on");
+        let parked = summary
+            .metrics
+            .counters
+            .iter()
+            .find(|(name, _)| name == "flusher.parked_ns")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(parked > 0, "idle flushers should park, not spin");
+        // And the run's parameters still match the serial oracle.
+        let cfg2 = small_cfg(2, 8);
+        let serial =
+            crate::serial::train_serial_with(&t, &model, 8, cfg2.lr, cfg2.seed, cfg2.optimizer);
+        for key in 0..120 {
+            assert_eq!(engine.store().row_vec(key), serial.store.row_vec(key));
+        }
+    }
+
+    #[test]
+    fn windowed_per_row_tracks_recent_steps() {
+        let mut win = FlushWindow::default();
+        // Step 1: 100 rows at 10ns dequeue / 20ns apply each.
+        let (d, a) = windowed_per_row(&mut win, 1_000, 2_000, 100);
+        assert_eq!((d, a), (10.0, 20.0));
+        // Step 2: 10 more rows, but each cost 1000/2000ns — the windowed
+        // estimate must reflect the *recent* cost, not the lifetime mean
+        // (which would be ~101ns dequeue).
+        let (d, a) = windowed_per_row(&mut win, 11_000, 22_000, 110);
+        assert_eq!((d, a), (1_000.0, 2_000.0));
+        // Step 3: no rows flushed — fall back to the lifetime average.
+        let (d, a) = windowed_per_row(&mut win, 11_000, 22_000, 110);
+        assert_eq!((d, a), (100.0, 200.0));
+        // Step 4: fresh rows resume windowing from the stored totals.
+        let (d, a) = windowed_per_row(&mut win, 11_550, 22_550, 120);
+        assert_eq!((d, a), (55.0, 55.0));
+    }
+
+    #[test]
+    fn windowed_per_row_empty_run_is_zero() {
+        let mut win = FlushWindow::default();
+        assert_eq!(windowed_per_row(&mut win, 0, 0, 0), (0.0, 0.0));
     }
 
     #[test]

@@ -53,6 +53,17 @@ impl GEntry {
 
 const SHARDS: usize = 64;
 
+/// Reusable scratch for the batch registration paths: the priority-queue
+/// operations one shard's batch generates, staged so the queue sees a
+/// single `enqueue_batch` + `adjust_batch` per shard instead of one call
+/// per key. Owned by the caller (one per trainer) so the hot loop never
+/// allocates after warm-up.
+#[derive(Debug, Default)]
+pub struct PqOpScratch {
+    enqueues: Vec<(Key, Priority)>,
+    moves: Vec<(Key, Priority, Priority)>,
+}
+
 /// The sharded g-entry store.
 ///
 /// All mutations lock exactly one shard, so the controller, trainers, and
@@ -80,7 +91,19 @@ impl GEntryStore {
     }
 
     fn shard(&self, key: Key) -> &Mutex<HashMap<Key, GEntry>> {
-        &self.shards[(key as usize) % SHARDS]
+        &self.shards[Self::shard_of(key)]
+    }
+
+    /// Number of shards (fixed; the engine partitions shard ownership
+    /// across trainers by `shard_of(key) % n_gpus`).
+    pub const fn n_shards() -> usize {
+        SHARDS
+    }
+
+    /// The shard index `key` lives in. Stable across the store's lifetime,
+    /// so callers can pre-group batches by shard.
+    pub fn shard_of(key: Key) -> usize {
+        (key as usize) % SHARDS
     }
 
     /// Number of keys with unflushed updates. The engine waits for this to
@@ -128,6 +151,121 @@ impl GEntryStore {
             pq.adjust(key, entry.priority, new_p);
             entry.priority = new_p;
         }
+    }
+
+    /// Batch form of [`GEntryStore::add_write`]: registers the aggregated
+    /// updates of `step` for every `(key, Δ)` in `items`, locking each
+    /// shard once per contiguous same-shard run (callers pre-group by
+    /// [`GEntryStore::shard_of`], so "once per run" is once per shard) and
+    /// handing the queue one `enqueue_batch` + `adjust_batch` per shard.
+    ///
+    /// The queue operations execute while the shard lock is still held —
+    /// the same envelope the per-key path uses. Releasing the lock first
+    /// would let a concurrent mutator of the same key observe `in_pq =
+    /// true` for an entry not yet physically queued and emit an `adjust`
+    /// whose old position does not exist.
+    pub fn add_writes_batch(
+        &self,
+        step: u64,
+        items: &[(Key, Arc<[f32]>)],
+        pq: &dyn PriorityQueue,
+        scratch: &mut PqOpScratch,
+    ) {
+        let mut i = 0;
+        while i < items.len() {
+            let sid = Self::shard_of(items[i].0);
+            let mut shard = self.shards[sid].lock();
+            scratch.enqueues.clear();
+            scratch.moves.clear();
+            let mut newly_pending = 0usize;
+            while i < items.len() && Self::shard_of(items[i].0) == sid {
+                let (key, grad) = &items[i];
+                let entry = shard.entry(*key).or_default();
+                entry.r_set.remove(&step);
+                let had_writes = !entry.w_set.is_empty();
+                entry.w_set.push((step, Arc::clone(grad)));
+                if !had_writes {
+                    newly_pending += 1;
+                }
+                let new_p = entry.compute_priority();
+                if !entry.in_pq {
+                    scratch.enqueues.push((*key, new_p));
+                    entry.in_pq = true;
+                    entry.priority = new_p;
+                } else if new_p != entry.priority {
+                    scratch.moves.push((*key, entry.priority, new_p));
+                    entry.priority = new_p;
+                }
+                i += 1;
+            }
+            // Count before the entries become findable (the drain check
+            // `shutdown && pending_keys() == 0` must never observe a queued
+            // entry it thinks is already flushed). `take_writes` of these
+            // keys blocks on the shard lock until after this, so the
+            // matching decrement cannot run first.
+            if newly_pending > 0 {
+                self.pending_keys.fetch_add(newly_pending, Ordering::AcqRel);
+            }
+            sched_point!("gentry.writes_batch.publish");
+            pq.enqueue_batch(&scratch.enqueues);
+            pq.adjust_batch(&scratch.moves);
+        }
+    }
+
+    /// Batch form of [`GEntryStore::add_read`]: registers that every key in
+    /// `keys` will be read at `step`, with the same shard-run locking and
+    /// batched queue adjustment as [`GEntryStore::add_writes_batch`].
+    /// Callers pre-dedup and pre-group `keys` by shard.
+    pub fn add_reads_batch(
+        &self,
+        step: u64,
+        keys: &[Key],
+        pq: &dyn PriorityQueue,
+        scratch: &mut PqOpScratch,
+    ) {
+        let mut i = 0;
+        while i < keys.len() {
+            let sid = Self::shard_of(keys[i]);
+            let mut shard = self.shards[sid].lock();
+            scratch.moves.clear();
+            while i < keys.len() && Self::shard_of(keys[i]) == sid {
+                let key = keys[i];
+                let entry = shard.entry(key).or_default();
+                entry.r_set.insert(step);
+                if entry.in_pq {
+                    let new_p = entry.compute_priority();
+                    if new_p != entry.priority {
+                        scratch.moves.push((key, entry.priority, new_p));
+                        entry.priority = new_p;
+                    }
+                }
+                i += 1;
+            }
+            sched_point!("gentry.reads_batch.publish");
+            pq.adjust_batch(&scratch.moves);
+        }
+    }
+
+    /// Counts how many of `keys` currently have pending (unflushed)
+    /// writes, locking each shard once per contiguous same-shard run.
+    /// This is the blocking-rows probe of the next step's wait condition;
+    /// callers pass the already-deduped, shard-grouped lookahead key list
+    /// that registration produced, so no workload re-query or re-dedup
+    /// happens on the critical path.
+    pub fn count_pending(&self, keys: &[Key]) -> u64 {
+        let mut blocked = 0u64;
+        let mut i = 0;
+        while i < keys.len() {
+            let sid = Self::shard_of(keys[i]);
+            let shard = self.shards[sid].lock();
+            while i < keys.len() && Self::shard_of(keys[i]) == sid {
+                if shard.get(&keys[i]).is_some_and(|e| !e.w_set.is_empty()) {
+                    blocked += 1;
+                }
+                i += 1;
+            }
+        }
+        blocked
     }
 
     /// Claims the pending writes of `key` for flushing, if the dequeued
@@ -358,6 +496,169 @@ mod tests {
         }
         assert_eq!(store.pending_keys(), 0);
         assert!(store.is_empty());
+    }
+
+    /// Groups keys by shard (stable within a shard), the pre-grouping the
+    /// batch APIs expect from callers.
+    fn shard_grouped(keys: &[Key]) -> Vec<Key> {
+        let mut v = keys.to_vec();
+        v.sort_by_key(|&k| GEntryStore::shard_of(k));
+        v
+    }
+
+    #[test]
+    fn batch_writes_match_sequential_path() {
+        // Same operation stream through the per-key path and the batch
+        // path must leave identical store + queue state.
+        let seq_store = GEntryStore::new();
+        let seq_pq = TwoLevelPq::new(100);
+        let bat_store = GEntryStore::new();
+        let bat_pq = TwoLevelPq::new(100);
+        let mut scratch = PqOpScratch::default();
+
+        // Keys spanning several shards (incl. two in the same shard:
+        // 1 and 65), some with tightening reads, some deferred.
+        let keys: Vec<Key> = vec![1, 65, 2, 130, 7, 64];
+        for &k in &keys {
+            seq_store.add_read(k, 3, &seq_pq);
+        }
+        bat_store.add_reads_batch(3, &shard_grouped(&keys), &bat_pq, &mut scratch);
+
+        let grad: Arc<[f32]> = vec![0.5].into();
+        let items: Vec<(Key, Arc<[f32]>)> = keys.iter().map(|&k| (k, Arc::clone(&grad))).collect();
+        for (k, g) in &items {
+            seq_store.add_write(*k, 0, Arc::clone(g), &seq_pq);
+        }
+        let mut grouped = items.clone();
+        grouped.sort_by_key(|&(k, _)| GEntryStore::shard_of(k));
+        bat_store.add_writes_batch(0, &grouped, &bat_pq, &mut scratch);
+
+        // A later read that re-tightens priorities through the batch path.
+        for &k in &[1u64, 2] {
+            seq_store.add_read(k, 1, &seq_pq);
+        }
+        bat_store.add_reads_batch(1, &shard_grouped(&[1, 2]), &bat_pq, &mut scratch);
+
+        for &k in &keys {
+            assert_eq!(
+                seq_store.priority_of(k),
+                bat_store.priority_of(k),
+                "key {k} priority diverged"
+            );
+        }
+        assert_eq!(seq_store.pending_keys(), bat_store.pending_keys());
+        assert_eq!(seq_pq.top_priority(), bat_pq.top_priority());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        seq_pq.dequeue_batch(usize::MAX, &mut a);
+        bat_pq.dequeue_batch(usize::MAX, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "queue contents diverged");
+    }
+
+    #[test]
+    fn batch_write_then_take_round_trip() {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(100);
+        let mut scratch = PqOpScratch::default();
+        store.add_reads_batch(2, &[4, 68], &pq, &mut scratch);
+        let items: Vec<(Key, Arc<[f32]>)> = vec![(4, vec![1.0].into()), (68, vec![2.0].into())];
+        store.add_writes_batch(0, &items, &pq, &mut scratch);
+        assert_eq!(store.pending_keys(), 2);
+        assert_eq!(pq.top_priority(), 2);
+        let mut out = Vec::new();
+        pq.dequeue_batch(usize::MAX, &mut out);
+        for (k, p) in out {
+            let w = store.take_writes(k, p).expect("fresh entries claimable");
+            assert_eq!(w.len(), 1);
+        }
+        assert_eq!(store.pending_keys(), 0);
+    }
+
+    #[test]
+    fn count_pending_sees_only_unflushed() {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(100);
+        let mut scratch = PqOpScratch::default();
+        let items: Vec<(Key, Arc<[f32]>)> = vec![
+            (3, vec![1.0].into()),
+            (67, vec![1.0].into()),
+            (5, vec![1.0].into()),
+        ];
+        store.add_writes_batch(0, &items, &pq, &mut scratch);
+        // Key 9 has only a read; key 99 does not exist.
+        store.add_reads_batch(4, &[9], &pq, &mut scratch);
+        assert_eq!(store.count_pending(&[3, 67, 5, 9, 99]), 3);
+        let mut out = Vec::new();
+        pq.dequeue_batch(1, &mut out);
+        store.take_writes(out[0].0, out[0].1).unwrap();
+        assert_eq!(store.count_pending(&[3, 67, 5, 9, 99]), 2);
+    }
+
+    #[test]
+    fn concurrent_batch_writers_and_flusher_balance() {
+        // Two batch registrants on disjoint shard sets racing one flusher:
+        // the P²F drain invariant (every staged update flushed exactly
+        // once) must survive the batch path.
+        let store = Arc::new(GEntryStore::new());
+        let pq = Arc::new(TwoLevelPq::new(2_000));
+        let writers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let (store, pq) = (Arc::clone(&store), Arc::clone(&pq));
+                std::thread::spawn(move || {
+                    let mut scratch = PqOpScratch::default();
+                    for step in 0..300u64 {
+                        // Trainer t owns shards with parity t (key % 2 == t
+                        // implies shard % 2 == t for SHARDS = 64).
+                        let keys: Vec<Key> = (0..16u64).map(|i| 2 * i + t).collect();
+                        let reads = shard_grouped(&keys);
+                        store.add_reads_batch(step, &reads, pq.as_ref(), &mut scratch);
+                        let mut items: Vec<(Key, Arc<[f32]>)> =
+                            keys.iter().map(|&k| (k, vec![1.0f32].into())).collect();
+                        items.sort_by_key(|&(k, _)| GEntryStore::shard_of(k));
+                        store.add_writes_batch(step, &items, pq.as_ref(), &mut scratch);
+                    }
+                })
+            })
+            .collect();
+        let flusher = {
+            let (store, pq) = (Arc::clone(&store), Arc::clone(&pq));
+            std::thread::spawn(move || {
+                let mut applied = 0u64;
+                let mut out = Vec::new();
+                let mut idle = 0;
+                while idle < 1_000 {
+                    out.clear();
+                    pq.dequeue_batch(32, &mut out);
+                    if out.is_empty() {
+                        idle += 1;
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    idle = 0;
+                    for &(k, p) in &out {
+                        if let Some(w) = store.take_writes(k, p) {
+                            applied += w.len() as u64;
+                        }
+                    }
+                }
+                applied
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        let applied = flusher.join().unwrap();
+        let mut out = Vec::new();
+        pq.dequeue_batch(usize::MAX, &mut out);
+        let mut rest = 0u64;
+        for (k, p) in out {
+            if let Some(w) = store.take_writes(k, p) {
+                rest += w.len() as u64;
+            }
+        }
+        assert_eq!(applied + rest, 2 * 300 * 16, "every staged update flushed");
+        assert_eq!(store.pending_keys(), 0);
     }
 
     #[test]

@@ -40,9 +40,9 @@ mod workload;
 pub use calibrate::{host_gentry_ns, host_slowdown};
 pub use config::{FlushMode, FrugalConfig, OptimizerKind, PqKind};
 pub use engine::FrugalEngine;
-pub use gentry::{GEntryStore, PendingWrites};
+pub use gentry::{GEntryStore, PendingWrites, PqOpScratch};
 pub use model::{BatchGrads, EmbeddingModel, PullToTarget};
 pub use report::TrainReport;
 pub use serial::{train_serial, train_serial_with, SerialRun};
-pub use wait::{admits, blocked, InflightTable};
+pub use wait::{admits, blocked, pending_floor, InflightTable};
 pub use workload::Workload;

@@ -86,6 +86,13 @@ pub fn admits(pq: &dyn PriorityQueue, inflight: &InflightTable, s: u64) -> bool 
     !blocked(pq, inflight, s)
 }
 
+/// The lowest outstanding deadline across both wait-condition sources —
+/// the queue top and the in-flight markers. This is what a blocked trainer
+/// is blocked *on*; the engine attributes stalls to it in telemetry.
+pub fn pending_floor(pq: &dyn PriorityQueue, inflight: &InflightTable) -> u64 {
+    pq.top_priority().min(inflight.min())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

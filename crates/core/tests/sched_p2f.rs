@@ -21,10 +21,10 @@
 
 #![cfg(feature = "sched")]
 
-use frugal_core::{admits, InflightTable};
+use frugal_core::{admits, GEntryStore, InflightTable, PqOpScratch};
 use frugal_pq::{PriorityQueue, TwoLevelPq, INFINITE};
 use frugal_sched::{explore, replay, yield_point, ExploreConfig, SimBuilder};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// How the model flusher hands off dequeued entries to the wait condition.
@@ -192,4 +192,118 @@ fn guarded_dequeue_with_two_pending_writes_survives_sweep() {
         "multi-entry guarded dequeue must stay sound: {:?}",
         outcome.failure
     );
+}
+
+#[test]
+fn sharded_batch_registration_survives_sweep() {
+    // The parallel-registration path end to end: a trainer registers one
+    // shard's g-entry writes with `add_writes_batch` (keys 1 and 65 share
+    // shard 1; key 2 lands in shard 2 and is registered in a second batch)
+    // while a flusher drains with guarded dequeues + `take_writes` and a
+    // probing trainer evaluates the wait condition. Reads of step 3 are
+    // pre-registered, so every write carries priority 3 — until all three
+    // rows are durably applied, step 3 must stay blocked.
+    //
+    // The flusher and prober gate on `reg1_done` (spun at a yield point):
+    // the engine's barrier C orders registration before the next wait-
+    // condition evaluation, and a scheduler-suspended registrant holding a
+    // shard mutex must never be contended by a runnable thread (the
+    // harness counts only yield points, so OS-mutex blocking on a
+    // suspended vthread would wedge the controller). The second batch DOES
+    // run concurrently with the drain — disjoint shard, so the only
+    // shared state is the lock-free queue, exactly the engine's geometry.
+    let outcome = explore(&quiet(0..1024), |sim| {
+        let pq: Arc<TwoLevelPq> = Arc::new(TwoLevelPq::new(16));
+        let gstore = Arc::new(GEntryStore::new());
+        let grad: Arc<[f32]> = Arc::from(vec![1.0f32].as_slice());
+        // Sample-queue prefetch (build phase): step 3 reads all three keys.
+        for key in [1u64, 65, 2] {
+            gstore.add_read(key, 3, pq.as_ref() as &dyn PriorityQueue);
+        }
+        let inflight = Arc::new(InflightTable::new(1));
+        let reg1_done = Arc::new(AtomicBool::new(false));
+        let applied = Arc::new(AtomicUsize::new(0));
+
+        {
+            let pq = Arc::clone(&pq);
+            let gstore = Arc::clone(&gstore);
+            let reg1_done = Arc::clone(&reg1_done);
+            let grad = Arc::clone(&grad);
+            sim.thread("registrant", move || {
+                let mut scratch = PqOpScratch::default();
+                gstore.add_writes_batch(
+                    0,
+                    &[(1, Arc::clone(&grad)), (65, Arc::clone(&grad))],
+                    pq.as_ref(),
+                    &mut scratch,
+                );
+                reg1_done.store(true, Ordering::SeqCst);
+                yield_point("registrant.between_batches");
+                gstore.add_writes_batch(0, &[(2, Arc::clone(&grad))], pq.as_ref(), &mut scratch);
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            let gstore = Arc::clone(&gstore);
+            let inflight = Arc::clone(&inflight);
+            let reg1_done = Arc::clone(&reg1_done);
+            let applied = Arc::clone(&applied);
+            sim.thread("flusher", move || {
+                let mut out = Vec::new();
+                for _ in 0..64 {
+                    if !reg1_done.load(Ordering::SeqCst) {
+                        yield_point("flusher.await_registration");
+                        continue;
+                    }
+                    out.clear();
+                    pq.dequeue_batch_guarded(8, &mut out, inflight.guard(0));
+                    for &(key, bucket_p) in &out {
+                        if gstore.take_writes(key, bucket_p).is_some() {
+                            // "Apply to host memory": the marker may only
+                            // clear after this point.
+                            applied.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    inflight.clear(0);
+                    if applied.load(Ordering::SeqCst) == 3 {
+                        return;
+                    }
+                    yield_point("flusher.idle");
+                }
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            let inflight = Arc::clone(&inflight);
+            let reg1_done = Arc::clone(&reg1_done);
+            let applied = Arc::clone(&applied);
+            sim.thread("trainer", move || {
+                for _ in 0..8 {
+                    if !reg1_done.load(Ordering::SeqCst) {
+                        yield_point("trainer.await_registration");
+                        continue;
+                    }
+                    let ok = admits(pq.as_ref() as &dyn PriorityQueue, &inflight, 3);
+                    // Monotone: `applied` only grows, so a post-probe read
+                    // of < 3 means rows were pending for the whole probe.
+                    if applied.load(Ordering::SeqCst) < 3 {
+                        assert!(!ok, "registered write invisible to the wait condition");
+                    }
+                    yield_point("trainer.probe");
+                }
+            });
+        }
+        let gstore = Arc::clone(&gstore);
+        let applied = Arc::clone(&applied);
+        sim.check("all rows drained", move || {
+            assert_eq!(applied.load(Ordering::SeqCst), 3, "flusher starved");
+            assert_eq!(gstore.pending_keys(), 0, "pending key survived the drain");
+        });
+    });
+    assert!(
+        !outcome.found_violation(),
+        "sharded batch registration must keep the wait condition sound: {:?}",
+        outcome.failure
+    );
+    assert_eq!(outcome.runs, 1024);
 }

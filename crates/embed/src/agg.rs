@@ -6,9 +6,15 @@
 //! not associative, so to let a multi-threaded engine reproduce the serial
 //! reference *bitwise*, gradients must be summed in a canonical order:
 //! sample order within a GPU, GPU index order across GPUs.
+//!
+//! Accumulators live in one flat arena (`data`) indexed by a key → slot
+//! map, so an aggregator can be [`cleared`](GradAggregator::clear) and
+//! reused step after step without re-allocating — the engine keeps one per
+//! trainer on its hot loop.
 
 use frugal_data::Key;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Accumulates per-key gradients in arrival order.
 ///
@@ -26,8 +32,11 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct GradAggregator {
     dim: usize,
-    grads: HashMap<Key, Vec<f32>>,
+    /// Key → slot index into `order`/`data`.
+    index: HashMap<Key, usize>,
     order: Vec<Key>,
+    /// Slot `i`'s accumulator is `data[i * dim..(i + 1) * dim]`.
+    data: Vec<f32>,
 }
 
 impl GradAggregator {
@@ -40,8 +49,35 @@ impl GradAggregator {
         assert!(dim > 0, "dim must be positive");
         GradAggregator {
             dim,
-            grads: HashMap::new(),
+            index: HashMap::new(),
             order: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Width of the gradients this aggregator accumulates.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Empties the aggregator but keeps every allocation (map table, order
+    /// list, arena) for reuse on the next step.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.order.clear();
+        self.data.clear();
+    }
+
+    fn slot(&mut self, key: Key) -> (usize, bool) {
+        match self.index.get(&key) {
+            Some(&i) => (i, false),
+            None => {
+                let i = self.order.len();
+                self.index.insert(key, i);
+                self.order.push(key);
+                self.data.resize(self.data.len() + self.dim, 0.0);
+                (i, true)
+            }
         }
     }
 
@@ -52,16 +88,10 @@ impl GradAggregator {
     /// Panics if `grad.len() != dim`.
     pub fn add(&mut self, key: Key, grad: &[f32]) {
         assert_eq!(grad.len(), self.dim, "gradient length != dim");
-        match self.grads.get_mut(&key) {
-            Some(acc) => {
-                for (a, &g) in acc.iter_mut().zip(grad) {
-                    *a += g;
-                }
-            }
-            None => {
-                self.grads.insert(key, grad.to_vec());
-                self.order.push(key);
-            }
+        let (i, _) = self.slot(key);
+        let acc = &mut self.data[i * self.dim..(i + 1) * self.dim];
+        for (a, &g) in acc.iter_mut().zip(grad) {
+            *a += g;
         }
     }
 
@@ -72,36 +102,31 @@ impl GradAggregator {
     /// Panics if `grad.len() != dim`.
     pub fn add_scaled(&mut self, key: Key, grad: &[f32], scale: f32) {
         assert_eq!(grad.len(), self.dim, "gradient length != dim");
-        match self.grads.get_mut(&key) {
-            Some(acc) => {
-                for (a, &g) in acc.iter_mut().zip(grad) {
-                    *a += scale * g;
-                }
-            }
-            None => {
-                let scaled: Vec<f32> = grad.iter().map(|&g| scale * g).collect();
-                self.grads.insert(key, scaled);
-                self.order.push(key);
-            }
+        let (i, _) = self.slot(key);
+        let acc = &mut self.data[i * self.dim..(i + 1) * self.dim];
+        for (a, &g) in acc.iter_mut().zip(grad) {
+            *a += scale * g;
         }
     }
 
     /// Number of distinct keys accumulated.
     pub fn len(&self) -> usize {
-        self.grads.len()
+        self.order.len()
     }
 
     /// True if nothing was accumulated.
     pub fn is_empty(&self) -> bool {
-        self.grads.is_empty()
+        self.order.is_empty()
     }
 
     /// Drains into `(key, grad)` pairs in *first-arrival* order — the
     /// canonical order for deterministic downstream application.
-    pub fn into_arrival_order(mut self) -> Vec<(Key, Vec<f32>)> {
+    pub fn into_arrival_order(self) -> Vec<(Key, Vec<f32>)> {
+        let dim = self.dim;
         self.order
             .iter()
-            .map(|k| (*k, self.grads.remove(k).expect("ordered key present")))
+            .enumerate()
+            .map(|(i, &k)| (k, self.data[i * dim..(i + 1) * dim].to_vec()))
             .collect()
     }
 
@@ -112,17 +137,56 @@ impl GradAggregator {
         v
     }
 
+    /// Drains the accumulated gradients into shared rows, appending
+    /// `(key, Arc(grad))` to `out` in first-arrival order, and clears the
+    /// aggregator for reuse. The `Arc` per row is the only allocation: the
+    /// same shared gradient travels to the g-entry W set and the owner
+    /// GPU's cache update, so nothing is cloned downstream.
+    pub fn drain_arcs(&mut self, out: &mut Vec<(Key, Arc<[f32]>)>) {
+        for (i, &k) in self.order.iter().enumerate() {
+            out.push((k, Arc::from(&self.data[i * self.dim..(i + 1) * self.dim])));
+        }
+        self.clear();
+    }
+
+    /// Folds `other`'s accumulators into `self` (first-arrival order within
+    /// `other`) and clears `other`, keeping both allocations alive. This is
+    /// the reusable form of [`GradAggregator::merge`] for per-GPU aggregates
+    /// folded in GPU index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn merge_from(&mut self, other: &mut GradAggregator) {
+        assert_eq!(self.dim, other.dim, "dim mismatch");
+        for (i, &k) in other.order.iter().enumerate() {
+            let grad = &other.data[i * self.dim..(i + 1) * self.dim];
+            let j = match self.index.get(&k) {
+                Some(&j) => j,
+                None => {
+                    let j = self.order.len();
+                    self.index.insert(k, j);
+                    self.order.push(k);
+                    self.data.resize(self.data.len() + self.dim, 0.0);
+                    j
+                }
+            };
+            let acc = &mut self.data[j * self.dim..(j + 1) * self.dim];
+            for (a, &g) in acc.iter_mut().zip(grad) {
+                *a += g;
+            }
+        }
+        other.clear();
+    }
+
     /// Merges `other` into `self` (used to fold per-GPU aggregates in GPU
     /// index order).
     ///
     /// # Panics
     ///
     /// Panics if dimensions differ.
-    pub fn merge(&mut self, other: GradAggregator) {
-        assert_eq!(self.dim, other.dim, "dim mismatch");
-        for (k, g) in other.into_arrival_order() {
-            self.add(k, &g);
-        }
+    pub fn merge(&mut self, mut other: GradAggregator) {
+        self.merge_from(&mut other);
     }
 }
 
@@ -173,6 +237,49 @@ mod tests {
         b.add(2, &[5.0]);
         a.merge(b);
         assert_eq!(a.into_sorted(), vec![(1, vec![3.0]), (2, vec![5.0])]);
+    }
+
+    #[test]
+    fn merge_from_drains_other_and_reuses() {
+        let mut a = GradAggregator::new(2);
+        let mut b = GradAggregator::new(2);
+        b.add(4, &[1.0, 2.0]);
+        a.merge_from(&mut b);
+        assert!(b.is_empty(), "source drained");
+        // The drained source is reusable and independent.
+        b.add(5, &[9.0, 9.0]);
+        a.merge_from(&mut b);
+        assert_eq!(
+            a.into_sorted(),
+            vec![(4, vec![1.0, 2.0]), (5, vec![9.0, 9.0])]
+        );
+    }
+
+    #[test]
+    fn drain_arcs_preserves_arrival_order_and_clears() {
+        let mut agg = GradAggregator::new(1);
+        agg.add(9, &[1.0]);
+        agg.add(3, &[2.0]);
+        agg.add(9, &[0.5]);
+        let mut out = Vec::new();
+        agg.drain_arcs(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].0, &out[0].1[..]), (9, &[1.5f32][..]));
+        assert_eq!((out[1].0, &out[1].1[..]), (3, &[2.0f32][..]));
+        assert!(agg.is_empty());
+        // Cleared aggregator accumulates from zero again.
+        agg.add(9, &[4.0]);
+        assert_eq!(agg.into_sorted(), vec![(9, vec![4.0])]);
+    }
+
+    #[test]
+    fn clear_resets_accumulators() {
+        let mut agg = GradAggregator::new(1);
+        agg.add(1, &[1.0]);
+        agg.clear();
+        assert!(agg.is_empty());
+        agg.add(1, &[2.0]);
+        assert_eq!(agg.into_sorted(), vec![(1, vec![2.0])]);
     }
 
     #[test]

@@ -60,6 +60,37 @@ pub trait PriorityQueue: Send + Sync + Debug {
     /// it from `old`, so concurrent readers never miss it entirely.
     fn adjust(&self, key: u64, old: Priority, new: Priority);
 
+    /// Inserts a batch of `(key, priority)` pairs.
+    ///
+    /// Semantically identical to calling [`Self::enqueue`] per item; the
+    /// whole-batch contract is the per-item one: on return every entry is
+    /// visible to dequeuers **and** to `top_priority`'s conservative bound.
+    /// Mid-call, individual entries may be published without the bound yet
+    /// lowered — exactly the window a single `enqueue` has between its
+    /// bucket insert and its bound update, so callers that sequence
+    /// registration before releasing waiters (the engine's barrier) are
+    /// unaffected. Implementations override this to amortize shared-state
+    /// updates (one bound CAS per batch instead of per key).
+    fn enqueue_batch(&self, items: &[(u64, Priority)]) {
+        for &(key, priority) in items {
+            self.enqueue(key, priority);
+        }
+    }
+
+    /// Applies a batch of `(key, old, new)` priority moves.
+    ///
+    /// Per-key ordering follows [`Self::adjust`]: each key is visible at
+    /// `new` before it disappears from `old`, so a concurrent dequeuer can
+    /// observe at worst a stale copy (discarded by caller-side g-entry
+    /// validation), never a missing entry. Batch implementations may
+    /// reorder *across* keys (all inserts, then all removes) — the per-key
+    /// insert-before-delete invariant is what correctness rests on.
+    fn adjust_batch(&self, moves: &[(u64, Priority, Priority)]) {
+        for &(key, old, new) in moves {
+            self.adjust(key, old, new);
+        }
+    }
+
     /// Removes up to `max` entries in (approximately) ascending priority
     /// order, appending `(key, priority)` pairs to `out`. Entries may be
     /// stale; callers validate against the g-entry store.

@@ -325,6 +325,68 @@ impl PriorityQueue for TwoLevelPq {
         })
     }
 
+    fn enqueue_batch(&self, items: &[(u64, Priority)]) {
+        if items.is_empty() {
+            return;
+        }
+        self.probes.enqueue.time(|| {
+            // Conservative counter rule, batched: count the whole batch
+            // before any entry becomes visible (over-reporting is the safe
+            // direction; `len` must never miss a findable entry).
+            sched_point!("pq.enqueue_batch.len");
+            self.len.fetch_add(items.len(), Ordering::AcqRel);
+            let mut min = INFINITE;
+            for &(key, priority) in items {
+                self.buckets[self.bucket_index(priority)].insert(key);
+                sched_point!("pq.enqueue_batch.inserted");
+                min = min.min(priority);
+            }
+            // One bound update for the whole batch: lowering to the batch
+            // minimum covers every inserted priority (bound ≤ min ≤ p), and
+            // the single epoch bump suffices — any scan-raise racing the
+            // inserts either loses the CAS to this bump or is corrected by
+            // the bound this call publishes.
+            self.note_insert(min);
+        })
+    }
+
+    fn adjust_batch(&self, moves: &[(u64, Priority, Priority)]) {
+        if moves.is_empty() {
+            return;
+        }
+        self.probes.adjust.time(|| {
+            // Paper ordering per key: the new copy is published before the
+            // old one is removed. Batching hoists the shared-bound update
+            // out of the loop (one CAS per batch); removals run after all
+            // inserts, which only widens the stale-copy window dequeuers
+            // already tolerate via caller-side validation.
+            let mut min = INFINITE;
+            for &(key, old, new) in moves {
+                if old == new {
+                    // No-op move, matching `adjust`: inserting and then
+                    // removing in the same bucket would *drop* the entry
+                    // (buckets are sets — the insert would not duplicate).
+                    continue;
+                }
+                self.buckets[self.bucket_index(new)].insert(key);
+                sched_point!("pq.adjust_batch.inserted");
+                min = min.min(new);
+            }
+            self.note_insert(min);
+            for &(key, old, new) in moves {
+                if old == new {
+                    continue;
+                }
+                sched_point!("pq.adjust_batch.remove");
+                if !self.buckets[self.bucket_index(old)].remove(key) {
+                    // A dequeuer already took the old copy (and decremented
+                    // len for it); our insert added a live copy.
+                    self.len.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        })
+    }
+
     fn dequeue_batch(&self, max: usize, out: &mut Vec<(u64, Priority)>) {
         self.dequeue_impl(max, out, None);
     }
@@ -553,6 +615,135 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), 6_000, "lost or duplicated entries");
         assert!(pq.is_empty());
+    }
+
+    #[test]
+    fn enqueue_batch_matches_sequential() {
+        let a = TwoLevelPq::new(50);
+        let b = TwoLevelPq::new(50);
+        let items: Vec<(u64, Priority)> = (0..40u64)
+            .map(|k| (k, if k % 7 == 0 { INFINITE } else { k % 13 }))
+            .collect();
+        for &(k, p) in &items {
+            a.enqueue(k, p);
+        }
+        b.enqueue_batch(&items);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.top_priority(), b.top_priority());
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        a.dequeue_batch(usize::MAX, &mut oa);
+        b.dequeue_batch(usize::MAX, &mut ob);
+        oa.sort_unstable();
+        ob.sort_unstable();
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn adjust_batch_matches_sequential() {
+        let a = TwoLevelPq::new(50);
+        let b = TwoLevelPq::new(50);
+        for k in 0..20u64 {
+            a.enqueue(k, 40);
+            b.enqueue(k, 40);
+        }
+        let moves: Vec<(u64, Priority, Priority)> = (0..20u64)
+            .map(|k| {
+                (
+                    k,
+                    40,
+                    match k % 3 {
+                        0 => k % 5,
+                        1 => 40, // no-op move
+                        _ => INFINITE,
+                    },
+                )
+            })
+            .collect();
+        for &(k, o, n) in &moves {
+            a.adjust(k, o, n);
+        }
+        b.adjust_batch(&moves);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.top_priority(), b.top_priority());
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        a.dequeue_batch(usize::MAX, &mut oa);
+        b.dequeue_batch(usize::MAX, &mut ob);
+        oa.sort_unstable();
+        ob.sort_unstable();
+        assert_eq!(oa, ob);
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn enqueue_batch_lowers_bound_after_raise() {
+        // The single note_insert(batch-min) must pull a previously raised
+        // scan bound back down below every batch entry.
+        let pq = TwoLevelPq::new(100);
+        pq.enqueue(1, 60);
+        let mut out = Vec::new();
+        pq.dequeue_batch(1, &mut out); // raises the lower bound to 60
+        pq.enqueue_batch(&[(2, 30), (3, 10), (4, 45)]);
+        assert_eq!(pq.top_priority(), 10);
+        out.clear();
+        pq.dequeue_batch(usize::MAX, &mut out);
+        assert_eq!(out, vec![(3, 10), (2, 30), (4, 45)]);
+    }
+
+    #[test]
+    fn concurrent_batch_registration_loses_nothing() {
+        // Two "trainers" registering disjoint batches while a flusher
+        // drains: every key must surface exactly once (modulo the stale
+        // copies adjust_batch leaves, which dedup removes).
+        let pq = Arc::new(TwoLevelPq::new(1_000));
+        let regs: Vec<_> = (0..2u64)
+            .map(|t| {
+                let pq = Arc::clone(&pq);
+                std::thread::spawn(move || {
+                    for round in 0..200u64 {
+                        let base = t * 100_000 + round * 100;
+                        let items: Vec<(u64, Priority)> =
+                            (0..32).map(|i| (base + i, (round + i) % 900)).collect();
+                        pq.enqueue_batch(&items);
+                        let moves: Vec<(u64, Priority, Priority)> =
+                            items.iter().map(|&(k, p)| (k, p, (p + 7) % 900)).collect();
+                        pq.adjust_batch(&moves);
+                    }
+                })
+            })
+            .collect();
+        let flusher = {
+            let pq = Arc::clone(&pq);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                let mut idle = 0;
+                while idle < 500 {
+                    let before = got.len();
+                    pq.dequeue_batch(64, &mut got);
+                    if got.len() == before {
+                        idle += 1;
+                        std::thread::yield_now();
+                    } else {
+                        idle = 0;
+                    }
+                }
+                got
+            })
+        };
+        for r in regs {
+            r.join().unwrap();
+        }
+        let mut keys: Vec<u64> = flusher
+            .join()
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let mut rest = Vec::new();
+        pq.dequeue_batch(usize::MAX, &mut rest);
+        keys.extend(rest.into_iter().map(|(k, _)| k));
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 2 * 200 * 32, "every registered key surfaced");
     }
 
     #[test]
