@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the engine smoke benchmark.
+
+Compares a freshly measured ``engine_smoke`` output against the committed
+baseline and fails (exit 1) when either tracked metric regresses beyond
+the tolerance:
+
+* ``steps_per_sec`` must not drop below ``baseline * (1 - tol)``;
+* ``flush_apply_ns_row`` must not rise above ``baseline * (1 + tol)``
+  (skipped when the baseline predates the metric or recorded 0, e.g. a
+  write-through run).
+
+``mean_gentry_ns`` and ``p95_stall_ns`` are reported for context but not
+gated: both are calibrated/modeled quantities that shift when the
+calibration constants change, and gating them would punish intentional
+re-calibration rather than real regressions.
+
+Usage::
+
+    python3 ci/perf_gate.py [BASELINE_JSON] [CURRENT_JSON]
+
+Defaults: ``BENCH_engine.json`` (committed baseline) and
+``BENCH_engine.ci.json`` (fresh measurement). Tolerance comes from
+``FRUGAL_PERF_TOL`` (fractional, default 0.35 — CI boxes are noisy; the
+gate exists to catch collapses, not single-digit-percent drift).
+"""
+
+import json
+import os
+import sys
+
+
+def load_current(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "current" not in doc:
+        sys.exit(f"perf-gate: {path} has no 'current' block")
+    return doc["current"]
+
+
+def main():
+    baseline_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_engine.json"
+    current_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_engine.ci.json"
+    tol = float(os.environ.get("FRUGAL_PERF_TOL", "0.35"))
+
+    base = load_current(baseline_path)
+    cur = load_current(current_path)
+    failures = []
+
+    b = float(base["steps_per_sec"])
+    c = float(cur["steps_per_sec"])
+    floor = (1.0 - tol) * b
+    print(f"steps_per_sec:      baseline {b:10.1f}  current {c:10.1f}  floor {floor:10.1f}")
+    if c < floor:
+        failures.append(f"steps_per_sec {c:.1f} < floor {floor:.1f} (baseline {b:.1f}, tol {tol})")
+
+    b = float(base.get("flush_apply_ns_row", 0.0))
+    c = float(cur.get("flush_apply_ns_row", 0.0))
+    if b > 0.0:
+        ceil = (1.0 + tol) * b
+        print(f"flush_apply_ns_row: baseline {b:10.1f}  current {c:10.1f}  ceil  {ceil:10.1f}")
+        if c > ceil:
+            failures.append(
+                f"flush_apply_ns_row {c:.1f} > ceil {ceil:.1f} (baseline {b:.1f}, tol {tol})"
+            )
+    else:
+        print(f"flush_apply_ns_row: baseline has none; current {c:.1f} (recorded, not gated)")
+
+    for name in ("mean_gentry_ns", "p95_stall_ns"):
+        print(
+            f"{name + ':':<19} baseline {float(base.get(name, 0)):10.1f}  "
+            f"current {float(cur.get(name, 0)):10.1f}  (informational)"
+        )
+
+    if failures:
+        for f in failures:
+            print(f"perf-gate FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("perf-gate: OK")
+
+
+if __name__ == "__main__":
+    main()

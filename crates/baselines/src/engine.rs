@@ -383,6 +383,10 @@ impl BaselineEngine {
             mean_gentry_update: Nanos::ZERO,
             violations: 0,
             races: self.store.race_count(),
+            // Baselines apply updates synchronously; nothing is flushed in
+            // the background.
+            flush_rows: 0,
+            flush_apply_ns: 0,
             first_loss,
             final_loss,
             telemetry: cfg.telemetry.summary(),

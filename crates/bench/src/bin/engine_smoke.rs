@@ -8,7 +8,10 @@
 //!   `FRUGAL_SMOKE_REPEATS` runs, to cut scheduler noise),
 //! * `mean_gentry_ns` — mean per-step g-entry registration time
 //!   (calibrated, the paper's Exp #4a metric),
-//! * `p95_stall_ns` — 95th-percentile modeled training stall.
+//! * `p95_stall_ns` — 95th-percentile modeled training stall,
+//! * `flush_apply_ns_row` — mean flush-apply cost per row (claim +
+//!   optimizer step + host-store write), the flush-path efficiency
+//!   metric (taken from the same best-throughput run).
 //!
 //! Environment knobs: `FRUGAL_SMOKE_STEPS` (default 200),
 //! `FRUGAL_SMOKE_REPEATS` (default 3), `FRUGAL_SMOKE_OUT` (default
@@ -31,6 +34,7 @@ struct SmokeNumbers {
     steps_per_sec: f64,
     mean_gentry_ns: u64,
     p95_stall_ns: u64,
+    flush_apply_ns_row: f64,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -57,6 +61,7 @@ fn run_once(steps: u64) -> SmokeNumbers {
         steps_per_sec: steps as f64 / wall.max(1e-9),
         mean_gentry_ns: report.mean_gentry_update.as_nanos(),
         p95_stall_ns: report.stats.stall_percentile(0.95).as_nanos(),
+        flush_apply_ns_row: report.mean_flush_apply_ns_row(),
     }
 }
 
@@ -79,8 +84,8 @@ fn extract_number(json: &str, field: &str) -> Option<f64> {
 
 fn block(n: &SmokeNumbers) -> String {
     format!(
-        "{{\n    \"steps_per_sec\": {:.2},\n    \"mean_gentry_ns\": {},\n    \"p95_stall_ns\": {}\n  }}",
-        n.steps_per_sec, n.mean_gentry_ns, n.p95_stall_ns
+        "{{\n    \"steps_per_sec\": {:.2},\n    \"mean_gentry_ns\": {},\n    \"p95_stall_ns\": {},\n    \"flush_apply_ns_row\": {:.2}\n  }}",
+        n.steps_per_sec, n.mean_gentry_ns, n.p95_stall_ns, n.flush_apply_ns_row
     )
 }
 
@@ -97,12 +102,13 @@ fn main() {
     for i in 0..repeats {
         let n = run_once(steps);
         eprintln!(
-            "run {}/{}: {:.1} steps/s, gentry {} ns, p95 stall {} ns",
+            "run {}/{}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row",
             i + 1,
             repeats,
             n.steps_per_sec,
             n.mean_gentry_ns,
-            n.p95_stall_ns
+            n.p95_stall_ns,
+            n.flush_apply_ns_row
         );
         best = Some(match best {
             Some(b) if b.steps_per_sec >= n.steps_per_sec => b,
@@ -119,6 +125,9 @@ fn main() {
                 steps_per_sec: extract_number(&json, "steps_per_sec")?,
                 mean_gentry_ns: extract_number(&json, "mean_gentry_ns")? as u64,
                 p95_stall_ns: extract_number(&json, "p95_stall_ns")? as u64,
+                // Optional: baselines written before this field existed
+                // compare as 0 (the perf gate skips a zero baseline).
+                flush_apply_ns_row: extract_number(&json, "flush_apply_ns_row").unwrap_or(0.0),
             })
         });
 
@@ -132,13 +141,16 @@ fn main() {
     json.push_str(&format!("  \"current\": {}\n}}\n", block(&current)));
     std::fs::write(&out_path, &json).expect("write smoke output");
     println!(
-        "wrote {out_path}: {:.1} steps/s, gentry {} ns, p95 stall {} ns",
-        current.steps_per_sec, current.mean_gentry_ns, current.p95_stall_ns
+        "wrote {out_path}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row",
+        current.steps_per_sec,
+        current.mean_gentry_ns,
+        current.p95_stall_ns,
+        current.flush_apply_ns_row
     );
     if let Some(b) = baseline {
         println!(
-            "baseline: {:.1} steps/s, gentry {} ns, p95 stall {} ns",
-            b.steps_per_sec, b.mean_gentry_ns, b.p95_stall_ns
+            "baseline: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row",
+            b.steps_per_sec, b.mean_gentry_ns, b.p95_stall_ns, b.flush_apply_ns_row
         );
     }
 }

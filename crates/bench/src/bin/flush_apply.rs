@@ -1,0 +1,157 @@
+//! Flush-apply microbenchmark: per-row cost of the flush path in isolation.
+//!
+//! Two levels per optimizer (SGD and Adagrad), both reported as ns/row:
+//!
+//! * `*_kernel_ns_row` — the raw row kernel ([`frugal_embed::kernels`])
+//!   over resident rows, no queues or stores. This is the vectorization
+//!   floor the flush path is chasing.
+//! * `*_flush_ns_row` — the flusher's end-to-end inner path: guarded pq
+//!   dequeue → key-sorted `take_writes_into` claim → optimizer apply into
+//!   the [`HostStore`] seqlock write. The gap to the kernel number is pure
+//!   coordination overhead (pq, g-entry bookkeeping, store versioning).
+//!
+//! Writes `BENCH_flush_apply.json` (best of `FRUGAL_FLUSH_REPEATS` runs).
+//! Environment knobs: `FRUGAL_FLUSH_ROWS` (default 20000),
+//! `FRUGAL_FLUSH_DIM` (default 32), `FRUGAL_FLUSH_REPEATS` (default 3),
+//! `FRUGAL_FLUSH_OUT` (default `BENCH_flush_apply.json`).
+
+use frugal_core::{GEntryStore, InflightTable, PendingWrites};
+use frugal_embed::{kernels, AdagradRule, HostStore, SgdRule, UpdateRule};
+use frugal_pq::{PriorityQueue, TwoLevelPq};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 7;
+const LR: f32 = 0.05;
+const FLUSH_BATCH: usize = 256;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Raw kernel cost: one optimizer step over every row, no coordination.
+fn kernel_ns_row(rows: usize, dim: usize, adagrad: bool) -> f64 {
+    let mut data = vec![0.1f32; rows * dim];
+    let mut acc = vec![0.0f32; rows * dim];
+    let grad: Vec<f32> = (0..dim).map(|i| 0.01 * (i as f32 + 1.0)).collect();
+    let t0 = Instant::now();
+    for r in 0..rows {
+        let row = &mut data[r * dim..(r + 1) * dim];
+        if adagrad {
+            kernels::adagrad_step(row, &mut acc[r * dim..(r + 1) * dim], &grad, LR, 1e-8);
+        } else {
+            kernels::sgd_step(row, &grad, LR);
+        }
+    }
+    let ns = t0.elapsed().as_nanos() as f64;
+    // Defeat dead-code elimination of the row updates.
+    assert!(data.iter().sum::<f32>().is_finite());
+    ns / rows as f64
+}
+
+/// End-to-end flush path: register `rows` single-write g-entries, then
+/// drain them exactly the way `flusher_loop` does — guarded dequeue,
+/// key-sorted claim into reusable scratch, apply via the shared rule into
+/// the host store. Only the drain is timed.
+fn flush_ns_row(rows: usize, dim: usize, adagrad: bool) -> f64 {
+    let gstore = GEntryStore::new();
+    let pq = TwoLevelPq::new(4);
+    let store = HostStore::new(rows as u64, dim, SEED);
+    let rule: Arc<dyn UpdateRule> = if adagrad {
+        Arc::new(AdagradRule::new(LR, rows as u64, dim))
+    } else {
+        Arc::new(SgdRule::new(LR))
+    };
+    let inflight = InflightTable::new(1);
+    let grad: Arc<[f32]> = (0..dim)
+        .map(|i| 0.01 * (i as f32 + 1.0))
+        .collect::<Vec<_>>()
+        .into();
+    for key in 0..rows as u64 {
+        gstore.add_read(key, 1, &pq);
+        gstore.add_write(key, 0, Arc::clone(&grad), &pq);
+    }
+
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(FLUSH_BATCH);
+    let mut writes: PendingWrites = Vec::new();
+    let mut claims: Vec<(u64, usize, usize)> = Vec::with_capacity(FLUSH_BATCH);
+    let mut applied = 0usize;
+    let t0 = Instant::now();
+    while gstore.pending_keys() > 0 {
+        out.clear();
+        pq.dequeue_batch_guarded(FLUSH_BATCH, &mut out, inflight.guard(0));
+        if out.is_empty() {
+            break;
+        }
+        out.sort_unstable();
+        writes.clear();
+        claims.clear();
+        for &(key, p) in &out {
+            let start = writes.len();
+            let n = gstore.take_writes_into(key, p, &mut writes);
+            if n > 0 {
+                claims.push((key, start, start + n));
+            }
+        }
+        for &(key, start, end) in &claims {
+            store.write_row(key, |row| {
+                for (_step, g) in &writes[start..end] {
+                    rule.apply(key, row, g);
+                }
+            });
+        }
+        applied += claims.len();
+        inflight.clear(0);
+    }
+    let ns = t0.elapsed().as_nanos() as f64;
+    assert_eq!(
+        applied, rows,
+        "every registered row must flush exactly once"
+    );
+    ns / rows as f64
+}
+
+fn main() {
+    let rows = env_u64("FRUGAL_FLUSH_ROWS", 20_000) as usize;
+    let dim = env_u64("FRUGAL_FLUSH_DIM", 32) as usize;
+    let repeats = env_u64("FRUGAL_FLUSH_REPEATS", 3).max(1);
+    let out_path =
+        std::env::var("FRUGAL_FLUSH_OUT").unwrap_or_else(|_| "BENCH_flush_apply.json".to_string());
+
+    // Warmup primes the allocator and branch predictors; then best-of-N.
+    let _ = flush_ns_row(rows.min(1_000), dim, true);
+    let mut best = [f64::INFINITY; 4];
+    for i in 0..repeats {
+        let ns = [
+            kernel_ns_row(rows, dim, false),
+            kernel_ns_row(rows, dim, true),
+            flush_ns_row(rows, dim, false),
+            flush_ns_row(rows, dim, true),
+        ];
+        eprintln!(
+            "run {}/{}: kernel sgd {:.1} adagrad {:.1} | flush sgd {:.1} adagrad {:.1} (ns/row)",
+            i + 1,
+            repeats,
+            ns[0],
+            ns[1],
+            ns[2],
+            ns[3]
+        );
+        for (b, n) in best.iter_mut().zip(ns) {
+            *b = b.min(n);
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"flush_apply\",\n  \"workload\": {{\n    \"rows\": {rows},\n    \"dim\": {dim},\n    \"flush_batch\": {FLUSH_BATCH},\n    \"repeats\": {repeats},\n    \"seed\": {SEED}\n  }},\n  \"current\": {{\n    \"sgd_kernel_ns_row\": {:.2},\n    \"adagrad_kernel_ns_row\": {:.2},\n    \"sgd_flush_ns_row\": {:.2},\n    \"adagrad_flush_ns_row\": {:.2}\n  }}\n}}\n",
+        best[0], best[1], best[2], best[3]
+    );
+    std::fs::write(&out_path, &json).expect("write flush_apply output");
+    println!(
+        "wrote {out_path}: kernel sgd {:.1} adagrad {:.1} | flush sgd {:.1} adagrad {:.1} (ns/row)",
+        best[0], best[1], best[2], best[3]
+    );
+}

@@ -23,10 +23,24 @@ pub enum OptimizerKind {
 
 impl OptimizerKind {
     /// Builds the thread-safe rule shared by the flushing threads.
-    pub fn build_shared(&self, lr: f32) -> Arc<dyn UpdateRule> {
+    ///
+    /// Stateful rules preallocate dense per-row state for `n_keys` rows of
+    /// `dim` f32 (see [`frugal_embed::DenseStateTable`]); `checked` builds
+    /// that state with seqlock race detection so consistency runs can fold
+    /// state races into the report alongside the host store's.
+    pub fn build_shared(
+        &self,
+        lr: f32,
+        n_keys: u64,
+        dim: usize,
+        checked: bool,
+    ) -> Arc<dyn UpdateRule> {
         match self {
             OptimizerKind::Sgd => Arc::new(SgdRule::new(lr)),
-            OptimizerKind::Adagrad => Arc::new(AdagradRule::new(lr)),
+            OptimizerKind::Adagrad if checked => {
+                Arc::new(AdagradRule::new_checked(lr, n_keys, dim))
+            }
+            OptimizerKind::Adagrad => Arc::new(AdagradRule::new(lr, n_keys, dim)),
         }
     }
 
@@ -170,8 +184,10 @@ mod tests {
 
     #[test]
     fn optimizer_builders_produce_rules() {
-        let shared = OptimizerKind::Adagrad.build_shared(0.1);
+        let shared = OptimizerKind::Adagrad.build_shared(0.1, 100, 4, false);
         assert_eq!(shared.learning_rate(), 0.1);
+        let checked = OptimizerKind::Adagrad.build_shared(0.1, 100, 4, true);
+        assert_eq!(checked.race_count(), 0);
         let mut local = OptimizerKind::Sgd.build_local(0.5);
         let mut row = vec![1.0f32];
         local.update_row(0, &mut row, &[1.0]);

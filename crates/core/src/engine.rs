@@ -46,7 +46,7 @@
 //!    nothing it does gates their wait condition.
 
 use crate::config::{FlushMode, FrugalConfig, PqKind};
-use crate::gentry::{GEntryStore, PqOpScratch};
+use crate::gentry::{GEntryStore, PendingWrites, PqOpScratch};
 use crate::model::EmbeddingModel;
 use crate::report::TrainReport;
 use crate::wait::{self, InflightTable};
@@ -55,7 +55,9 @@ use frugal_data::Key;
 use frugal_embed::{GpuCache, GradAggregator, HostStore, Sharding};
 use frugal_pq::{PriorityQueue, TreeHeap, TwoLevelPq};
 use frugal_sim::{HostPath, IterBreakdown, Nanos, RunStats};
-use frugal_telemetry::{Counter, Gauge, Phase, Registry, SpanArgs, StallRecord, ThreadRecorder};
+use frugal_telemetry::{
+    Counter, Gauge, Histogram, Phase, Registry, SpanArgs, StallRecord, ThreadRecorder,
+};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -95,6 +97,13 @@ struct RunMetrics {
     /// flush condvar instead of spinning (the Fig 17 "flushers divert CPU"
     /// effect, avoided).
     flusher_parked_ns: Arc<Counter>,
+    /// Histogram `flush.batch_rows`: rows applied per non-empty flush
+    /// batch — how much locality the key-sorted batch apply gets to
+    /// exploit.
+    flush_batch_rows: Arc<Histogram>,
+    /// Histogram `flush.apply_row_ns`: each batch's mean per-row apply
+    /// cost (claim + optimizer step + host-store write).
+    flush_apply_row_ns: Arc<Histogram>,
     /// Counter `gentry.batch_ns`: total wall time trainers spent inside
     /// the sharded batch-registration phase (writes + reads), summed
     /// across trainers and steps.
@@ -115,6 +124,8 @@ impl RunMetrics {
             flush_apply_ns: registry.counter("flusher.apply_total_ns"),
             flush_rows: registry.counter("flush.rows"),
             flusher_parked_ns: registry.counter("flusher.parked_ns"),
+            flush_batch_rows: registry.histogram("flush.batch_rows"),
+            flush_apply_row_ns: registry.histogram("flush.apply_row_ns"),
             gentry_batch_ns: registry.counter("gentry.batch_ns"),
             blocking_rows_next: registry.gauge("p2f.blocking_rows"),
         }
@@ -213,11 +224,11 @@ struct LeaderState {
 /// Shared state between trainers, the leader, and flushers for one run.
 struct RunShared<'a> {
     cfg: &'a FrugalConfig,
-    /// Sparse optimizer shared by the flushing threads (host path).
+    /// Sparse optimizer for the host path: applied by the flushing threads
+    /// (P²F) or the barrier leader (write-through). One rule either way, so
+    /// the per-row state `state_snapshot` exposes to cache fills is the
+    /// host path's state in both modes.
     rule: std::sync::Arc<dyn frugal_embed::UpdateRule>,
-    /// Optimizer for the write-through leader (single-threaded per step,
-    /// but the leading thread can change between steps).
-    sync_opt: Mutex<Box<dyn frugal_tensor::RowOptimizer>>,
     workload: &'a dyn Workload,
     model: &'a dyn EmbeddingModel,
     store: &'a HostStore,
@@ -392,8 +403,12 @@ impl FrugalEngine {
 
         let shared = RunShared {
             cfg,
-            rule: cfg.optimizer.build_shared(cfg.lr),
-            sync_opt: Mutex::new(cfg.optimizer.build_local(cfg.lr)),
+            rule: cfg.optimizer.build_shared(
+                cfg.lr,
+                self.store.n_keys(),
+                self.store.dim(),
+                cfg.checked,
+            ),
             workload,
             model,
             store: &self.store,
@@ -489,7 +504,9 @@ impl FrugalEngine {
             hit_ratio,
             mean_gentry_update: mean_gentry,
             violations: shared.metrics.violations.get() as usize,
-            races: self.store.race_count(),
+            races: self.store.race_count() + shared.rule.race_count(),
+            flush_rows: shared.metrics.flush_rows.get(),
+            flush_apply_ns: shared.metrics.flush_apply_ns.get(),
             first_loss,
             final_loss,
             telemetry: cfg.telemetry.summary(),
@@ -498,9 +515,25 @@ impl FrugalEngine {
 }
 
 /// One background flushing thread (paper §3.2, component 4).
+///
+/// The apply path is allocation-free after warm-up: claims drain into a
+/// per-flusher reusable scratch (`writes` + `claims`) via
+/// [`GEntryStore::take_writes_into`], and the batch is key-sorted before
+/// claiming so both the g-entry shards and the dense host/state tables are
+/// walked in address order.
+///
+/// Claim-all-then-apply-all is safe under the in-flight marker: the guarded
+/// dequeue publishes the batch's minimum priority *before* extraction and
+/// the marker stays up until every row is applied, so a trainer admitted at
+/// step `s` has `s <` marker `≤` every batch key's priority (its next-read
+/// step) — step `s` reads none of the claimed-but-unapplied rows.
 fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
     let rec = shared.cfg.telemetry.recorder(format!("flusher-{slot}"));
     let mut out = Vec::with_capacity(shared.cfg.flush_batch);
+    // Reusable claim scratch: the batch's claimed (step, Δ) pairs, flat,
+    // plus each claimed key's range into them.
+    let mut writes: PendingWrites = Vec::new();
+    let mut claims: Vec<(Key, usize, usize)> = Vec::with_capacity(shared.cfg.flush_batch);
     loop {
         out.clear();
         let t_deq = Instant::now();
@@ -548,31 +581,45 @@ fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
             SpanArgs::one("batch", out.len() as u64),
         );
         let t_apply = Instant::now();
-        let mut applied = 0u64;
+        // Key-sorted batch apply: claims then walk the g-entry shards and
+        // the dense host/state rows in ascending key (address) order.
+        out.sort_unstable();
+        writes.clear();
+        claims.clear();
         for &(key, bucket_p) in &out {
-            if let Some(writes) = shared.gstore.take_writes(key, bucket_p) {
-                shared.store.write_row(key, |row| {
-                    for (_step, grad) in &writes {
-                        shared.rule.apply(key, row, grad);
-                    }
-                });
-                applied += 1;
+            let start = writes.len();
+            let n = shared.gstore.take_writes_into(key, bucket_p, &mut writes);
+            if n > 0 {
+                claims.push((key, start, start + n));
             }
         }
+        for &(key, start, end) in &claims {
+            shared.store.write_row(key, |row| {
+                for (_step, grad) in &writes[start..end] {
+                    shared.rule.apply(key, row, grad);
+                }
+            });
+        }
+        let applied = claims.len() as u64;
         if applied > 0 {
-            shared
-                .metrics
-                .flush_apply_ns
-                .add(t_apply.elapsed().as_nanos() as u64);
+            let apply_ns = t_apply.elapsed().as_nanos() as u64;
+            shared.metrics.flush_apply_ns.add(apply_ns);
             shared.metrics.flush_rows.add(applied);
+            shared.metrics.flush_batch_rows.record(applied);
+            shared.metrics.flush_apply_row_ns.record(apply_ns / applied);
             rec.record_completed(Phase::FlushApply, t_apply, SpanArgs::one("rows", applied));
-            // Wake trainers blocked on the wait condition.
-            shared.flush_cv.notify_all();
         }
         shared.inflight.clear(slot);
         if applied > 0 {
-            // Rows are now durably in host memory; wake waiters again in
-            // case they blocked on the in-flight marker.
+            // One consolidated wake, and it must come *after*
+            // `inflight.clear`: a trainer's wait condition checks the queue
+            // top and then the in-flight markers, so a wake issued while
+            // this slot's marker is still up could be consumed, re-observe
+            // the stale marker, and leave the trainer waiting out a full
+            // park timeout. After the clear, both the queue and the marker
+            // reflect the applied rows, so one notify_all suffices (the
+            // pre-clear notify the loop used to issue as well was
+            // redundant).
             shared.flush_cv.notify_all();
         }
         if shared.cfg.flush_throttle_us > 0 {
@@ -654,11 +701,13 @@ fn leader_prepare(shared: &RunShared<'_>, s: u64) {
         // The write-through flush the paper describes: every update crosses
         // PCIe to host memory synchronously, with no background overlap —
         // the "long stall" of §3.1 (the real apply below runs at
-        // host-memcpy speed and is not representative).
-        let mut opt = shared.sync_opt.lock();
+        // host-memcpy speed and is not representative). Applied through the
+        // shared rule — the same host-path state the flushers would use —
+        // so stateful optimizers expose correct `state_snapshot`s to cache
+        // fills in this mode too.
         for (key, grad) in &work.updates {
             shared.store.write_row(*key, |row| {
-                opt.update_row(*key, row, grad);
+                shared.rule.apply(*key, row, grad);
             });
         }
         leader.sync_stall = cfg.cost.sync_flush(leader.n_rows, cfg.n_gpus());
@@ -933,7 +982,7 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
             let slot = &mut scratch.urows[i * dim..(i + 1) * dim];
             if shared.sharding.is_local(key, g) {
                 if let Some(row) = cache.get(&key) {
-                    slot.copy_from_slice(row);
+                    frugal_embed::kernels::copy(slot, row);
                     hits += 1;
                     continue;
                 }
@@ -974,8 +1023,10 @@ fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
         scratch.rows.resize(keys.len() * dim, 0.0);
         for (i, &key) in keys.iter().enumerate() {
             let u = scratch.index_of[&key];
-            scratch.rows[i * dim..(i + 1) * dim]
-                .copy_from_slice(&scratch.urows[u * dim..(u + 1) * dim]);
+            frugal_embed::kernels::copy(
+                &mut scratch.rows[i * dim..(i + 1) * dim],
+                &scratch.urows[u * dim..(u + 1) * dim],
+            );
         }
 
         let compute_span = rec.span(Phase::Compute);
@@ -1092,6 +1143,7 @@ fn virtual_stall(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::OptimizerKind;
     use crate::model::PullToTarget;
     use frugal_data::{KeyDistribution, SyntheticTrace};
 
@@ -1123,6 +1175,9 @@ mod tests {
             report.final_loss
         );
         assert!(report.throughput() > 0.0);
+        // The flush-path metrics must populate on a P2F run.
+        assert!(report.flush_rows > 0, "P2F run must flush rows");
+        assert!(report.mean_flush_apply_ns_row() > 0.0);
     }
 
     #[test]
@@ -1195,6 +1250,51 @@ mod tests {
             assert_eq!(heap.store().row_vec(key), want, "treeheap key {key}");
             assert_eq!(sync.store().row_vec(key), want, "write-through key {key}");
         }
+    }
+
+    #[test]
+    fn adagrad_multi_flusher_partitions_agree_with_serial() {
+        // The dense lock-free Adagrad state under multiple flushers: all
+        // four execution strategies (P2F two-level, tree heap,
+        // write-through, serial oracle) must produce bit-identical
+        // parameters, exactly as the SGD variant above.
+        let n_keys = 180u64;
+        let t = trace(n_keys, 33, 3);
+        let model = PullToTarget::new(4, 13);
+        let mut cfg = small_cfg(3, 12);
+        cfg.optimizer = OptimizerKind::Adagrad;
+        cfg.flush_threads = 3;
+        let p2f = FrugalEngine::new(cfg.clone(), n_keys, 4);
+        p2f.run(&t, &model);
+        let mut heap_cfg = cfg.clone();
+        heap_cfg.pq = PqKind::TreeHeap;
+        let heap = FrugalEngine::new(heap_cfg, n_keys, 4);
+        heap.run(&t, &model);
+        let sync = FrugalEngine::new(cfg.clone().write_through(), n_keys, 4);
+        sync.run(&t, &model);
+        let serial =
+            crate::serial::train_serial_with(&t, &model, 12, cfg.lr, cfg.seed, cfg.optimizer);
+        for key in 0..n_keys {
+            let want = serial.store.row_vec(key);
+            assert_eq!(p2f.store().row_vec(key), want, "p2f key {key}");
+            assert_eq!(heap.store().row_vec(key), want, "treeheap key {key}");
+            assert_eq!(sync.store().row_vec(key), want, "write-through key {key}");
+        }
+    }
+
+    #[test]
+    fn checked_adagrad_run_has_no_violations_or_races() {
+        // Checked mode covers both the host store and the dense Adagrad
+        // state table; a protocol-respecting run must trip neither.
+        let t = trace(300, 48, 2);
+        let model = PullToTarget::new(4, 2);
+        let mut cfg = small_cfg(2, 25).checked();
+        cfg.optimizer = OptimizerKind::Adagrad;
+        let engine = FrugalEngine::new(cfg, 300, 4);
+        let report = engine.run(&t, &model);
+        assert_eq!(report.violations, 0, "P2F must uphold invariant (2)");
+        assert_eq!(report.races, 0, "no store or state-table races");
+        assert!(report.flush_rows > 0);
     }
 
     #[test]

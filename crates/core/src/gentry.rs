@@ -118,15 +118,29 @@ impl GEntryStore {
     /// If the entry has pending writes and this read tightens its priority,
     /// the queue position is adjusted.
     pub fn add_read(&self, key: Key, step: u64, pq: &dyn PriorityQueue) {
-        let mut shard = self.shard(key).lock();
-        let entry = shard.entry(key).or_default();
-        entry.r_set.insert(step);
-        if entry.in_pq {
-            let new_p = entry.compute_priority();
-            if new_p != entry.priority {
-                pq.adjust(key, entry.priority, new_p);
-                entry.priority = new_p;
+        let adjusted = {
+            let mut shard = self.shard(key).lock();
+            let entry = shard.entry(key).or_default();
+            entry.r_set.insert(step);
+            if entry.in_pq {
+                let new_p = entry.compute_priority();
+                if new_p != entry.priority {
+                    pq.adjust(key, entry.priority, new_p);
+                    entry.priority = new_p;
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
             }
+        };
+        // Explorer hook for the re-activation window (entry repositioned in
+        // the queue; a dequeuer may now hold a stale (key, priority) pair).
+        // Outside the shard lock: a suspended lock-holder would wedge any
+        // runnable vthread that OS-blocks on the same shard.
+        if adjusted {
+            sched_point!("gentry.read.reactivated");
         }
     }
 
@@ -279,19 +293,61 @@ impl GEntryStore {
     /// host memory and then calls nothing further — the entry is already
     /// out of the queue and marked flushed.
     pub fn take_writes(&self, key: Key, bucket_priority: Priority) -> Option<PendingWrites> {
-        let mut shard = self.shard(key).lock();
-        let entry = shard.get_mut(&key)?;
-        if !entry.in_pq || entry.priority != bucket_priority || entry.w_set.is_empty() {
-            return None;
+        let mut writes = PendingWrites::new();
+        match self.take_writes_into(key, bucket_priority, &mut writes) {
+            0 => None,
+            _ => Some(writes),
         }
-        let writes = std::mem::take(&mut entry.w_set);
-        entry.in_pq = false;
-        entry.priority = INFINITE;
-        self.pending_keys.fetch_sub(1, Ordering::AcqRel);
-        if entry.is_dead() {
-            shard.remove(&key);
-        }
-        Some(writes)
+    }
+
+    /// Allocation-free form of [`GEntryStore::take_writes`]: appends the
+    /// claimed `(step, Δ)` pairs to `out` (step order preserved) and
+    /// returns how many were claimed — 0 for a stale dequeue. Flushers
+    /// keep one `out` scratch per thread and reuse it batch after batch,
+    /// so the claim path allocates nothing after warm-up; the entry keeps
+    /// its W-set capacity too (unless garbage-collected).
+    pub fn take_writes_into(
+        &self,
+        key: Key,
+        bucket_priority: Priority,
+        out: &mut PendingWrites,
+    ) -> usize {
+        // Explorer hook for the claim window: a concurrent registrant may
+        // reposition the entry between the dequeue that produced
+        // `bucket_priority` and this validation. Both hooks sit outside the
+        // shard lock — a suspended lock-holder would wedge any runnable
+        // vthread that OS-blocks on the same shard.
+        sched_point!("gentry.take_writes.enter");
+        let claimed = {
+            let mut shard = self.shard(key).lock();
+            match shard.get_mut(&key) {
+                None => 0,
+                Some(entry) => {
+                    if !entry.in_pq || entry.priority != bucket_priority || entry.w_set.is_empty() {
+                        // Stale dequeue (the paper's inconsistent-g-entry
+                        // check): repositioned and live elsewhere in the
+                        // queue, or already claimed.
+                        0
+                    } else {
+                        let n = entry.w_set.len();
+                        out.append(&mut entry.w_set);
+                        entry.in_pq = false;
+                        entry.priority = INFINITE;
+                        self.pending_keys.fetch_sub(1, Ordering::AcqRel);
+                        if entry.is_dead() {
+                            shard.remove(&key);
+                        }
+                        n
+                    }
+                }
+            }
+        };
+        sched_point!(if claimed == 0 {
+            "gentry.take_writes.stale"
+        } else {
+            "gentry.take_writes.claimed"
+        });
+        claimed
     }
 
     /// The current priority of `key`'s entry, if it exists (tests only).

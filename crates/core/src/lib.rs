@@ -24,6 +24,10 @@ macro_rules! sched_point {
     ($label:expr) => {{
         #[cfg(feature = "sched")]
         frugal_sched::yield_point($label);
+        // Consume the label so computed-label call sites stay
+        // warning-free in non-`sched` builds.
+        #[cfg(not(feature = "sched"))]
+        let _ = $label;
     }};
 }
 

@@ -21,8 +21,17 @@ pub struct TrainReport {
     /// ([`FrugalConfig::checked`](crate::FrugalConfig::checked)); must be 0
     /// unless failure injection (`skip_wait`) is on.
     pub violations: usize,
-    /// Seqlock read/write races detected by the host store (checked mode).
+    /// Seqlock races detected in checked mode, summed over the host store
+    /// (read/write overlaps) and the optimizer's dense state table
+    /// (update/update overlaps).
     pub races: usize,
+    /// Rows flushed to the host store by the flushing threads — the
+    /// `flush.rows` telemetry counter. Zero for write-through engines.
+    pub flush_rows: u64,
+    /// Total nanoseconds the flushing threads spent applying rows (claim +
+    /// optimizer step + host-store write) — the `flusher.apply_total_ns`
+    /// telemetry counter.
+    pub flush_apply_ns: u64,
     /// Mean loss over the first recorded step.
     pub first_loss: f32,
     /// Mean loss over the last recorded step.
@@ -48,5 +57,16 @@ impl TrainReport {
     /// Mean per-iteration training-process stall (Exp #2/#4 metric).
     pub fn mean_stall(&self) -> Nanos {
         self.stats.mean_stall()
+    }
+
+    /// Mean flush-apply cost per row in nanoseconds — the flush-path
+    /// efficiency metric the perf-smoke gate tracks. Zero when nothing was
+    /// flushed (e.g. write-through runs).
+    pub fn mean_flush_apply_ns_row(&self) -> f64 {
+        if self.flush_rows == 0 {
+            0.0
+        } else {
+            self.flush_apply_ns as f64 / self.flush_rows as f64
+        }
     }
 }

@@ -194,6 +194,141 @@ fn guarded_dequeue_with_two_pending_writes_survives_sweep() {
     );
 }
 
+/// Take-writes vs. concurrent re-registration on one key (key 7).
+///
+/// * `deferred = false` — the entry starts at priority 3 with one pending
+///   write; the registrant tightens it to 2 with a step-2 prefetch, then
+///   the step-2 write moves it back to 3 with a second pending write.
+///   Exactly **2** rows may be applied.
+/// * `deferred = true` — the entry starts deferred (∞, no reads; paper
+///   Fig 6, k1) and the registrant re-activates it to priority 4.
+///   Exactly **1** row may be applied.
+///
+/// The flusher first collects pq-only dequeues *while the registrant
+/// runs* — each collected `(key, priority)` pair can be a transient
+/// position the re-registration already abandoned — and only claims them
+/// with `take_writes_into` after `reg_done` (the engine's barrier-C
+/// ordering; same-shard `take_writes` against a scheduler-suspended lock
+/// holder would wedge the harness, see
+/// `sharded_batch_registration_survives_sweep`). Stale claims must return
+/// 0 rows; the entry's writes must be applied exactly once.
+fn reactivation_vs_take(deferred: bool) -> impl FnMut(&mut SimBuilder) {
+    move |sim: &mut SimBuilder| {
+        let pq: Arc<TwoLevelPq> = Arc::new(TwoLevelPq::new(16));
+        let gstore = Arc::new(GEntryStore::new());
+        let grad: Arc<[f32]> = Arc::from(vec![1.0f32].as_slice());
+        if !deferred {
+            // Priority 3: a step-3 read plus the step-0 write.
+            gstore.add_read(7, 3, pq.as_ref() as &dyn PriorityQueue);
+        }
+        gstore.add_write(7, 0, Arc::clone(&grad), pq.as_ref());
+        let expected = if deferred { 1 } else { 2 };
+        let inflight = Arc::new(InflightTable::new(1));
+        let reg_done = Arc::new(AtomicBool::new(false));
+        let applied = Arc::new(AtomicUsize::new(0));
+
+        {
+            let pq = Arc::clone(&pq);
+            let gstore = Arc::clone(&gstore);
+            let reg_done = Arc::clone(&reg_done);
+            let grad = Arc::clone(&grad);
+            sim.thread("registrant", move || {
+                if deferred {
+                    // Re-activation of a deferred entry: ∞ → 4.
+                    gstore.add_read(7, 4, pq.as_ref());
+                } else {
+                    // Tighten 3 → 2 (re-activation adjust), then consume
+                    // the read with the step-2 write: back to 3, two
+                    // pending writes.
+                    gstore.add_read(7, 2, pq.as_ref());
+                    gstore.add_write(7, 2, Arc::clone(&grad), pq.as_ref());
+                }
+                reg_done.store(true, Ordering::SeqCst);
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            let gstore = Arc::clone(&gstore);
+            let inflight = Arc::clone(&inflight);
+            let reg_done = Arc::clone(&reg_done);
+            let applied = Arc::clone(&applied);
+            sim.thread("flusher", move || {
+                let mut claims: Vec<(u64, u64)> = Vec::new();
+                let mut out = Vec::new();
+                // Phase 1: dequeues racing the registrant (pq only — no
+                // g-entry locks touched while the registrant may hold one).
+                for _ in 0..3 {
+                    out.clear();
+                    pq.dequeue_batch_guarded(8, &mut out, inflight.guard(0));
+                    inflight.clear(0);
+                    claims.extend(out.iter().copied());
+                    yield_point("flusher.collect");
+                }
+                // Phase 2: claim the collected (possibly stale) pairs once
+                // registration has settled, then drain the rest.
+                let mut writes = Vec::new();
+                let mut claimed = false;
+                for _ in 0..64 {
+                    if !reg_done.load(Ordering::SeqCst) {
+                        yield_point("flusher.await_registration");
+                        continue;
+                    }
+                    if !claimed {
+                        claimed = true;
+                        for &(key, p) in &claims {
+                            let n = gstore.take_writes_into(key, p, &mut writes);
+                            applied.fetch_add(n, Ordering::SeqCst);
+                        }
+                    }
+                    if gstore.pending_keys() == 0 {
+                        return;
+                    }
+                    out.clear();
+                    pq.dequeue_batch_guarded(8, &mut out, inflight.guard(0));
+                    for &(key, p) in &out {
+                        let n = gstore.take_writes_into(key, p, &mut writes);
+                        applied.fetch_add(n, Ordering::SeqCst);
+                    }
+                    inflight.clear(0);
+                    yield_point("flusher.drain");
+                }
+            });
+        }
+        let gstore = Arc::clone(&gstore);
+        let applied = Arc::clone(&applied);
+        sim.check("writes applied exactly once", move || {
+            assert_eq!(
+                applied.load(Ordering::SeqCst),
+                expected,
+                "stale claim double-applied, or the drain starved"
+            );
+            assert_eq!(gstore.pending_keys(), 0, "pending key survived the drain");
+        });
+    }
+}
+
+#[test]
+fn take_writes_vs_reregistration_survives_sweep() {
+    let outcome = explore(&quiet(0..1024), reactivation_vs_take(false));
+    assert!(
+        !outcome.found_violation(),
+        "take-writes vs re-registration must apply exactly once: {:?}",
+        outcome.failure
+    );
+    assert_eq!(outcome.runs, 1024);
+}
+
+#[test]
+fn take_writes_vs_infinite_reactivation_survives_sweep() {
+    let outcome = explore(&quiet(0..1024), reactivation_vs_take(true));
+    assert!(
+        !outcome.found_violation(),
+        "take-writes vs ∞ re-activation must apply exactly once: {:?}",
+        outcome.failure
+    );
+    assert_eq!(outcome.runs, 1024);
+}
+
 #[test]
 fn sharded_batch_registration_survives_sweep() {
     // The parallel-registration path end to end: a trainer registers one

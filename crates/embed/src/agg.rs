@@ -12,6 +12,7 @@
 //! reused step after step without re-allocating — the engine keeps one per
 //! trainer on its hot loop.
 
+use crate::kernels;
 use frugal_data::Key;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -89,10 +90,7 @@ impl GradAggregator {
     pub fn add(&mut self, key: Key, grad: &[f32]) {
         assert_eq!(grad.len(), self.dim, "gradient length != dim");
         let (i, _) = self.slot(key);
-        let acc = &mut self.data[i * self.dim..(i + 1) * self.dim];
-        for (a, &g) in acc.iter_mut().zip(grad) {
-            *a += g;
-        }
+        kernels::add(&mut self.data[i * self.dim..(i + 1) * self.dim], grad);
     }
 
     /// Adds `grad` scaled by `scale` to the accumulator of `key`.
@@ -103,10 +101,11 @@ impl GradAggregator {
     pub fn add_scaled(&mut self, key: Key, grad: &[f32], scale: f32) {
         assert_eq!(grad.len(), self.dim, "gradient length != dim");
         let (i, _) = self.slot(key);
-        let acc = &mut self.data[i * self.dim..(i + 1) * self.dim];
-        for (a, &g) in acc.iter_mut().zip(grad) {
-            *a += scale * g;
-        }
+        kernels::add_scaled(
+            &mut self.data[i * self.dim..(i + 1) * self.dim],
+            grad,
+            scale,
+        );
     }
 
     /// Number of distinct keys accumulated.
@@ -171,10 +170,7 @@ impl GradAggregator {
                     j
                 }
             };
-            let acc = &mut self.data[j * self.dim..(j + 1) * self.dim];
-            for (a, &g) in acc.iter_mut().zip(grad) {
-                *a += g;
-            }
+            kernels::add(&mut self.data[j * self.dim..(j + 1) * self.dim], grad);
         }
         other.clear();
     }

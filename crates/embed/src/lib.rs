@@ -10,7 +10,11 @@
 //!   and LRU policies.
 //! * [`Sharding`] — the key → owner-GPU map and cache-capacity math.
 //! * [`UpdateRule`] ([`SgdRule`], [`AdagradRule`]) — thread-safe optimizer
-//!   rules the flushing threads apply to the host store.
+//!   rules the flushing threads apply to the host store, with dense
+//!   lock-free per-row state in a [`DenseStateTable`].
+//! * [`kernels`] — auto-vectorizable elementwise row kernels every hot
+//!   per-row loop (optimizer steps, gradient accumulation, row copies)
+//!   routes through.
 //! * [`GradAggregator`] — canonical-order per-key gradient summation for
 //!   bitwise-reproducible synchronous updates.
 //! * [`save_checkpoint`]/[`load_checkpoint`] — framed binary checkpoints of
@@ -22,8 +26,10 @@
 mod agg;
 mod cache;
 mod checkpoint;
+pub mod kernels;
 mod rule;
 mod shard;
+mod state;
 mod store;
 
 pub use agg::GradAggregator;
@@ -31,4 +37,5 @@ pub use cache::{CachePolicy, GpuCache, InsertOutcome};
 pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
 pub use rule::{AdagradRule, SgdRule, UpdateRule};
 pub use shard::Sharding;
+pub use state::DenseStateTable;
 pub use store::{initial_value, HostStore};

@@ -2,11 +2,15 @@
 //!
 //! Unlike [`frugal_tensor::RowOptimizer`] (single-threaded, `&mut self`),
 //! flushing threads share one rule across threads, so the trait here takes
-//! `&self` and implementations manage their own interior state.
+//! `&self` and implementations manage their own interior state. Stateful
+//! rules keep that state in a [`DenseStateTable`] — lock-free, preallocated,
+//! and sound for the same reason [`crate::HostStore`] is: P²F serializes
+//! flushes per key. The elementwise math lives in [`crate::kernels`] so the
+//! flush-apply inner loops auto-vectorize.
 
+use crate::kernels;
+use crate::state::DenseStateTable;
 use frugal_data::Key;
-use parking_lot::Mutex;
-use std::collections::HashMap;
 
 /// A thread-safe per-row update rule.
 pub trait UpdateRule: Send + Sync + std::fmt::Debug {
@@ -25,6 +29,13 @@ pub trait UpdateRule: Send + Sync + std::fmt::Debug {
     /// cached copy keeps evolving exactly like the host copy.
     fn state_snapshot(&self, _key: Key) -> Option<Vec<f32>> {
         None
+    }
+
+    /// Number of racing state accesses detected (rules built in checked
+    /// mode only; always 0 otherwise). Consistency tests fold this into
+    /// the run's race count alongside the host store's.
+    fn race_count(&self) -> usize {
+        0
     }
 }
 
@@ -49,10 +60,7 @@ impl SgdRule {
 
 impl UpdateRule for SgdRule {
     fn apply(&self, _key: Key, row: &mut [f32], grad: &[f32]) {
-        assert_eq!(row.len(), grad.len(), "row/gradient length mismatch");
-        for (p, &g) in row.iter_mut().zip(grad) {
-            *p -= self.lr * g;
-        }
+        kernels::sgd_step(row, grad, self.lr);
     }
 
     fn learning_rate(&self) -> f32 {
@@ -60,62 +68,68 @@ impl UpdateRule for SgdRule {
     }
 }
 
-const ADAGRAD_SHARDS: usize = 16;
-
-/// Adagrad with sharded, lock-protected per-row state — the production-style
-/// sparse optimizer. Per-key serialization is guaranteed upstream by P²F
-/// (only one pending flush per key at a time), so shard locks see little
-/// contention.
+/// Adagrad with dense lock-free per-row state — the production-style sparse
+/// optimizer. Per-key serialization is guaranteed upstream by P²F (only one
+/// pending flush per key at a time), so the state table needs no locks at
+/// all; see [`DenseStateTable`] for the soundness argument and checked mode.
 #[derive(Debug)]
 pub struct AdagradRule {
     lr: f32,
     eps: f32,
-    shards: Vec<Mutex<HashMap<Key, Vec<f32>>>>,
+    state: DenseStateTable,
 }
 
 impl AdagradRule {
-    /// Creates Adagrad with learning rate `lr`.
+    /// Creates Adagrad with learning rate `lr` and preallocated state for
+    /// `n_keys` rows of `dim` f32 each.
     ///
     /// # Panics
     ///
-    /// Panics if `lr` is not finite and positive.
-    pub fn new(lr: f32) -> Self {
+    /// Panics if `lr` is not finite and positive, or if `n_keys == 0` or
+    /// `dim == 0`.
+    pub fn new(lr: f32, n_keys: u64, dim: usize) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be > 0");
         AdagradRule {
             lr,
             eps: 1e-8,
-            shards: (0..ADAGRAD_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
+            state: DenseStateTable::new(n_keys, dim),
+        }
+    }
+
+    /// Like [`AdagradRule::new`] but with race-detecting state (see
+    /// [`DenseStateTable::new_checked`]).
+    pub fn new_checked(lr: f32, n_keys: u64, dim: usize) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be > 0");
+        AdagradRule {
+            lr,
+            eps: 1e-8,
+            state: DenseStateTable::new_checked(n_keys, dim),
         }
     }
 
     /// Number of rows with accumulated state (for tests).
     pub fn state_rows(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.state.rows()
     }
 }
 
 impl UpdateRule for AdagradRule {
     fn state_snapshot(&self, key: Key) -> Option<Vec<f32>> {
-        self.shards[(key as usize) % ADAGRAD_SHARDS]
-            .lock()
-            .get(&key)
-            .cloned()
+        self.state.snapshot(key)
     }
 
     fn apply(&self, key: Key, row: &mut [f32], grad: &[f32]) {
-        assert_eq!(row.len(), grad.len(), "row/gradient length mismatch");
-        let mut shard = self.shards[(key as usize) % ADAGRAD_SHARDS].lock();
-        let acc = shard.entry(key).or_insert_with(|| vec![0.0; row.len()]);
-        for ((p, &g), a) in row.iter_mut().zip(grad).zip(acc.iter_mut()) {
-            *a += g * g;
-            *p -= self.lr * g / (a.sqrt() + self.eps);
-        }
+        self.state.update(key, |acc| {
+            kernels::adagrad_step(row, acc, grad, self.lr, self.eps)
+        });
     }
 
     fn learning_rate(&self) -> f32 {
         self.lr
+    }
+
+    fn race_count(&self) -> usize {
+        self.state.race_count()
     }
 }
 
@@ -135,7 +149,7 @@ mod tests {
 
     #[test]
     fn adagrad_decays_step_size() {
-        let rule = AdagradRule::new(1.0);
+        let rule = AdagradRule::new(1.0, 16, 1);
         let mut row = vec![0.0f32];
         rule.apply(5, &mut row, &[1.0]);
         let s1 = -row[0];
@@ -147,8 +161,50 @@ mod tests {
     }
 
     #[test]
+    fn adagrad_matches_serial_optimizer_bitwise() {
+        // The shared rule and frugal_tensor's single-threaded Adagrad use
+        // the identical formula; the kernel routing must not change a bit.
+        use frugal_tensor::RowOptimizer;
+        let rule = AdagradRule::new(0.5, 4, 8);
+        let mut serial = frugal_tensor::Adagrad::new(0.5);
+        let mut row_a: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let mut row_b = row_a.clone();
+        for step in 0..10 {
+            let grad: Vec<f32> = (0..8).map(|i| (i + step) as f32 * 0.01 - 0.03).collect();
+            rule.apply(2, &mut row_a, &grad);
+            serial.update_row(2, &mut row_b, &grad);
+            assert_eq!(row_a, row_b, "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn adagrad_state_snapshot_seeds_serial_optimizer() {
+        // Snapshot the shared state mid-stream, seed a fresh serial
+        // optimizer with it, and verify both continue identically — the
+        // engine does exactly this when (re)filling a cache row.
+        use frugal_tensor::RowOptimizer;
+        let rule = AdagradRule::new(0.5, 4, 4);
+        let mut row = vec![0.2f32, -0.1, 0.4, 0.0];
+        rule.apply(1, &mut row, &[0.3, -0.2, 0.1, 0.5]);
+        let snap = rule.state_snapshot(1).expect("state after apply");
+
+        let mut serial = frugal_tensor::Adagrad::new(0.5);
+        serial.seed_state(1, snap);
+        let mut row_b = row.clone();
+        rule.apply(1, &mut row, &[0.1, 0.1, -0.4, 0.2]);
+        serial.update_row(1, &mut row_b, &[0.1, 0.1, -0.4, 0.2]);
+        assert_eq!(row, row_b);
+    }
+
+    #[test]
+    fn adagrad_snapshot_none_for_untouched_key() {
+        let rule = AdagradRule::new(0.5, 8, 4);
+        assert_eq!(rule.state_snapshot(3), None);
+    }
+
+    #[test]
     fn adagrad_concurrent_different_keys() {
-        let rule = Arc::new(AdagradRule::new(0.5));
+        let rule = Arc::new(AdagradRule::new_checked(0.5, 4_000, 4));
         let handles: Vec<_> = (0..4u64)
             .map(|t| {
                 let rule = Arc::clone(&rule);
@@ -164,6 +220,34 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(rule.state_rows(), 4_000);
+        assert_eq!(rule.race_count(), 0);
+    }
+
+    #[test]
+    fn adagrad_checked_detects_same_key_race() {
+        // Violate the P²F discipline on purpose: two threads apply to the
+        // same key concurrently. Checked mode must observe the overlap.
+        let rule = Arc::new(AdagradRule::new_checked(0.5, 4, 256));
+        let start = Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (rule, start) = (Arc::clone(&rule), Arc::clone(&start));
+                std::thread::spawn(move || {
+                    start.wait();
+                    let mut row = vec![0.0f32; 256];
+                    let grad = vec![0.01f32; 256];
+                    let mut i = 0u64;
+                    while rule.race_count() == 0 && i < 2_000_000 {
+                        rule.apply(1, &mut row, &grad);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(rule.race_count() > 0, "checked mode missed the race");
     }
 
     #[test]
