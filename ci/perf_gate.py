@@ -66,7 +66,9 @@ def main():
     else:
         print(f"flush_apply_ns_row: baseline has none; current {c:.1f} (recorded, not gated)")
 
-    for name in ("mean_gentry_ns", "p95_stall_ns"):
+    # fifo_* track the arrival-order flush ablation: recorded each run so
+    # the trajectory shows what the P2F priorities buy, never gated.
+    for name in ("mean_gentry_ns", "p95_stall_ns", "fifo_steps_per_sec", "fifo_p95_stall_ns"):
         print(
             f"{name + ':':<19} baseline {float(base.get(name, 0)):10.1f}  "
             f"current {float(cur.get(name, 0)):10.1f}  (informational)"

@@ -16,4 +16,7 @@ fn main() {
     for table in frugal_bench::experiments::ablation_optimizer(&scale) {
         println!("{table}");
     }
+    for table in frugal_bench::experiments::ablation_flush_strategy(&scale) {
+        println!("{table}");
+    }
 }

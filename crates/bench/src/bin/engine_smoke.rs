@@ -13,6 +13,9 @@
 //!   optimizer step + host-store write), the flush-path efficiency
 //!   metric (taken from the same best-throughput run).
 //!
+//! The `fifo_*` fields record the arrival-order flush ablation on the
+//! same workload; the perf gate reports them but never gates on them.
+//!
 //! Environment knobs: `FRUGAL_SMOKE_STEPS` (default 200),
 //! `FRUGAL_SMOKE_REPEATS` (default 3), `FRUGAL_SMOKE_OUT` (default
 //! `BENCH_engine.json`), `FRUGAL_SMOKE_BASELINE` (path to a previous
@@ -35,6 +38,10 @@ struct SmokeNumbers {
     mean_gentry_ns: u64,
     p95_stall_ns: u64,
     flush_apply_ns_row: f64,
+    /// Arrival-order flush ablation on the same workload — recorded for
+    /// the trajectory (the perf gate reports it but does not gate on it).
+    fifo_steps_per_sec: f64,
+    fifo_p95_stall_ns: u64,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -44,24 +51,39 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn run_once(steps: u64) -> SmokeNumbers {
-    let trace = SyntheticTrace::new(N_KEYS, KeyDistribution::Zipf(0.9), BATCH, N_GPUS, SEED)
-        .expect("valid trace");
+fn smoke_cfg(steps: u64) -> FrugalConfig {
     let mut cfg = FrugalConfig::commodity(N_GPUS, steps);
     cfg.flush_threads = 2;
     cfg.seed = SEED;
+    cfg
+}
+
+fn run_once(steps: u64) -> SmokeNumbers {
+    let trace = SyntheticTrace::new(N_KEYS, KeyDistribution::Zipf(0.9), BATCH, N_GPUS, SEED)
+        .expect("valid trace");
     let model = PullToTarget::new(DIM, SEED);
-    let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
+    let engine = FrugalEngine::new(smoke_cfg(steps), N_KEYS, DIM);
     let t0 = Instant::now();
     let report = engine.run(&trace, &model);
     let wall = t0.elapsed().as_secs_f64();
     assert_eq!(report.stats.len(), steps as usize);
     assert_eq!(report.violations, 0);
+
+    // The arrival-order ablation on the same workload, timed once per run:
+    // informational trajectory numbers (never gated).
+    let fifo_engine = FrugalEngine::new(smoke_cfg(steps).fifo(), N_KEYS, DIM);
+    let t1 = Instant::now();
+    let fifo_report = fifo_engine.run(&trace, &model);
+    let fifo_wall = t1.elapsed().as_secs_f64();
+    assert_eq!(fifo_report.stats.len(), steps as usize);
+
     SmokeNumbers {
         steps_per_sec: steps as f64 / wall.max(1e-9),
         mean_gentry_ns: report.mean_gentry_update.as_nanos(),
         p95_stall_ns: report.stats.stall_percentile(0.95).as_nanos(),
         flush_apply_ns_row: report.mean_flush_apply_ns_row(),
+        fifo_steps_per_sec: steps as f64 / fifo_wall.max(1e-9),
+        fifo_p95_stall_ns: fifo_report.stats.stall_percentile(0.95).as_nanos(),
     }
 }
 
@@ -84,8 +106,13 @@ fn extract_number(json: &str, field: &str) -> Option<f64> {
 
 fn block(n: &SmokeNumbers) -> String {
     format!(
-        "{{\n    \"steps_per_sec\": {:.2},\n    \"mean_gentry_ns\": {},\n    \"p95_stall_ns\": {},\n    \"flush_apply_ns_row\": {:.2}\n  }}",
-        n.steps_per_sec, n.mean_gentry_ns, n.p95_stall_ns, n.flush_apply_ns_row
+        "{{\n    \"steps_per_sec\": {:.2},\n    \"mean_gentry_ns\": {},\n    \"p95_stall_ns\": {},\n    \"flush_apply_ns_row\": {:.2},\n    \"fifo_steps_per_sec\": {:.2},\n    \"fifo_p95_stall_ns\": {}\n  }}",
+        n.steps_per_sec,
+        n.mean_gentry_ns,
+        n.p95_stall_ns,
+        n.flush_apply_ns_row,
+        n.fifo_steps_per_sec,
+        n.fifo_p95_stall_ns
     )
 }
 
@@ -102,13 +129,14 @@ fn main() {
     for i in 0..repeats {
         let n = run_once(steps);
         eprintln!(
-            "run {}/{}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row",
+            "run {}/{}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, fifo {:.1} steps/s",
             i + 1,
             repeats,
             n.steps_per_sec,
             n.mean_gentry_ns,
             n.p95_stall_ns,
-            n.flush_apply_ns_row
+            n.flush_apply_ns_row,
+            n.fifo_steps_per_sec
         );
         best = Some(match best {
             Some(b) if b.steps_per_sec >= n.steps_per_sec => b,
@@ -125,9 +153,11 @@ fn main() {
                 steps_per_sec: extract_number(&json, "steps_per_sec")?,
                 mean_gentry_ns: extract_number(&json, "mean_gentry_ns")? as u64,
                 p95_stall_ns: extract_number(&json, "p95_stall_ns")? as u64,
-                // Optional: baselines written before this field existed
+                // Optional: baselines written before these fields existed
                 // compare as 0 (the perf gate skips a zero baseline).
                 flush_apply_ns_row: extract_number(&json, "flush_apply_ns_row").unwrap_or(0.0),
+                fifo_steps_per_sec: extract_number(&json, "fifo_steps_per_sec").unwrap_or(0.0),
+                fifo_p95_stall_ns: extract_number(&json, "fifo_p95_stall_ns").unwrap_or(0.0) as u64,
             })
         });
 
@@ -141,11 +171,12 @@ fn main() {
     json.push_str(&format!("  \"current\": {}\n}}\n", block(&current)));
     std::fs::write(&out_path, &json).expect("write smoke output");
     println!(
-        "wrote {out_path}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row",
+        "wrote {out_path}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, fifo {:.1} steps/s",
         current.steps_per_sec,
         current.mean_gentry_ns,
         current.p95_stall_ns,
-        current.flush_apply_ns_row
+        current.flush_apply_ns_row,
+        current.fifo_steps_per_sec
     );
     if let Some(b) = baseline {
         println!(

@@ -1,6 +1,7 @@
 //! One function per table/figure of the paper's evaluation.
 //!
-//! Every function returns [`ExpTable`]s whose rows mirror the paper's
+//! Every function returns [`ExpTable`](crate::table::ExpTable)s whose rows
+//! mirror the paper's
 //! x-axis and series, with notes recording the scale substitutions (smaller
 //! key spaces, fewer steps) made to fit this host. `cargo bench` runs them
 //! all; EXPERIMENTS.md records paper-vs-measured.
@@ -13,7 +14,8 @@ mod tables;
 mod tech;
 
 pub use ablations::{
-    ablation_cache_policy, ablation_flush_batch, ablation_lookahead, ablation_optimizer,
+    ablation_cache_policy, ablation_flush_batch, ablation_flush_strategy, ablation_lookahead,
+    ablation_optimizer,
 };
 pub use micro::{exp1_microbenchmark, fig3_motivation};
 pub use overall::{exp6_kg, exp7_rec, exp8_scalability, exp9_cost};

@@ -16,6 +16,10 @@ pub enum System {
     HugeCtr,
     /// Frugal with write-through flushing.
     FrugalSync,
+    /// Frugal with arrival-order (FIFO) background flushing — the priority
+    /// ablation: proactive like Frugal, but every pending write gates the
+    /// next step.
+    FrugalFifo,
     /// The full Frugal system (P²F + two-level PQ).
     Frugal,
 }
@@ -28,6 +32,7 @@ impl System {
             System::PyTorchUvm => "PyTorch-UVM",
             System::HugeCtr => "HugeCTR",
             System::FrugalSync => "Frugal-Sync",
+            System::FrugalFifo => "Frugal-FIFO",
             System::Frugal => "Frugal",
         }
     }
@@ -39,6 +44,7 @@ impl System {
             System::PyTorchUvm => "DGL-KE-UVM",
             System::HugeCtr => "DGL-KE-cached",
             System::FrugalSync => "Frugal-Sync",
+            System::FrugalFifo => "Frugal-FIFO",
             System::Frugal => "Frugal",
         }
     }
@@ -71,7 +77,7 @@ pub struct RunOptions {
     pub lookahead: u64,
     /// Telemetry handle threaded into the engine; off by default so bench
     /// sweeps measure the zero-overhead path. Attach [`Telemetry::new`] to
-    /// get per-phase spans and a [`TelemetrySummary`]
+    /// get per-phase spans and a `TelemetrySummary`
     /// (frugal_telemetry::TelemetrySummary) on the report.
     pub telemetry: Telemetry,
 }
@@ -112,7 +118,7 @@ pub fn run_system(
     let n_keys = workload.n_keys();
     let dim = model.dim();
     match system {
-        System::Frugal | System::FrugalSync => {
+        System::Frugal | System::FrugalSync | System::FrugalFifo => {
             let mut cfg = FrugalConfig::commodity(opts.topology.n_gpus(), opts.steps);
             cfg.cost = frugal_sim::CostModel::new(opts.topology.clone());
             cfg.cache_ratio = opts.cache_ratio;
@@ -120,8 +126,10 @@ pub fn run_system(
             cfg.pq = opts.pq;
             cfg.lookahead = opts.lookahead;
             cfg.telemetry = opts.telemetry.clone();
-            if system == System::FrugalSync {
-                cfg = cfg.write_through();
+            match system {
+                System::FrugalSync => cfg = cfg.write_through(),
+                System::FrugalFifo => cfg = cfg.fifo(),
+                _ => {}
             }
             let engine = FrugalEngine::new(cfg, n_keys, dim);
             engine.run(workload, model)
@@ -166,6 +174,7 @@ mod tests {
             System::PyTorchUvm,
             System::HugeCtr,
             System::FrugalSync,
+            System::FrugalFifo,
             System::Frugal,
         ] {
             let r = run_system(system, &opts, &trace, &model);

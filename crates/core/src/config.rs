@@ -73,7 +73,61 @@ pub enum FlushMode {
     /// memory before the next step starts (the Frugal-Sync baseline /
     /// "SyncFlushing" of Exp #2).
     WriteThrough,
+    /// The priority ablation: proactive background flushing like
+    /// [`FlushMode::P2f`], but in arrival order — every g-entry is enqueued
+    /// at priority = its write step and reads are never registered. Still
+    /// bit-equal to the serial oracle (step `s` waits until all writes of
+    /// steps `< s` are flushed), but it pays the stall P²F's read-driven
+    /// priorities avoid: *everything* pending gates the next step, not just
+    /// the rows about to be read (paper §3.3's motivation, made runnable).
+    Fifo,
 }
+
+impl FlushMode {
+    /// True when this mode relies on background flushing threads (and on
+    /// g-entry registration feeding the priority queue).
+    pub fn proactive(self) -> bool {
+        !matches!(self, FlushMode::WriteThrough)
+    }
+}
+
+/// A rejected [`FrugalConfig`] (see [`FrugalConfig::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The topology has zero GPUs — there is nothing to train on.
+    NoGpus,
+    /// `lookahead == 0`: the sample queue must run at least one step ahead
+    /// of training for prefetch-driven priorities to exist.
+    ZeroLookahead,
+    /// The flush mode relies on background flushers but `flush_threads == 0`
+    /// — nothing would ever drain the pending updates.
+    NoFlushers(FlushMode),
+    /// `cache_ratio` outside `(0, 1]` (also rejects NaN).
+    CacheRatio(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoGpus => write!(f, "topology has zero GPUs"),
+            ConfigError::ZeroLookahead => {
+                write!(
+                    f,
+                    "lookahead must be >= 1 (the sample queue must run ahead)"
+                )
+            }
+            ConfigError::NoFlushers(mode) => write!(
+                f,
+                "{mode:?} mode needs flush_threads >= 1 (nothing would drain pending updates)"
+            ),
+            ConfigError::CacheRatio(r) => {
+                write!(f, "cache_ratio {r} outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of the Frugal training engine.
 #[derive(Debug, Clone)]
@@ -155,6 +209,33 @@ impl FrugalConfig {
         self
     }
 
+    /// Switches to the arrival-order FIFO flush ablation (see
+    /// [`FlushMode::Fifo`]).
+    pub fn fifo(mut self) -> Self {
+        self.flush_mode = FlushMode::Fifo;
+        self
+    }
+
+    /// Checks the configuration's structural invariants, returning the
+    /// first violation. [`FrugalEngine::new`](crate::FrugalEngine::new)
+    /// calls this and panics on `Err`; binaries call it directly to report
+    /// bad arguments gracefully instead of panicking deep inside a run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_gpus() == 0 {
+            return Err(ConfigError::NoGpus);
+        }
+        if self.lookahead == 0 {
+            return Err(ConfigError::ZeroLookahead);
+        }
+        if self.flush_mode.proactive() && self.flush_threads == 0 {
+            return Err(ConfigError::NoFlushers(self.flush_mode));
+        }
+        if !(self.cache_ratio > 0.0 && self.cache_ratio <= 1.0) {
+            return Err(ConfigError::CacheRatio(self.cache_ratio));
+        }
+        Ok(())
+    }
+
     /// Enables consistency checking (tests).
     pub fn checked(mut self) -> Self {
         self.checked = true;
@@ -199,5 +280,37 @@ mod tests {
         let c = FrugalConfig::commodity(2, 10).write_through().checked();
         assert_eq!(c.flush_mode, FlushMode::WriteThrough);
         assert!(c.checked);
+        let f = FrugalConfig::commodity(2, 10).fifo();
+        assert_eq!(f.flush_mode, FlushMode::Fifo);
+        assert!(f.flush_mode.proactive());
+        assert!(!c.flush_mode.proactive());
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_each_invariant() {
+        assert_eq!(FrugalConfig::commodity(2, 10).validate(), Ok(()));
+
+        let mut c = FrugalConfig::commodity(2, 10);
+        c.lookahead = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroLookahead));
+
+        let mut c = FrugalConfig::commodity(2, 10);
+        c.flush_threads = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoFlushers(FlushMode::P2f)));
+        // Write-through needs no flushers; FIFO does.
+        assert_eq!(c.clone().write_through().validate(), Ok(()));
+        assert_eq!(
+            c.fifo().validate(),
+            Err(ConfigError::NoFlushers(FlushMode::Fifo))
+        );
+
+        for bad in [0.0, -0.1, 1.5, f64::NAN] {
+            let mut c = FrugalConfig::commodity(2, 10);
+            c.cache_ratio = bad;
+            assert!(
+                matches!(c.validate(), Err(ConfigError::CacheRatio(_))),
+                "cache_ratio {bad} must be rejected"
+            );
+        }
     }
 }

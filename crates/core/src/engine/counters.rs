@@ -1,0 +1,74 @@
+//! Registry-backed run counters.
+
+use frugal_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Registry-backed run counters.
+///
+/// The engine's *logic* depends on several of these — the cache hit ratio
+/// and the measured flusher rates that feed the virtual stall model — so
+/// they always live on a metric registry: the run's telemetry registry
+/// when telemetry is on, a private one otherwise. Either way each is the
+/// same atomic the engine used to hold inline, now visible by name
+/// (`cache.hits`, `flusher.dequeue_total_ns`, …) in telemetry snapshots.
+#[derive(Debug)]
+pub(crate) struct RunMetrics {
+    /// Counter `p2f.violations`: consistency-invariant violations seen on
+    /// host reads (checked mode).
+    pub(crate) violations: Arc<Counter>,
+    /// Counter `cache.hits`: unique keys served by a GPU cache.
+    pub(crate) hits: Arc<Counter>,
+    /// Counter `cache.misses`: unique keys read from host DRAM.
+    pub(crate) misses: Arc<Counter>,
+    /// Counters `flusher.dequeue_total_ns` / `flusher.apply_total_ns` /
+    /// `flush.rows`: measured flusher costs, split into the PQ-dequeue
+    /// part (which serializes on a tree heap) and the host-apply part.
+    pub(crate) flush_dequeue_ns: Arc<Counter>,
+    pub(crate) flush_apply_ns: Arc<Counter>,
+    pub(crate) flush_rows: Arc<Counter>,
+    /// Counter `flusher.parked_ns`: time idle flushers spent parked on the
+    /// flush condvar instead of spinning (the Fig 17 "flushers divert CPU"
+    /// effect, avoided).
+    pub(crate) flusher_parked_ns: Arc<Counter>,
+    /// Histogram `flush.batch_rows`: rows applied per non-empty flush
+    /// batch — how much locality the key-sorted batch apply gets to
+    /// exploit.
+    pub(crate) flush_batch_rows: Arc<Histogram>,
+    /// Histogram `flush.apply_row_ns`: each batch's mean per-row apply
+    /// cost (claim + optimizer step + host-store write).
+    pub(crate) flush_apply_row_ns: Arc<Histogram>,
+    /// Counter `gentry.batch_ns`: total wall time trainers spent inside
+    /// the sharded batch-registration phase (writes + reads), summed
+    /// across trainers and steps.
+    pub(crate) gentry_batch_ns: Arc<Counter>,
+    /// Gauge `p2f.blocking_rows`: the rows whose flush gates the next wait
+    /// condition — next-step keys with pending writes under P²F, *all*
+    /// pending keys under FIFO (the strategy's `stall_rows` view).
+    pub(crate) blocking_rows_next: Arc<Gauge>,
+    /// Counter `stall.<strategy>.modeled_ns`: the modeled stall summed
+    /// over the run, attributed to the flush strategy by name so telemetry
+    /// snapshots from different modes stay comparable side by side.
+    pub(crate) stall_modeled_ns: Arc<Counter>,
+}
+
+impl RunMetrics {
+    /// `stall_counter` is the strategy's static counter name
+    /// (`FlushStrategy::stall_counter`) — the registry interns names as
+    /// `&'static str`, so the strategy supplies the literal.
+    pub(crate) fn new(registry: &Registry, stall_counter: &'static str) -> Self {
+        RunMetrics {
+            violations: registry.counter("p2f.violations"),
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            flush_dequeue_ns: registry.counter("flusher.dequeue_total_ns"),
+            flush_apply_ns: registry.counter("flusher.apply_total_ns"),
+            flush_rows: registry.counter("flush.rows"),
+            flusher_parked_ns: registry.counter("flusher.parked_ns"),
+            flush_batch_rows: registry.histogram("flush.batch_rows"),
+            flush_apply_row_ns: registry.histogram("flush.apply_row_ns"),
+            gentry_batch_ns: registry.counter("gentry.batch_ns"),
+            blocking_rows_next: registry.gauge("p2f.blocking_rows"),
+            stall_modeled_ns: registry.counter(stall_counter),
+        }
+    }
+}

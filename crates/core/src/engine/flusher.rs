@@ -1,0 +1,191 @@
+//! The background flushing pool: coordination primitives and the per-thread
+//! drain loop (paper §3.2, component 4).
+
+use super::RunShared;
+use crate::gentry::PendingWrites;
+use crate::wait::InflightTable;
+use frugal_embed::FlushClaim;
+use frugal_telemetry::{Phase, SpanArgs};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long an idle flusher parks on the flush condvar before re-polling.
+/// Bounded so shutdown and missed notifications (a registration that lands
+/// between the empty dequeue and the park) cannot stall the drain.
+const FLUSHER_PARK: Duration = Duration::from_micros(100);
+
+/// How long a blocked trainer parks between wait-condition re-checks.
+const TRAINER_PARK: Duration = Duration::from_micros(50);
+
+/// The flusher pool's coordination surface: the condvar trainers and
+/// flushers park on, the shutdown latch the drain protocol uses, and the
+/// in-flight markers the wait condition scans.
+///
+/// The condvar is shared deliberately — flushers wake on fresh
+/// registrations (and raised scan bounds), trainers wake on applied rows,
+/// and both events funnel through [`FlushCoord::notify_all`].
+#[derive(Debug)]
+pub(crate) struct FlushCoord {
+    mutex: Mutex<()>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Per-flusher in-flight markers checked by the wait condition (see
+    /// [`InflightTable`]): dequeuing removes an entry from the queue before
+    /// its row write completes, so the queue's `top_priority` alone cannot
+    /// cover it.
+    pub(crate) inflight: InflightTable,
+}
+
+impl FlushCoord {
+    pub(crate) fn new(n_flushers: usize) -> Self {
+        FlushCoord {
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            inflight: InflightTable::new(n_flushers),
+        }
+    }
+
+    /// Wakes every parked flusher and every blocked trainer.
+    pub(crate) fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Raises the shutdown latch and wakes parked flushers so the drain
+    /// protocol can finish. Parked flushers re-check shutdown on wake;
+    /// their park timeout bounds the drain latency even if this signal
+    /// races a park.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Parks an idle flusher until a notification (or the bounded timeout —
+    /// the safety net against a notify that lands between its empty dequeue
+    /// and this wait). Returns the nanoseconds spent parked. Spinning here
+    /// instead would burn a core per idle flusher and divert CPU from
+    /// trainers (the paper's Fig 17 effect).
+    pub(crate) fn park(&self) -> u64 {
+        let t = Instant::now();
+        let mut guard = self.mutex.lock();
+        if !self.is_shutdown() {
+            self.cv.wait_for(&mut guard, FLUSHER_PARK);
+        }
+        drop(guard);
+        t.elapsed().as_nanos() as u64
+    }
+
+    /// Blocks the caller until `done()` holds, re-checking under the lock
+    /// before each bounded wait so a notify can never be lost between the
+    /// check and the park.
+    pub(crate) fn wait_until(&self, done: impl Fn() -> bool) {
+        while !done() {
+            let mut guard = self.mutex.lock();
+            if done() {
+                break;
+            }
+            self.cv.wait_for(&mut guard, TRAINER_PARK);
+        }
+    }
+}
+
+/// One background flushing thread.
+///
+/// The apply path is allocation-free after warm-up: claims drain into a
+/// per-flusher reusable scratch (`writes` + `claims`) via
+/// [`crate::gentry::GEntryStore::take_writes_into`], and the batch is
+/// key-sorted before claiming so both the g-entry shards and the dense
+/// host/state tables are walked in address order. The claimed ranges then
+/// replay through [`frugal_embed::apply_claims`] — the same entry point the
+/// write-through leader's list apply uses.
+///
+/// Claim-all-then-apply-all is safe under the in-flight marker: the guarded
+/// dequeue publishes the batch's minimum priority *before* extraction and
+/// the marker stays up until every row is applied, so a trainer admitted at
+/// step `s` has `s <` marker `≤` every batch key's priority (its next-read
+/// step under P²F, its write step under FIFO) — step `s` reads none of the
+/// claimed-but-unapplied rows.
+pub(crate) fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
+    let rec = shared.cfg.telemetry.recorder(format!("flusher-{slot}"));
+    let mut out = Vec::with_capacity(shared.cfg.flush_batch);
+    // Reusable claim scratch: the batch's claimed (step, Δ) pairs, flat,
+    // plus each claimed key's range into them.
+    let mut writes: PendingWrites = Vec::new();
+    let mut claims: Vec<FlushClaim> = Vec::with_capacity(shared.cfg.flush_batch);
+    loop {
+        out.clear();
+        let t_deq = Instant::now();
+        // Guarded dequeue: the in-flight marker is published *before* each
+        // entry leaves the queue, so there is no instant at which a pending
+        // flush is visible to neither `top_priority` nor the marker scan.
+        // (Publishing after `dequeue_batch` returned — the engine's old
+        // order — left exactly that window; the schedule explorer found a
+        // trainer slipping through it. See DESIGN.md §8 race 3.)
+        shared.pq.dequeue_batch_guarded(
+            shared.cfg.flush_batch,
+            &mut out,
+            shared.flush.inflight.guard(slot),
+        );
+        if out.is_empty() {
+            if shared.flush.is_shutdown() && shared.gstore.pending_keys() == 0 {
+                return;
+            }
+            let parked = shared.flush.park();
+            shared.metrics.flusher_parked_ns.add(parked);
+            continue;
+        }
+        // Only non-empty dequeues are recorded: thousands of idle polls
+        // would swamp both the histogram and the trace ring.
+        shared
+            .metrics
+            .flush_dequeue_ns
+            .add(t_deq.elapsed().as_nanos() as u64);
+        rec.record_completed(
+            Phase::FlushDequeue,
+            t_deq,
+            SpanArgs::one("batch", out.len() as u64),
+        );
+        let t_apply = Instant::now();
+        // Key-sorted batch apply: claims then walk the g-entry shards and
+        // the dense host/state rows in ascending key (address) order.
+        out.sort_unstable();
+        writes.clear();
+        claims.clear();
+        for &(key, bucket_p) in &out {
+            let start = writes.len();
+            let n = shared.gstore.take_writes_into(key, bucket_p, &mut writes);
+            if n > 0 {
+                claims.push((key, start, start + n));
+            }
+        }
+        let applied =
+            frugal_embed::apply_claims(shared.store, shared.rule.as_ref(), &claims, &writes);
+        if applied > 0 {
+            let apply_ns = t_apply.elapsed().as_nanos() as u64;
+            shared.metrics.flush_apply_ns.add(apply_ns);
+            shared.metrics.flush_rows.add(applied);
+            shared.metrics.flush_batch_rows.record(applied);
+            shared.metrics.flush_apply_row_ns.record(apply_ns / applied);
+            rec.record_completed(Phase::FlushApply, t_apply, SpanArgs::one("rows", applied));
+        }
+        shared.flush.inflight.clear(slot);
+        if applied > 0 {
+            // One consolidated wake, and it must come *after*
+            // `inflight.clear`: a trainer's wait condition checks the queue
+            // top and then the in-flight markers, so a wake issued while
+            // this slot's marker is still up could be consumed, re-observe
+            // the stale marker, and leave the trainer waiting out a full
+            // park timeout. After the clear, both the queue and the marker
+            // reflect the applied rows, so one notify_all suffices.
+            shared.flush.notify_all();
+        }
+        if shared.cfg.flush_throttle_us > 0 {
+            std::thread::sleep(Duration::from_micros(shared.cfg.flush_throttle_us));
+        }
+    }
+}

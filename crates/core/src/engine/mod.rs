@@ -1,0 +1,264 @@
+//! The Frugal training engine (paper §3).
+//!
+//! One OS thread per simulated GPU ("training process"), a pool of flushing
+//! threads, and the flush strategy's protocol between them:
+//!
+//! * **Forward** — each trainer resolves its batch keys against its local
+//!   cache (owned, hot keys) and reads everything else from the host store
+//!   with UVA-style zero-copy reads, which are safe because the wait
+//!   condition guarantees no key read at step `s` has unflushed updates.
+//! * **Backward** — per-GPU gradients are aggregated per key in canonical
+//!   order at a step barrier; the barrier leader merges them and publishes
+//!   the step's update list, then **every trainer registers the g-entry
+//!   writes (and, under P²F, the step `s + L` reads) for the
+//!   [`GEntryStore`] shards it owns** using the batch APIs — the
+//!   registration work the paper puts on the critical path (Exp #4a) is
+//!   sharded across trainers instead of serialized on the leader.
+//! * **Flushing threads** — dequeue the highest-priority g-entries and apply
+//!   their pending updates to the host store in step order; idle flushers
+//!   park on the flush condvar (bounded wait) instead of burning a core.
+//! * **Wait condition** — the strategy's consistency gate: under P²F a
+//!   trainer may start step `s` only when `PQ.top() > s` (strictly), the
+//!   exact condition of §3.3, which this module measures as the training
+//!   stall.
+//!
+//! The engine is split along its natural seams:
+//!
+//! * [`strategy`] — the [`FlushStrategy`] trait and its three impls: `P2f`
+//!   (the paper's system), `WriteThrough` (the Frugal-Sync baseline), and
+//!   `Fifo` (the arrival-order priority ablation).
+//! * [`step`] — the three-barrier step protocol (A: merge + publish,
+//!   B→C: sharded registration, C: bookkeeping) and its shared state.
+//! * [`trainer`] — the per-GPU loop and the registration phase.
+//! * [`flusher`] — the flusher pool: coordination ([`FlushCoord`]) and the
+//!   per-thread drain loop.
+//! * [`stall`] — the virtual stall model (windowed measured flusher costs).
+//! * [`counters`] — the registry-backed run counters.
+//!
+//! Everything strategy-specific is a [`FlushStrategy`] decision consulted
+//! at barrier granularity; the per-key hot paths are strategy-blind.
+
+mod counters;
+mod flusher;
+mod stall;
+mod step;
+mod strategy;
+mod trainer;
+
+#[cfg(test)]
+mod tests;
+
+use crate::config::{FrugalConfig, PqKind};
+use crate::gentry::GEntryStore;
+use crate::model::EmbeddingModel;
+use crate::report::TrainReport;
+use crate::workload::Workload;
+use counters::RunMetrics;
+use flusher::FlushCoord;
+use frugal_embed::{HostStore, Sharding, UpdateRule};
+use frugal_pq::{PriorityQueue, TreeHeap, TwoLevelPq};
+use frugal_sim::{Nanos, RunStats};
+use frugal_telemetry::Registry;
+use std::sync::Arc;
+use std::sync::Barrier;
+use strategy::FlushStrategy;
+
+/// Shared state between trainers, the leader, and flushers for one run.
+pub(crate) struct RunShared<'a> {
+    pub(crate) cfg: &'a FrugalConfig,
+    /// The run's flush strategy (resolved once from `cfg.flush_mode`).
+    pub(crate) strategy: &'static dyn FlushStrategy,
+    /// Sparse optimizer for the host path: applied by the flushing threads
+    /// (P²F/FIFO) or the barrier leader (write-through). One rule either
+    /// way, so the per-row state `state_snapshot` exposes to cache fills is
+    /// the host path's state in every mode.
+    pub(crate) rule: Arc<dyn UpdateRule>,
+    pub(crate) workload: &'a dyn Workload,
+    pub(crate) model: &'a dyn EmbeddingModel,
+    pub(crate) store: &'a HostStore,
+    pub(crate) gstore: GEntryStore,
+    pub(crate) pq: Box<dyn PriorityQueue>,
+    pub(crate) sharding: Sharding,
+    /// The step protocol's shared state (see [`step::StepState`]).
+    pub(crate) step: step::StepState,
+    /// Flusher/trainer coordination (see [`FlushCoord`]).
+    pub(crate) flush: FlushCoord,
+    /// Named run counters (see [`RunMetrics`]).
+    pub(crate) metrics: RunMetrics,
+}
+
+/// The Frugal / Frugal-Sync training engine.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_core::{FrugalConfig, FrugalEngine, PullToTarget, Workload};
+/// use frugal_data::{KeyDistribution, SyntheticTrace};
+///
+/// let trace = SyntheticTrace::new(1_000, KeyDistribution::Zipf(0.9), 32, 2, 1)?;
+/// let mut cfg = FrugalConfig::commodity(2, 20);
+/// cfg.flush_threads = 2;
+/// let model = PullToTarget::new(8, 7);
+/// let engine = FrugalEngine::new(cfg, trace.n_keys(), 8);
+/// let report = engine.run(&trace, &model);
+/// assert!(report.final_loss < report.first_loss);
+/// # Ok::<(), frugal_data::DistError>(())
+/// ```
+#[derive(Debug)]
+pub struct FrugalEngine {
+    cfg: FrugalConfig,
+    store: Arc<HostStore>,
+}
+
+impl FrugalEngine {
+    /// Creates an engine with a fresh host store of `n_keys × dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`FrugalConfig::validate`] rejects the configuration.
+    /// Binaries that want a graceful error should call `validate`
+    /// themselves first.
+    pub fn new(cfg: FrugalConfig, n_keys: u64, dim: usize) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid FrugalConfig: {e}");
+        }
+        let mut store = if cfg.checked {
+            HostStore::new_checked(n_keys, dim, cfg.seed)
+        } else {
+            HostStore::new(n_keys, dim, cfg.seed)
+        };
+        store.attach_telemetry(&cfg.telemetry);
+        FrugalEngine {
+            cfg,
+            store: Arc::new(store),
+        }
+    }
+
+    /// The host parameter store (inspect after [`FrugalEngine::run`]).
+    pub fn store(&self) -> &HostStore {
+        &self.store
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &FrugalConfig {
+        &self.cfg
+    }
+
+    /// Trains `workload` with `model` and returns the run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload GPU count differs from the configured
+    /// topology or if the model dimension differs from the store.
+    pub fn run(&self, workload: &dyn Workload, model: &dyn EmbeddingModel) -> TrainReport {
+        let cfg = &self.cfg;
+        let n = cfg.n_gpus();
+        assert_eq!(workload.n_gpus(), n, "workload/topology GPU count mismatch");
+        assert_eq!(model.dim(), self.store.dim(), "model/store dim mismatch");
+        let strategy = strategy::for_mode(cfg.flush_mode);
+
+        let max_priority = cfg.steps + cfg.lookahead + 2;
+        let mut pq: Box<dyn PriorityQueue> = match cfg.pq {
+            PqKind::TwoLevel => Box::new(TwoLevelPq::new(max_priority)),
+            PqKind::TreeHeap => Box::new(TreeHeap::new()),
+        };
+        pq.attach_telemetry(&cfg.telemetry);
+        // Run counters live on the telemetry registry when one is attached,
+        // on a private registry otherwise (the engine's own logic reads them
+        // either way).
+        let registry = cfg
+            .telemetry
+            .registry()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
+
+        let shared = RunShared {
+            cfg,
+            strategy,
+            rule: cfg.optimizer.build_shared(
+                cfg.lr,
+                self.store.n_keys(),
+                self.store.dim(),
+                cfg.checked,
+            ),
+            workload,
+            model,
+            store: &self.store,
+            gstore: GEntryStore::with_policy(strategy.priority_policy()),
+            pq,
+            sharding: Sharding::new(n),
+            step: step::StepState::new(n, model.dim(), cfg.steps),
+            flush: FlushCoord::new(cfg.flush_threads),
+            metrics: RunMetrics::new(&registry, strategy.stall_counter()),
+        };
+
+        if let Some(bound) = strategy.initial_upper_bound(cfg.lookahead) {
+            shared.pq.set_upper_bound(bound);
+        }
+
+        let barrier = Barrier::new(n);
+
+        std::thread::scope(|scope| {
+            let mut flushers = Vec::new();
+            if strategy.uses_flushers() {
+                for i in 0..cfg.flush_threads {
+                    let shared = &shared;
+                    flushers.push(scope.spawn(move || flusher::flusher_loop(shared, i)));
+                }
+            }
+            let trainers: Vec<_> = (0..n)
+                .map(|g| {
+                    let barrier = &barrier;
+                    let shared = &shared;
+                    scope.spawn(move || trainer::trainer_loop(shared, barrier, g))
+                })
+                .collect();
+            for t in trainers {
+                t.join().expect("trainer panicked");
+            }
+            // Drain: wait for all deferred updates to reach host memory.
+            shared.flush.begin_shutdown();
+            for f in flushers {
+                f.join().expect("flusher panicked");
+            }
+            debug_assert_eq!(shared.gstore.pending_keys(), 0);
+        });
+
+        // Compose the report.
+        let iters = shared.step.iters.into_inner();
+        let mut stats = RunStats::new(workload.samples_per_step());
+        let mut first_loss = 0.0;
+        let mut final_loss = 0.0;
+        for (i, (it, loss)) in iters.iter().enumerate() {
+            stats.push(*it);
+            if i == 0 {
+                first_loss = *loss;
+            }
+            final_loss = *loss;
+        }
+        let gentry_times = shared.step.gentry_times.into_inner();
+        let mean_gentry = if gentry_times.is_empty() {
+            Nanos::ZERO
+        } else {
+            gentry_times.iter().copied().sum::<Nanos>() / gentry_times.len() as u64
+        };
+        let hits = shared.metrics.hits.get();
+        let misses = shared.metrics.misses.get();
+        let hit_ratio = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        TrainReport {
+            stats,
+            hit_ratio,
+            mean_gentry_update: mean_gentry,
+            violations: shared.metrics.violations.get() as usize,
+            races: self.store.race_count() + shared.rule.race_count(),
+            flush_rows: shared.metrics.flush_rows.get(),
+            flush_apply_ns: shared.metrics.flush_apply_ns.get(),
+            first_loss,
+            final_loss,
+            telemetry: cfg.telemetry.summary(),
+        }
+    }
+}

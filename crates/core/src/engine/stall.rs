@@ -1,0 +1,124 @@
+//! The virtual stall model: what the wait condition would cost on real
+//! hardware, estimated from *measured* flusher behaviour.
+
+use super::RunShared;
+use frugal_sim::Nanos;
+
+/// Totals of the flusher cost counters as of the previous step, kept by
+/// the leader so [`virtual_stall`] can use a *windowed* per-row estimate
+/// (deltas since the previous step) instead of lifetime averages that let
+/// early cheap flushes dilute late-run stalls.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FlushWindow {
+    dequeue_ns: u64,
+    apply_ns: u64,
+    rows: u64,
+}
+
+/// Advances `win` to the current counter totals and returns the windowed
+/// per-row `(dequeue_ns, apply_ns)` estimate. Steps in which no rows were
+/// flushed fall back to the lifetime average (there is no fresh signal),
+/// and a run with no flushed rows at all estimates zero.
+pub(crate) fn windowed_per_row(
+    win: &mut FlushWindow,
+    dequeue_ns: u64,
+    apply_ns: u64,
+    rows: u64,
+) -> (f64, f64) {
+    let d_rows = rows.saturating_sub(win.rows);
+    let est = if d_rows > 0 {
+        (
+            dequeue_ns.saturating_sub(win.dequeue_ns) as f64 / d_rows as f64,
+            apply_ns.saturating_sub(win.apply_ns) as f64 / d_rows as f64,
+        )
+    } else if rows > 0 {
+        (
+            dequeue_ns as f64 / rows as f64,
+            apply_ns as f64 / rows as f64,
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    *win = FlushWindow {
+        dequeue_ns,
+        apply_ns,
+        rows,
+    };
+    est
+}
+
+/// Models the stall at step `s`'s wait condition as real hardware would
+/// see it: the flushing threads must push the `blocking` rows to host
+/// memory before training may proceed. Which rows block is the strategy's
+/// call (`FlushStrategy::stall_rows`): under P²F only parameters written
+/// in a previous step and read again now (paper Fig 6, the k2 case) —
+/// deferred ∞-priority updates do not stall unless an upcoming read
+/// reactivates them — while under FIFO *every* pending row blocks.
+///
+/// Per-row costs come from *measured* flusher behaviour (so the PQ
+/// implementation's efficiency — O(1) two-level vs O(log N) serialized tree
+/// heap — flows straight into the stall), **windowed to the deltas since
+/// the previous step** (see [`windowed_per_row`]) so early-run costs do not
+/// dilute late-run stalls, normalized to reference-machine terms, and
+/// divided across flushing threads according to whether dequeues serialize.
+///
+/// The trainers still *physically* block on the wait condition for
+/// correctness; only the reported time is modeled, because a single-core
+/// host cannot exhibit the overlap a multi-core controller provides.
+pub(crate) fn virtual_stall(
+    shared: &RunShared<'_>,
+    s: u64,
+    blocking: u64,
+    raw_deq_ns: f64,
+    raw_apply_ns: f64,
+) -> Nanos {
+    if s == 0 || blocking == 0 {
+        return Nanos::ZERO;
+    }
+    let cfg = shared.cfg;
+    // Normalize measured per-row costs to reference-machine terms like the
+    // g-entry registration time (same calibration ratio).
+    let slowdown = crate::calibrate::host_slowdown(cfg.cost.gentry_op_reference_ns(128));
+    let deq_ns = (raw_deq_ns / slowdown) as u64;
+    let apply_ns = (raw_apply_ns / slowdown) as u64;
+    let cores = cfg.cost.topology().host().cpu_cores.max(1);
+    let n = cfg.n_gpus();
+    let threads = cfg.flush_threads.min(cores.saturating_sub(n + 1).max(1)) as u64;
+    let per_row_ns = if shared.pq.dequeue_serializes() {
+        // Dequeues funnel through one lock: they do not parallelize.
+        deq_ns + apply_ns / threads
+    } else {
+        (deq_ns + apply_ns) / threads
+    };
+    Nanos::from_nanos(blocking * per_row_ns.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_per_row_tracks_recent_steps() {
+        let mut win = FlushWindow::default();
+        // Step 1: 100 rows at 10ns dequeue / 20ns apply each.
+        let (d, a) = windowed_per_row(&mut win, 1_000, 2_000, 100);
+        assert_eq!((d, a), (10.0, 20.0));
+        // Step 2: 10 more rows, but each cost 1000/2000ns — the windowed
+        // estimate must reflect the *recent* cost, not the lifetime mean
+        // (which would be ~101ns dequeue).
+        let (d, a) = windowed_per_row(&mut win, 11_000, 22_000, 110);
+        assert_eq!((d, a), (1_000.0, 2_000.0));
+        // Step 3: no rows flushed — fall back to the lifetime average.
+        let (d, a) = windowed_per_row(&mut win, 11_000, 22_000, 110);
+        assert_eq!((d, a), (100.0, 200.0));
+        // Step 4: fresh rows resume windowing from the stored totals.
+        let (d, a) = windowed_per_row(&mut win, 11_550, 22_550, 120);
+        assert_eq!((d, a), (55.0, 55.0));
+    }
+
+    #[test]
+    fn windowed_per_row_empty_run_is_zero() {
+        let mut win = FlushWindow::default();
+        assert_eq!(windowed_per_row(&mut win, 0, 0, 0), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! The three-barrier step protocol: what leaders do between barriers A, B,
+//! and C, and the shared state that carries a step across them.
+//!
+//! Each step crosses three barriers. The thread the barrier elects can
+//! differ at each crossing, so leader state lives in [`StepState`], not
+//! thread-locals:
+//!
+//! 1. trainers deposit per-GPU aggregates and phase times → **A** →
+//! 2. the A-leader merges aggregates (GPU index order — canonical),
+//!    publishes the step's [`StepWork`] (update list + `s + L` read lists),
+//!    and runs the strategy's synchronous leader apply (write-through's
+//!    whole-list flush; a no-op under P²F/FIFO) → **B** →
+//! 3. *every* trainer runs its registration phase (see
+//!    [`super::trainer::register_phase`]); the B-leader then composes the
+//!    iteration's phase maxima (before C, so slow trainers cannot race slot
+//!    reuse) → **C** →
+//! 4. the C-leader finalizes bookkeeping (`set_upper_bound`, stall model,
+//!    iteration record) while other trainers already enter step `s + 1` —
+//!    nothing it does gates their wait condition.
+
+use super::stall::{self, FlushWindow};
+use super::RunShared;
+use frugal_data::Key;
+use frugal_embed::GradAggregator;
+use frugal_sim::{IterBreakdown, Nanos};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-trainer, per-step instrumentation deposited at the barrier.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PhaseTimes {
+    pub(crate) comm: Nanos,
+    pub(crate) host_dram: Nanos,
+    pub(crate) cache: Nanos,
+    pub(crate) other: Nanos,
+    pub(crate) loss: f32,
+}
+
+/// The step's shared work product, written by the A-leader between
+/// barriers A and B, read by every trainer between B and C. The barriers
+/// serialize the write against the reads, so the lock is never contended —
+/// it exists to keep the hand-off safe without `unsafe`.
+#[derive(Debug, Default)]
+pub(crate) struct StepWork {
+    /// This step's merged updates in canonical arrival order, each row
+    /// shared between the g-entry W set and the owner GPU's cache.
+    pub(crate) updates: Vec<(Key, Arc<[f32]>)>,
+    /// Raw per-GPU key lists of step `s + L` (the sample-queue prefetch);
+    /// empty when `s + L` is past the end of training or when the strategy
+    /// does not register reads. Gathered once by the leader so trainers do
+    /// not re-query the workload `n` times each.
+    pub(crate) reads: Vec<Vec<Key>>,
+    /// The step the `reads` lists belong to.
+    pub(crate) read_step: u64,
+}
+
+/// Rotating-leader state: the barrier can elect a different thread at each
+/// of the step's three crossings, so everything a "leader" produces for a
+/// later crossing lives here.
+#[derive(Debug)]
+pub(crate) struct LeaderState {
+    /// Cross-GPU merged aggregates (reused arena; drained every step).
+    pub(crate) merged: GradAggregator,
+    /// The strategy's synchronous leader-apply stall for this step
+    /// (write-through's modeled flush; zero for background strategies).
+    pub(crate) sync_stall: Nanos,
+    /// Phase maxima composed by the B-leader, finalized by the C-leader.
+    pub(crate) it: IterBreakdown,
+    pub(crate) loss_sum: f32,
+    /// Flusher-counter totals at the previous step (see [`FlushWindow`]).
+    pub(crate) window: FlushWindow,
+}
+
+/// The step protocol's shared state: deposit slots, the published step
+/// work, rotating-leader state, and the per-run iteration records.
+#[derive(Debug)]
+pub(crate) struct StepState {
+    /// Per-GPU aggregators: trainers swap their full scratch aggregator in
+    /// before barrier A; the A-leader drains them in GPU index order. Kept
+    /// warm (arena reuse) across steps.
+    pub(crate) agg_slots: Vec<Mutex<GradAggregator>>,
+    /// Per-GPU phase instrumentation for the current step.
+    pub(crate) phase_slots: Vec<Mutex<PhaseTimes>>,
+    /// The step's published work (see [`StepWork`]).
+    pub(crate) work: RwLock<StepWork>,
+    /// Rotating-leader state (see [`LeaderState`]).
+    pub(crate) leader: Mutex<LeaderState>,
+    /// Keys of step `s + 1` with pending writes after registration, summed
+    /// across trainers (each counts only its own shards).
+    pub(crate) blocking_next: AtomicU64,
+    /// Slowest trainer's write-registration time this step — the sharded
+    /// critical path (the Exp #4a quantity under parallel registration).
+    pub(crate) reg_ns_max: AtomicU64,
+    /// Leader-composed per-iteration records.
+    pub(crate) iters: Mutex<Vec<(IterBreakdown, f32)>>,
+    pub(crate) gentry_times: Mutex<Vec<Nanos>>,
+}
+
+impl StepState {
+    pub(crate) fn new(n_gpus: usize, dim: usize, steps: u64) -> Self {
+        StepState {
+            agg_slots: (0..n_gpus)
+                .map(|_| Mutex::new(GradAggregator::new(dim)))
+                .collect(),
+            phase_slots: (0..n_gpus)
+                .map(|_| Mutex::new(PhaseTimes::default()))
+                .collect(),
+            work: RwLock::new(StepWork::default()),
+            leader: Mutex::new(LeaderState {
+                merged: GradAggregator::new(dim),
+                sync_stall: Nanos::ZERO,
+                it: IterBreakdown::default(),
+                loss_sum: 0.0,
+                window: FlushWindow::default(),
+            }),
+            blocking_next: AtomicU64::new(0),
+            reg_ns_max: AtomicU64::new(0),
+            iters: Mutex::new(Vec::with_capacity(steps as usize)),
+            gentry_times: Mutex::new(Vec::with_capacity(steps as usize)),
+        }
+    }
+}
+
+/// The A-leader's work between barriers A and B: merge the per-GPU
+/// aggregates in GPU index order (canonical), publish the step's update
+/// list and `s + L` read lists as [`StepWork`], and run the strategy's
+/// synchronous leader apply (the Frugal-Sync stall under write-through).
+pub(crate) fn leader_prepare(shared: &RunShared<'_>, s: u64) {
+    let cfg = shared.cfg;
+    let leader = &mut *shared.step.leader.lock();
+    for slot in &shared.step.agg_slots {
+        leader.merged.merge_from(&mut slot.lock());
+    }
+    shared.model.end_step(s);
+
+    let mut work = shared.step.work.write();
+    work.updates.clear();
+    leader.merged.drain_arcs(&mut work.updates);
+
+    // Sample queue: gather the raw reads of step s + L once for all
+    // trainers (they filter to their own shards between B and C). Only
+    // read-driven strategies consume them.
+    work.reads.clear();
+    let rs = s + cfg.lookahead;
+    work.read_step = rs;
+    if shared.strategy.registers_reads() && rs < cfg.steps {
+        for g in 0..cfg.n_gpus() {
+            let keys = shared.workload.keys(rs, g);
+            work.reads.push(keys);
+        }
+    }
+
+    leader.sync_stall =
+        shared
+            .strategy
+            .leader_apply(cfg, shared.store, shared.rule.as_ref(), &work.updates);
+    drop(work);
+
+    shared.step.blocking_next.store(0, Ordering::Release);
+    shared.step.reg_ns_max.store(0, Ordering::Release);
+}
+
+/// The B-leader's compose, run between barriers B and C (after its own
+/// registration phase): fold the per-GPU phase times into the iteration's
+/// maxima. This must finish before C — once trainers pass C they may
+/// deposit step `s + 1` times into the same slots.
+pub(crate) fn compose_phases(shared: &RunShared<'_>) {
+    let mut leader = shared.step.leader.lock();
+    let mut it = IterBreakdown::default();
+    let mut loss_sum = 0.0f32;
+    for slot in &shared.step.phase_slots {
+        let p = slot.lock();
+        it.comm = it.comm.max(p.comm);
+        it.host_dram = it.host_dram.max(p.host_dram);
+        it.cache = it.cache.max(p.cache);
+        it.other = it.other.max(p.other);
+        loss_sum += p.loss;
+    }
+    leader.it = it;
+    leader.loss_sum = loss_sum;
+}
+
+/// The C-leader's bookkeeping after barrier C: raise the PQ scan bound,
+/// convert the measured registration maximum to reference-machine terms,
+/// model the stall, and push the iteration record. Nothing here gates the
+/// other trainers' next step — they are already past C — and the next
+/// barrier A cannot complete before this thread arrives, so the next
+/// [`leader_prepare`] never races these reads.
+pub(crate) fn leader_finish(shared: &RunShared<'_>, s: u64) {
+    let cfg = shared.cfg;
+    let n = cfg.n_gpus();
+    if let Some(bound) = shared.strategy.upper_bound_after(s, cfg.lookahead) {
+        // Scan-range compression (§3.4); the raised bound may unblock
+        // parked flushers' scan ranges.
+        shared.pq.set_upper_bound(bound);
+        shared.flush.notify_all();
+    }
+
+    // Convert the measured registration time to reference-machine terms:
+    // divide by how much slower this host runs the canonical registration
+    // probe than the reference controller (see `calibrate`). Relative
+    // effects — tree heap vs two-level PQ, sharded vs serial registration,
+    // batch sizes — are already inside the measurement and survive intact.
+    let slowdown = crate::calibrate::host_slowdown(cfg.cost.gentry_op_reference_ns(128));
+    let gentry_time = if shared.strategy.uses_flushers() {
+        let max_ns = shared.step.reg_ns_max.load(Ordering::Acquire);
+        Nanos::from_nanos(max_ns) * (1.0 / slowdown)
+    } else {
+        // Write-through has no g-entries; its flush cost is the stall.
+        Nanos::ZERO
+    };
+    shared.step.gentry_times.lock().push(gentry_time);
+
+    let mut leader = shared.step.leader.lock();
+    let mut it = leader.it;
+    let loss_sum = leader.loss_sum;
+    // The controller/flushers contend with trainers for CPU cores: charge
+    // an oversubscription factor on the critical-path registration time
+    // (the Fig 17 "too many flushing threads divert CPU" effect).
+    let cores = cfg.cost.topology().host().cpu_cores.max(1);
+    let oversub = ((n + cfg.flush_threads + 2) as f64 / cores as f64).max(1.0);
+    it.other += gentry_time * oversub + cfg.cost.framework_frugal();
+    it.stall = if shared.strategy.uses_flushers() {
+        // Advance the flusher-cost window every step so the per-row
+        // estimate tracks *current* flusher behaviour.
+        let (deq_ns, apply_ns) = stall::windowed_per_row(
+            &mut leader.window,
+            shared.metrics.flush_dequeue_ns.get(),
+            shared.metrics.flush_apply_ns.get(),
+            shared.metrics.flush_rows.get(),
+        );
+        // Which rows gate the next wait is the strategy's call: next-step
+        // readers under P²F, every pending key under FIFO.
+        let blocking = shared.strategy.stall_rows(
+            shared.step.blocking_next.load(Ordering::Acquire),
+            shared.gstore.pending_keys() as u64,
+        );
+        shared.metrics.blocking_rows_next.set(blocking as i64);
+        stall::virtual_stall(shared, s, blocking, deq_ns, apply_ns)
+    } else {
+        leader.sync_stall
+    };
+    shared.metrics.stall_modeled_ns.add(it.stall.as_nanos());
+    shared.step.iters.lock().push((it, loss_sum / n as f32));
+}

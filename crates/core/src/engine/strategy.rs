@@ -1,0 +1,330 @@
+//! The [`FlushStrategy`] seam: how a run moves pending updates to host
+//! memory, factored out of the training loop.
+//!
+//! The paper's central claim (§3.3, and the Exp ablations) is that
+//! *priority-based* proactive flushing — not proactive flushing per se —
+//! is what keeps the wait condition cheap. This trait makes that claim
+//! testable by giving every sync policy the same seams into the engine:
+//!
+//! | decision                    | [`P2f`]                | [`WriteThrough`]  | [`Fifo`]            |
+//! |-----------------------------|------------------------|-------------------|---------------------|
+//! | background flushers         | yes                    | no                | yes                 |
+//! | lookahead read registration | yes                    | no                | no                  |
+//! | enqueue priority            | earliest future read   | —                 | write step          |
+//! | step `s` waits while        | pending floor ≤ `s`    | never             | pending floor ≤ `s−1` |
+//! | leader-side apply           | —                      | whole update list | —                   |
+//! | modeled stall rows          | blocking next-step keys| all rows (sync)   | all pending keys    |
+//!
+//! All three preserve synchronous consistency (bit-equality with the
+//! serial oracle): write-through flushes everything inside the barrier,
+//! P²F guarantees every row read at step `s` is flushed before `s` starts
+//! (Equation 1 priorities + the strict `PQ.top() > s` wait), and FIFO
+//! guarantees the superset — *every* write from steps `< s` is flushed
+//! before `s` starts, because priorities are write steps and the wait
+//! threshold is `s − 1`. What FIFO gives up is selectivity: cold rows
+//! nobody is about to read gate the next step anyway, which is exactly
+//! the stall the priority ablation measures.
+//!
+//! Strategies are stateless; the engine holds one `&'static dyn
+//! FlushStrategy` per run and consults it at barrier granularity (a
+//! handful of virtual calls per step — nothing on the per-key paths).
+
+use crate::config::{FlushMode, FrugalConfig};
+use crate::gentry::PriorityPolicy;
+use frugal_data::Key;
+use frugal_embed::{HostStore, UpdateRule};
+use frugal_sim::Nanos;
+use std::sync::Arc;
+
+/// One flush policy's decisions, consulted by the engine at the step
+/// barriers. See the module docs for the per-strategy contract table.
+pub(crate) trait FlushStrategy: Sync + std::fmt::Debug {
+    /// Short name for logs and per-strategy telemetry attribution.
+    #[allow(dead_code)] // exercised by tests; kept for log call sites
+    fn name(&self) -> &'static str;
+
+    /// The per-strategy modeled-stall counter name,
+    /// `stall.<name>.modeled_ns` (a literal — the metric registry interns
+    /// names as `&'static str`).
+    fn stall_counter(&self) -> &'static str;
+
+    /// True when the run spawns background flushing threads and registers
+    /// g-entry writes (false only for write-through, where the leader
+    /// applies everything inline).
+    fn uses_flushers(&self) -> bool;
+
+    /// True when the sample-queue prefetch registers lookahead reads.
+    /// Only P²F needs them: its priorities are read-driven. FIFO priorities
+    /// are write steps, so reads would be dead weight on the hot path.
+    fn registers_reads(&self) -> bool;
+
+    /// How the g-entry store derives queue priorities from R/W sets.
+    fn priority_policy(&self) -> PriorityPolicy;
+
+    /// The wait-condition threshold for step `s`: block while any pending
+    /// flush (queued or in-flight) has priority ≤ the threshold. `None`
+    /// means step `s` never waits.
+    fn wait_threshold(&self, s: u64) -> Option<u64>;
+
+    /// The queue's initial scan upper bound (largest finite priority that
+    /// can exist before step 0 completes), if the strategy bounds scans.
+    fn initial_upper_bound(&self, lookahead: u64) -> Option<u64>;
+
+    /// The scan upper bound to publish after step `s`'s registration, if
+    /// any. The engine also wakes parked flushers when this returns `Some`
+    /// (a raised bound can unblock their scan range).
+    fn upper_bound_after(&self, s: u64, lookahead: u64) -> Option<u64>;
+
+    /// The leader's synchronous apply between barriers A and B. Returns
+    /// the modeled stall of that apply ([`Nanos::ZERO`] for strategies
+    /// that defer to background flushers).
+    fn leader_apply(
+        &self,
+        cfg: &FrugalConfig,
+        store: &HostStore,
+        rule: &dyn UpdateRule,
+        updates: &[(Key, Arc<[f32]>)],
+    ) -> Nanos;
+
+    /// How many rows the modeled stall must cover after step `s`:
+    /// `blocking_next` is the count of next-step keys with pending writes
+    /// (P²F — only rows about to be read gate the wait), `pending_keys`
+    /// the count of *all* keys with pending writes (FIFO — everything
+    /// gates the wait; this asymmetry is the priority ablation's result).
+    fn stall_rows(&self, blocking_next: u64, pending_keys: u64) -> u64;
+}
+
+/// Resolves the strategy singleton for `mode`.
+pub(crate) fn for_mode(mode: FlushMode) -> &'static dyn FlushStrategy {
+    match mode {
+        FlushMode::P2f => &P2f,
+        FlushMode::WriteThrough => &WriteThrough,
+        FlushMode::Fifo => &Fifo,
+    }
+}
+
+/// The full Frugal system: priority-based proactive flushing (§3.3).
+#[derive(Debug)]
+struct P2f;
+
+impl FlushStrategy for P2f {
+    fn name(&self) -> &'static str {
+        "p2f"
+    }
+
+    fn stall_counter(&self) -> &'static str {
+        "stall.p2f.modeled_ns"
+    }
+
+    fn uses_flushers(&self) -> bool {
+        true
+    }
+
+    fn registers_reads(&self) -> bool {
+        true
+    }
+
+    fn priority_policy(&self) -> PriorityPolicy {
+        PriorityPolicy::EarliestRead
+    }
+
+    fn wait_threshold(&self, s: u64) -> Option<u64> {
+        // §3.3: start step s only when PQ.top() > s (strictly).
+        Some(s)
+    }
+
+    fn initial_upper_bound(&self, lookahead: u64) -> Option<u64> {
+        // Before step 0 finishes registration, the finite priorities are
+        // the prefetched reads of steps 0..L plus step-0 writes read at
+        // ≤ L + 1 by the time the bound next rises.
+        Some(lookahead + 1)
+    }
+
+    fn upper_bound_after(&self, s: u64, lookahead: u64) -> Option<u64> {
+        // Scan-range compression (§3.4): no finite priority can exceed
+        // the prefetch horizon.
+        Some(s + 1 + lookahead)
+    }
+
+    fn leader_apply(
+        &self,
+        _cfg: &FrugalConfig,
+        _store: &HostStore,
+        _rule: &dyn UpdateRule,
+        _updates: &[(Key, Arc<[f32]>)],
+    ) -> Nanos {
+        Nanos::ZERO
+    }
+
+    fn stall_rows(&self, blocking_next: u64, _pending_keys: u64) -> u64 {
+        blocking_next
+    }
+}
+
+/// The Frugal-Sync baseline: the leader applies every update inside the
+/// barrier; the time it would take on real hardware is the stall (§3.1).
+#[derive(Debug)]
+struct WriteThrough;
+
+impl FlushStrategy for WriteThrough {
+    fn name(&self) -> &'static str {
+        "write_through"
+    }
+
+    fn stall_counter(&self) -> &'static str {
+        "stall.write_through.modeled_ns"
+    }
+
+    fn uses_flushers(&self) -> bool {
+        false
+    }
+
+    fn registers_reads(&self) -> bool {
+        false
+    }
+
+    fn priority_policy(&self) -> PriorityPolicy {
+        // Unused: nothing is ever registered.
+        PriorityPolicy::EarliestRead
+    }
+
+    fn wait_threshold(&self, _s: u64) -> Option<u64> {
+        None
+    }
+
+    fn initial_upper_bound(&self, _lookahead: u64) -> Option<u64> {
+        None
+    }
+
+    fn upper_bound_after(&self, _s: u64, _lookahead: u64) -> Option<u64> {
+        None
+    }
+
+    fn leader_apply(
+        &self,
+        cfg: &FrugalConfig,
+        store: &HostStore,
+        rule: &dyn UpdateRule,
+        updates: &[(Key, Arc<[f32]>)],
+    ) -> Nanos {
+        // The write-through flush the paper describes: every update
+        // crosses PCIe to host memory synchronously, with no background
+        // overlap (the real apply runs at host-memcpy speed and is not
+        // representative; the cost model supplies the stall). Applied
+        // through the shared rule — the same host-path state the flushers
+        // would use — so stateful optimizers expose correct
+        // `state_snapshot`s to cache fills in this mode too.
+        frugal_embed::apply_updates(store, rule, updates);
+        cfg.cost.sync_flush(updates.len() as u64, cfg.n_gpus())
+    }
+
+    fn stall_rows(&self, _blocking_next: u64, _pending_keys: u64) -> u64 {
+        0
+    }
+}
+
+/// The priority ablation: proactive background flushing in arrival order.
+/// Synchronously consistent (step `s` starts only after *all* writes of
+/// steps `< s` are flushed) but unselective — see the module docs.
+#[derive(Debug)]
+struct Fifo;
+
+impl FlushStrategy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn stall_counter(&self) -> &'static str {
+        "stall.fifo.modeled_ns"
+    }
+
+    fn uses_flushers(&self) -> bool {
+        true
+    }
+
+    fn registers_reads(&self) -> bool {
+        false
+    }
+
+    fn priority_policy(&self) -> PriorityPolicy {
+        PriorityPolicy::ArrivalOrder
+    }
+
+    fn wait_threshold(&self, s: u64) -> Option<u64> {
+        // Priorities are write steps: step s is safe once every write from
+        // steps < s has been flushed, i.e. while the pending floor ≤ s − 1
+        // the trainer must wait. Step 0 has nothing before it.
+        s.checked_sub(1)
+    }
+
+    fn initial_upper_bound(&self, _lookahead: u64) -> Option<u64> {
+        // The only finite priorities before the first bound update are
+        // step-0 writes.
+        Some(0)
+    }
+
+    fn upper_bound_after(&self, s: u64, _lookahead: u64) -> Option<u64> {
+        // Write priorities never exceed the next step.
+        Some(s + 1)
+    }
+
+    fn leader_apply(
+        &self,
+        _cfg: &FrugalConfig,
+        _store: &HostStore,
+        _rule: &dyn UpdateRule,
+        _updates: &[(Key, Arc<[f32]>)],
+    ) -> Nanos {
+        Nanos::ZERO
+    }
+
+    fn stall_rows(&self, _blocking_next: u64, pending_keys: u64) -> u64 {
+        // Every pending write gates the next step — the stall P²F's
+        // read-driven priorities avoid.
+        pending_keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_resolution_and_names() {
+        assert_eq!(for_mode(FlushMode::P2f).name(), "p2f");
+        assert_eq!(for_mode(FlushMode::WriteThrough).name(), "write_through");
+        assert_eq!(for_mode(FlushMode::Fifo).name(), "fifo");
+    }
+
+    #[test]
+    fn p2f_contract() {
+        let s = for_mode(FlushMode::P2f);
+        assert!(s.uses_flushers() && s.registers_reads());
+        assert_eq!(s.priority_policy(), PriorityPolicy::EarliestRead);
+        assert_eq!(s.wait_threshold(0), Some(0));
+        assert_eq!(s.wait_threshold(7), Some(7));
+        assert_eq!(s.initial_upper_bound(10), Some(11));
+        assert_eq!(s.upper_bound_after(4, 10), Some(15));
+        assert_eq!(s.stall_rows(3, 100), 3, "only next-step readers gate");
+    }
+
+    #[test]
+    fn write_through_contract() {
+        let s = for_mode(FlushMode::WriteThrough);
+        assert!(!s.uses_flushers() && !s.registers_reads());
+        assert_eq!(s.wait_threshold(5), None, "never waits");
+        assert_eq!(s.upper_bound_after(5, 10), None);
+    }
+
+    #[test]
+    fn fifo_contract() {
+        let s = for_mode(FlushMode::Fifo);
+        assert!(s.uses_flushers() && !s.registers_reads());
+        assert_eq!(s.priority_policy(), PriorityPolicy::ArrivalOrder);
+        assert_eq!(s.wait_threshold(0), None, "nothing precedes step 0");
+        assert_eq!(s.wait_threshold(5), Some(4), "all writes < 5 must land");
+        assert_eq!(s.initial_upper_bound(10), Some(0));
+        assert_eq!(s.upper_bound_after(4, 10), Some(5));
+        assert_eq!(s.stall_rows(3, 100), 100, "everything pending gates");
+    }
+}

@@ -1,0 +1,413 @@
+//! The per-GPU training loop (paper §3.2's "training process") and its
+//! registration phase.
+
+use super::step::{self, PhaseTimes};
+use super::RunShared;
+use crate::gentry::{GEntryStore, PqOpScratch};
+use crate::wait;
+use frugal_data::Key;
+use frugal_embed::{GpuCache, GradAggregator};
+use frugal_sim::{HostPath, Nanos};
+use frugal_telemetry::{Phase, SpanArgs, StallRecord, ThreadRecorder};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// A trainer's reusable hot-loop buffers: batch dedup, row staging, the
+/// gradient aggregator, and the registration-side shard buckets. Everything
+/// here is cleared (capacity kept) instead of re-allocated, so after
+/// warm-up the per-step loop allocates only what is semantically shared
+/// (the per-row `Arc` gradients and the workload's sampled key lists).
+pub(crate) struct StepScratch {
+    /// Batch dedup: key → slot in `unique`.
+    index_of: HashMap<Key, usize>,
+    unique: Vec<Key>,
+    /// Unique rows, `unique.len() × dim`.
+    urows: Vec<f32>,
+    /// Per-sample rows, `keys.len() × dim`.
+    rows: Vec<f32>,
+    /// Cache misses: `(unique index, key)`.
+    missing: Vec<(usize, Key)>,
+    /// Per-GPU gradient aggregator (swapped with the deposit slot).
+    agg: GradAggregator,
+    /// Own-shard write batches, one bucket per owned g-entry shard.
+    write_bufs: Vec<Vec<(Key, Arc<[f32]>)>>,
+    /// Own-shard read batches, one bucket per owned g-entry shard.
+    read_bufs: Vec<Vec<Key>>,
+    /// Per-step dedup of own-shard lookahead reads.
+    read_seen: HashSet<Key>,
+    /// Staged PQ operations for the g-entry batch calls.
+    pq_ops: PqOpScratch,
+    /// Own-shard deduped lookahead key lists by `step % ring len`, written
+    /// at registration time and read back for the blocking-rows count —
+    /// the cache that replaces the old re-query of `workload.keys(s + 1, g)`.
+    ring: Vec<Vec<Key>>,
+}
+
+impl StepScratch {
+    pub(crate) fn new(dim: usize, lookahead: u64, n_gpus: usize, gpu: usize) -> Self {
+        let owned = (0..GEntryStore::n_shards())
+            .filter(|sid| sid % n_gpus == gpu)
+            .count();
+        StepScratch {
+            index_of: HashMap::new(),
+            unique: Vec::new(),
+            urows: Vec::new(),
+            rows: Vec::new(),
+            missing: Vec::new(),
+            agg: GradAggregator::new(dim),
+            write_bufs: (0..owned).map(|_| Vec::new()).collect(),
+            read_bufs: (0..owned).map(|_| Vec::new()).collect(),
+            read_seen: HashSet::new(),
+            pq_ops: PqOpScratch::default(),
+            // Slots for steps s..=s+L plus one of slack so a slot is never
+            // rewritten before the blocking count for its step has run.
+            ring: (0..lookahead + 2).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// Registers trainer `g`'s owned-shard reads of step `read_step`, drawing
+/// the per-GPU key lists from `lists`: filters to owned shards, dedups into
+/// the shard buckets, registers each bucket with one batch call, and files
+/// the deduped (shard-grouped) keys in the lookahead ring for the later
+/// blocking-rows count.
+pub(crate) fn register_own_reads(
+    shared: &RunShared<'_>,
+    g: usize,
+    read_step: u64,
+    lists: &[Vec<Key>],
+    scratch: &mut StepScratch,
+) {
+    let n = shared.cfg.n_gpus();
+    for buf in &mut scratch.read_bufs {
+        buf.clear();
+    }
+    scratch.read_seen.clear();
+    for list in lists {
+        for &key in list {
+            let sid = GEntryStore::shard_of(key);
+            if sid % n == g && scratch.read_seen.insert(key) {
+                scratch.read_bufs[sid / n].push(key);
+            }
+        }
+    }
+    let slot = (read_step % scratch.ring.len() as u64) as usize;
+    scratch.ring[slot].clear();
+    for buf in &scratch.read_bufs {
+        if !buf.is_empty() {
+            shared
+                .gstore
+                .add_reads_batch(read_step, buf, shared.pq.as_ref(), &mut scratch.pq_ops);
+            scratch.ring[slot].extend_from_slice(buf);
+        }
+    }
+}
+
+/// Every trainer's work between barriers B and C: apply the owner-routed
+/// cache updates, register own-shard g-entry writes (batch), register the
+/// own-shard reads of step `s + L` (batch, read-driven strategies only),
+/// and count the own-shard keys of step `s + 1` whose pending writes will
+/// gate the next wait condition.
+///
+/// Shard ownership: trainer `g` owns every [`GEntryStore`] shard `sid`
+/// with `sid % n_gpus == g`. Shards partition the key space, so exactly
+/// one trainer mutates any given g-entry this step — trainers never
+/// contend on a shard lock, only (rarely) with flushers draining it.
+pub(crate) fn register_phase(
+    shared: &RunShared<'_>,
+    rec: &ThreadRecorder,
+    s: u64,
+    g: usize,
+    scratch: &mut StepScratch,
+    cache: &mut GpuCache,
+    cache_opt: &mut dyn frugal_tensor::RowOptimizer,
+) {
+    let cfg = shared.cfg;
+    let n = cfg.n_gpus();
+    let proactive = shared.strategy.uses_flushers();
+    let work = shared.step.work.read();
+    let t0 = Instant::now();
+
+    // Single pass over the step's updates: fold owner-routed rows into the
+    // local cache (the cache sees the same per-key gradient sequence as
+    // the host path, keeping both bit-identical) and bucket own-shard rows
+    // for batch registration.
+    for buf in &mut scratch.write_bufs {
+        buf.clear();
+    }
+    for (key, grad) in &work.updates {
+        if shared.sharding.is_local(*key, g) {
+            if let Some(row) = cache.get_mut(key) {
+                cache_opt.update_row(*key, row, grad);
+            }
+        }
+        if proactive {
+            let sid = GEntryStore::shard_of(*key);
+            if sid % n == g {
+                scratch.write_bufs[sid / n].push((*key, Arc::clone(grad)));
+            }
+        }
+    }
+    if proactive {
+        // Write registration — the sharded critical path. The slowest
+        // trainer's time here is the step's g-entry registration time
+        // (what a serial leader used to spend on *all* keys).
+        let t_writes = Instant::now();
+        let mut own_rows = 0u64;
+        for buf in &scratch.write_bufs {
+            if !buf.is_empty() {
+                own_rows += buf.len() as u64;
+                shared
+                    .gstore
+                    .add_writes_batch(s, buf, shared.pq.as_ref(), &mut scratch.pq_ops);
+            }
+        }
+        shared
+            .step
+            .reg_ns_max
+            .fetch_max(t_writes.elapsed().as_nanos() as u64, Ordering::AcqRel);
+
+        if shared.strategy.registers_reads() {
+            // Sample-queue prefetch: the reads of step s + L, own shards
+            // only.
+            if work.read_step < cfg.steps {
+                register_own_reads(shared, g, work.read_step, &work.reads, scratch);
+            }
+        }
+        // Fresh entries (and tightened priorities) may unblock flushers'
+        // scan ranges; wake any parked ones.
+        shared.flush.notify_all();
+
+        if shared.strategy.registers_reads() && s + 1 < cfg.steps {
+            // Blocking rows for step s + 1: reuse the deduped lookahead
+            // keys registration filed in the ring — no workload re-query,
+            // no fresh dedup set. (Arrival-order strategies never file the
+            // ring; their stall covers every pending key instead.)
+            let slot = ((s + 1) % scratch.ring.len() as u64) as usize;
+            let blocked = shared.gstore.count_pending(&scratch.ring[slot]);
+            if blocked > 0 {
+                shared
+                    .step
+                    .blocking_next
+                    .fetch_add(blocked, Ordering::AcqRel);
+            }
+        }
+        shared
+            .metrics
+            .gentry_batch_ns
+            .add(t0.elapsed().as_nanos() as u64);
+        rec.record_completed(Phase::GEntryUpdate, t0, SpanArgs::one("rows", own_rows));
+    }
+}
+
+/// One training process (paper §3.2): the per-GPU loop.
+pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
+    let cfg = shared.cfg;
+    let rec = cfg.telemetry.recorder(format!("trainer-{g}"));
+    let dim = shared.model.dim();
+    let n = cfg.n_gpus();
+    let n_keys = shared.workload.n_keys();
+    let cap = shared.sharding.cache_capacity(n_keys, cfg.cache_ratio);
+    let mut cache = GpuCache::new(cap, dim, cfg.cache_policy);
+    cache.set_hot_threshold(shared.sharding.hot_threshold(n_keys, cfg.cache_ratio));
+    // Cache copies evolve with their own optimizer state: they see exactly
+    // the same per-key gradient sequence as the host path, so both states
+    // (and both values) stay bit-identical.
+    let mut cache_opt = cfg.optimizer.build_local(cfg.lr);
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let batch_per_gpu = shared.workload.samples_per_step() / n as u64;
+    let mut scratch = StepScratch::new(dim, cfg.lookahead, n, g);
+    // Strategy decisions hoisted out of the hot loop: one virtual call
+    // each, here, instead of per step.
+    let registers_reads = shared.strategy.registers_reads();
+
+    // Initial sample-queue prefetch (paper §3.2): each trainer registers
+    // its own shards' reads of steps 0..L before the first step. No writes
+    // exist yet, so this issues no queue operations and needs no
+    // cross-trainer ordering; each trainer only requires its *own*
+    // prefetch done before its own first wait, which program order gives.
+    if registers_reads {
+        for s0 in 0..cfg.lookahead.min(cfg.steps) {
+            let lists: Vec<Vec<Key>> = (0..n).map(|gg| shared.workload.keys(s0, gg)).collect();
+            register_own_reads(shared, g, s0, &lists, &mut scratch);
+        }
+    }
+
+    for s in 0..cfg.steps {
+        // The strategy's wait condition — P²F's `PQ.top() > s` (§3.3), or
+        // FIFO's "all writes < s flushed". The physical wait enforces
+        // consistency; the *reported* stall is modeled by
+        // [`super::stall::virtual_stall`] (see its docs for why).
+        if !cfg.skip_wait {
+            if let Some(th) = shared.strategy.wait_threshold(s) {
+                let blocked = |shared: &RunShared<'_>| {
+                    wait::blocked_at(shared.pq.as_ref(), &shared.flush.inflight, th)
+                };
+                if blocked(shared) {
+                    // Stall attribution: what is this wait blocked *on*?
+                    // The lowest deadline across the queue top and
+                    // in-flight flushes, and the outstanding backlog at
+                    // wait entry.
+                    let floor = wait::pending_floor(shared.pq.as_ref(), &shared.flush.inflight);
+                    let pending = shared.gstore.pending_keys() as u64;
+                    let span = rec.span_with(
+                        Phase::P2fWait,
+                        SpanArgs::two("blocking_priority", floor, "pending_keys", pending),
+                    );
+                    shared.flush.wait_until(|| !blocked(shared));
+                    let wait_ns = span.finish();
+                    if wait_ns > 0 {
+                        cfg.telemetry.record_stall(StallRecord {
+                            step: s,
+                            wait_ns,
+                            blocking_priority: floor,
+                            pending_keys: pending,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Sample: draw this iteration's keys from the workload.
+        let keys = {
+            let _span = rec.span(Phase::Sample);
+            shared.workload.keys(s, g)
+        };
+
+        // Forward pass 1 — cache query: dedup the batch and resolve unique
+        // keys against the local cache, collecting the ones every cache
+        // missed. All staging buffers are per-trainer scratch — cleared,
+        // never re-allocated.
+        let cq_span = rec.span(Phase::CacheQuery);
+        scratch.index_of.clear();
+        scratch.unique.clear();
+        scratch.missing.clear();
+        for &key in &keys {
+            if let std::collections::hash_map::Entry::Vacant(e) = scratch.index_of.entry(key) {
+                e.insert(scratch.unique.len());
+                scratch.unique.push(key);
+            }
+        }
+        let unique_n = scratch.unique.len();
+        scratch.urows.clear();
+        scratch.urows.resize(unique_n * dim, 0.0);
+        for (i, &key) in scratch.unique.iter().enumerate() {
+            let slot = &mut scratch.urows[i * dim..(i + 1) * dim];
+            if shared.sharding.is_local(key, g) {
+                if let Some(row) = cache.get(&key) {
+                    frugal_embed::kernels::copy(slot, row);
+                    hits += 1;
+                    continue;
+                }
+            }
+            scratch.missing.push((i, key));
+        }
+        drop(cq_span);
+
+        // Forward pass 2 — host reads (UVA zero-copy) for the cache misses.
+        // Safe to split from pass 1: keys are unique within a step, so a
+        // row admitted here can never be queried again before the barrier.
+        let host_reads = scratch.missing.len() as u64;
+        let mut fills = 0u64;
+        let hr_span = rec.span_with(Phase::HostRead, SpanArgs::one("rows", host_reads));
+        for &(i, key) in &scratch.missing {
+            let slot = &mut scratch.urows[i * dim..(i + 1) * dim];
+            // Verify the consistency invariant first when checking is on.
+            if cfg.checked && !shared.gstore.invariant_holds(key, s) {
+                shared.metrics.violations.incr();
+            }
+            shared.store.read_row(key, slot);
+            misses += 1;
+            if shared.sharding.is_local(key, g) && cache.admits(key) {
+                cache.insert(key, slot.to_vec());
+                // Synchronize the cache-side optimizer with the host path's
+                // per-row state (safe: the wait condition guarantees this
+                // key has no in-flight updates while it is being read).
+                if let Some(state) = shared.rule.state_snapshot(key) {
+                    cache_opt.seed_state(key, state);
+                }
+                fills += 1;
+            }
+        }
+        drop(hr_span);
+
+        // Scatter unique rows to per-instance rows for the model.
+        scratch.rows.clear();
+        scratch.rows.resize(keys.len() * dim, 0.0);
+        for (i, &key) in keys.iter().enumerate() {
+            let u = scratch.index_of[&key];
+            frugal_embed::kernels::copy(
+                &mut scratch.rows[i * dim..(i + 1) * dim],
+                &scratch.urows[u * dim..(u + 1) * dim],
+            );
+        }
+
+        let compute_span = rec.span(Phase::Compute);
+        let grads = shared.model.forward_backward(g, s, &keys, &scratch.rows);
+
+        // Aggregate this GPU's gradients per key in arrival order (the
+        // aggregator arena is reused; `drain`ed by the merge, swapped back
+        // next step).
+        for (i, &key) in keys.iter().enumerate() {
+            scratch
+                .agg
+                .add(key, &grads.emb_grads[i * dim..(i + 1) * dim]);
+        }
+        drop(compute_span);
+
+        // Modeled hardware times for this iteration.
+        let cost = &cfg.cost;
+        let row_bytes = (dim * 4) as u64;
+        let phase = PhaseTimes {
+            comm: if shared.model.dense_param_bytes() > 0 {
+                cost.all_to_all(shared.model.dense_param_bytes())
+            } else {
+                Nanos::ZERO
+            },
+            host_dram: cost.host_read(HostPath::Uva, host_reads, row_bytes, n),
+            cache: cost.cache_query(unique_n as u64) + cost.cache_update(fills),
+            other: cost.dnn_time(
+                shared.model.dense_flops_per_sample() * batch_per_gpu as f64,
+                shared.model.dense_layers().max(1),
+            ),
+            loss: grads.loss,
+        };
+        // The non-critical-path flush writes are *not* charged — that is
+        // precisely Frugal's point. Frugal-Sync charges them as stall in
+        // the strategy's leader apply.
+        std::mem::swap(&mut *shared.step.agg_slots[g].lock(), &mut scratch.agg);
+        *shared.step.phase_slots[g].lock() = phase.clone();
+
+        // Barrier A: aggregates deposited. The A-leader merges and
+        // publishes the step's work.
+        if barrier.wait().is_leader() {
+            step::leader_prepare(shared, s);
+        }
+        // Barrier B: StepWork visible. Everyone registers their shards.
+        let b = barrier.wait();
+        register_phase(
+            shared,
+            &rec,
+            s,
+            g,
+            &mut scratch,
+            &mut cache,
+            cache_opt.as_mut(),
+        );
+        if b.is_leader() {
+            step::compose_phases(shared);
+        }
+        // Barrier C: registration complete — the step's entries are all
+        // queued before any trainer can evaluate step s + 1's wait
+        // condition. The C-leader finalizes bookkeeping concurrently.
+        if barrier.wait().is_leader() {
+            step::leader_finish(shared, s);
+        }
+    }
+
+    shared.metrics.hits.add(hits);
+    shared.metrics.misses.add(misses);
+}

@@ -28,6 +28,22 @@ use std::sync::Arc;
 /// every gradient on the training critical path.
 pub type PendingWrites = Vec<(u64, Arc<[f32]>)>;
 
+/// How a g-entry's queue priority derives from its R/W sets — the knob the
+/// engine's flush strategies turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PriorityPolicy {
+    /// Equation (1), the P²F policy: `min(R)` while `W ≠ ∅`, else ∞ — an
+    /// entry's urgency is its earliest upcoming read.
+    #[default]
+    EarliestRead,
+    /// The FIFO ablation: the earliest *pending write* step while `W ≠ ∅`,
+    /// else ∞ — arrival-order flushing that ignores future reads. Under
+    /// this policy an in-queue entry's priority never changes (its first
+    /// pending write is fixed until a flusher claims the whole W set), so
+    /// registration is pure enqueue — no `adjust` traffic at all.
+    ArrivalOrder,
+}
+
 #[derive(Debug, Default)]
 struct GEntry {
     r_set: BTreeSet<u64>,
@@ -38,11 +54,16 @@ struct GEntry {
 }
 
 impl GEntry {
-    fn compute_priority(&self) -> Priority {
+    fn compute_priority(&self, policy: PriorityPolicy) -> Priority {
         if self.w_set.is_empty() {
             INFINITE
         } else {
-            self.r_set.first().copied().unwrap_or(INFINITE)
+            match policy {
+                PriorityPolicy::EarliestRead => self.r_set.first().copied().unwrap_or(INFINITE),
+                // W sets grow in step order, so the first element is the
+                // earliest pending write.
+                PriorityPolicy::ArrivalOrder => self.w_set[0].0,
+            }
         }
     }
 
@@ -62,6 +83,8 @@ const SHARDS: usize = 64;
 pub struct PqOpScratch {
     enqueues: Vec<(Key, Priority)>,
     moves: Vec<(Key, Priority, Priority)>,
+    /// Arrival-order staging: bare keys for the uniform-priority enqueue.
+    uniform: Vec<Key>,
 }
 
 /// The sharded g-entry store.
@@ -73,6 +96,8 @@ pub struct GEntryStore {
     shards: Vec<Mutex<HashMap<Key, GEntry>>>,
     /// Number of keys that currently have pending (unflushed) writes.
     pending_keys: AtomicUsize,
+    /// How priorities derive from the R/W sets (fixed per run).
+    policy: PriorityPolicy,
 }
 
 impl Default for GEntryStore {
@@ -82,12 +107,24 @@ impl Default for GEntryStore {
 }
 
 impl GEntryStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the P²F [`PriorityPolicy::EarliestRead`]
+    /// policy.
     pub fn new() -> Self {
+        Self::with_policy(PriorityPolicy::EarliestRead)
+    }
+
+    /// Creates an empty store deriving priorities with `policy`.
+    pub fn with_policy(policy: PriorityPolicy) -> Self {
         GEntryStore {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             pending_keys: AtomicUsize::new(0),
+            policy,
         }
+    }
+
+    /// The priority policy this store was built with.
+    pub fn policy(&self) -> PriorityPolicy {
+        self.policy
     }
 
     fn shard(&self, key: Key) -> &Mutex<HashMap<Key, GEntry>> {
@@ -123,7 +160,7 @@ impl GEntryStore {
             let entry = shard.entry(key).or_default();
             entry.r_set.insert(step);
             if entry.in_pq {
-                let new_p = entry.compute_priority();
+                let new_p = entry.compute_priority(self.policy);
                 if new_p != entry.priority {
                     pq.adjust(key, entry.priority, new_p);
                     entry.priority = new_p;
@@ -156,7 +193,7 @@ impl GEntryStore {
         if !had_writes {
             self.pending_keys.fetch_add(1, Ordering::AcqRel);
         }
-        let new_p = entry.compute_priority();
+        let new_p = entry.compute_priority(self.policy);
         if !entry.in_pq {
             pq.enqueue(key, new_p);
             entry.in_pq = true;
@@ -201,7 +238,7 @@ impl GEntryStore {
                 if !had_writes {
                     newly_pending += 1;
                 }
-                let new_p = entry.compute_priority();
+                let new_p = entry.compute_priority(self.policy);
                 if !entry.in_pq {
                     scratch.enqueues.push((*key, new_p));
                     entry.in_pq = true;
@@ -221,8 +258,27 @@ impl GEntryStore {
                 self.pending_keys.fetch_add(newly_pending, Ordering::AcqRel);
             }
             sched_point!("gentry.writes_batch.publish");
-            pq.enqueue_batch(&scratch.enqueues);
-            pq.adjust_batch(&scratch.moves);
+            match self.policy {
+                PriorityPolicy::EarliestRead => {
+                    pq.enqueue_batch(&scratch.enqueues);
+                    pq.adjust_batch(&scratch.moves);
+                }
+                PriorityPolicy::ArrivalOrder => {
+                    // Every fresh enqueue shares one priority — this step.
+                    // (A claimed key re-entering the queue has an empty W
+                    // set before this write, so its first pending write is
+                    // `step` too.) In-queue priorities never move under
+                    // arrival order, so the whole shard batch is a single
+                    // uniform enqueue.
+                    debug_assert!(scratch.moves.is_empty());
+                    debug_assert!(scratch.enqueues.iter().all(|&(_, p)| p == step));
+                    scratch.uniform.clear();
+                    scratch
+                        .uniform
+                        .extend(scratch.enqueues.iter().map(|&(k, _)| k));
+                    pq.enqueue_batch_uniform(&scratch.uniform, step);
+                }
+            }
         }
     }
 
@@ -247,7 +303,7 @@ impl GEntryStore {
                 let entry = shard.entry(key).or_default();
                 entry.r_set.insert(step);
                 if entry.in_pq {
-                    let new_p = entry.compute_priority();
+                    let new_p = entry.compute_priority(self.policy);
                     if new_p != entry.priority {
                         scratch.moves.push((key, entry.priority, new_p));
                         entry.priority = new_p;
@@ -629,6 +685,62 @@ mod tests {
             assert_eq!(w.len(), 1);
         }
         assert_eq!(store.pending_keys(), 0);
+    }
+
+    #[test]
+    fn arrival_order_priority_is_first_write_step() {
+        let store = GEntryStore::with_policy(PriorityPolicy::ArrivalOrder);
+        let pq = TwoLevelPq::new(100);
+        // Reads never matter under arrival order.
+        store.add_read(5, 1, &pq);
+        store.add_write(5, 3, vec![0.1].into(), &pq);
+        assert_eq!(store.priority_of(5), Some(3));
+        // A later write does not move the entry: the first pending write
+        // still gates it.
+        store.add_write(5, 7, vec![0.2].into(), &pq);
+        assert_eq!(store.priority_of(5), Some(3));
+        // Nor does a tightening read (the P²F policy would move it to 4).
+        store.add_read(5, 4, &pq);
+        assert_eq!(store.priority_of(5), Some(3));
+        assert_eq!(pq.top_priority(), 3);
+        // The claim drains both writes in step order; a fresh write then
+        // re-enqueues at its own step.
+        let w = store.take_writes(5, 3).expect("claimable");
+        assert_eq!(w.iter().map(|&(s, _)| s).collect::<Vec<_>>(), vec![3, 7]);
+        store.add_write(5, 9, vec![0.3].into(), &pq);
+        assert_eq!(store.priority_of(5), Some(9));
+    }
+
+    #[test]
+    fn arrival_order_batch_matches_per_key_path() {
+        let seq_store = GEntryStore::with_policy(PriorityPolicy::ArrivalOrder);
+        let seq_pq = TwoLevelPq::new(100);
+        let bat_store = GEntryStore::with_policy(PriorityPolicy::ArrivalOrder);
+        let bat_pq = TwoLevelPq::new(100);
+        let mut scratch = PqOpScratch::default();
+        let keys: Vec<Key> = vec![1, 65, 2, 130, 7, 64];
+        let grad: Arc<[f32]> = vec![0.5].into();
+        for step in [2u64, 5] {
+            let items: Vec<(Key, Arc<[f32]>)> =
+                keys.iter().map(|&k| (k, Arc::clone(&grad))).collect();
+            for (k, g) in &items {
+                seq_store.add_write(*k, step, Arc::clone(g), &seq_pq);
+            }
+            let mut grouped = items.clone();
+            grouped.sort_by_key(|&(k, _)| GEntryStore::shard_of(k));
+            bat_store.add_writes_batch(step, &grouped, &bat_pq, &mut scratch);
+        }
+        for &k in &keys {
+            assert_eq!(seq_store.priority_of(k), bat_store.priority_of(k));
+            assert_eq!(seq_store.priority_of(k), Some(2), "first write step");
+        }
+        assert_eq!(seq_pq.top_priority(), bat_pq.top_priority());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        seq_pq.dequeue_batch(usize::MAX, &mut a);
+        bat_pq.dequeue_batch(usize::MAX, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "queue contents diverged");
     }
 
     #[test]

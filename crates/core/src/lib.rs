@@ -36,17 +36,18 @@ mod config;
 mod engine;
 mod gentry;
 mod model;
+pub mod presets;
 mod report;
 mod serial;
 mod wait;
 mod workload;
 
 pub use calibrate::{host_gentry_ns, host_slowdown};
-pub use config::{FlushMode, FrugalConfig, OptimizerKind, PqKind};
+pub use config::{ConfigError, FlushMode, FrugalConfig, OptimizerKind, PqKind};
 pub use engine::FrugalEngine;
-pub use gentry::{GEntryStore, PendingWrites, PqOpScratch};
+pub use gentry::{GEntryStore, PendingWrites, PqOpScratch, PriorityPolicy};
 pub use model::{BatchGrads, EmbeddingModel, PullToTarget};
 pub use report::TrainReport;
 pub use serial::{train_serial, train_serial_with, SerialRun};
-pub use wait::{admits, blocked, pending_floor, InflightTable};
+pub use wait::{admits, blocked, blocked_at, pending_floor, InflightTable};
 pub use workload::Workload;

@@ -66,19 +66,32 @@ impl InflightTable {
     }
 }
 
-/// The full wait condition: true while step `s` must NOT start.
+/// The wait condition at an explicit threshold: true while any pending
+/// flush (queued or in-flight) has priority ≤ `threshold`.
+///
+/// The threshold is the flush strategy's knob: P²F blocks step `s` on
+/// priorities ≤ `s` (priorities are *next-read* steps, and a pending write
+/// read at `s` must land first — §3.3's strict `PQ.top() > s`), while the
+/// FIFO ablation blocks on priorities ≤ `s - 1` (priorities are *write*
+/// steps, and every write from steps before `s` must land first).
 ///
 /// Checked in this order — queue first, then in-flight markers — because
 /// entries move from the queue *into* a marker: a guarded dequeue
 /// publishes the marker before extraction, so an entry missed by the
 /// `top_priority` read is already visible to the marker scan that follows.
 /// (The reverse order would be racy even with guarded dequeues.)
-pub fn blocked(pq: &dyn PriorityQueue, inflight: &InflightTable, s: u64) -> bool {
-    if pq.top_priority() <= s {
+pub fn blocked_at(pq: &dyn PriorityQueue, inflight: &InflightTable, threshold: u64) -> bool {
+    if pq.top_priority() <= threshold {
         return true;
     }
     sched_point!("wait.between_checks");
-    inflight.any_at_or_below(s)
+    inflight.any_at_or_below(threshold)
+}
+
+/// The P²F wait condition: true while step `s` must NOT start
+/// ([`blocked_at`] with the §3.3 threshold `s`).
+pub fn blocked(pq: &dyn PriorityQueue, inflight: &InflightTable, s: u64) -> bool {
+    blocked_at(pq, inflight, s)
 }
 
 /// Convenience inverse of [`blocked`]: true when step `s` may start.
@@ -115,6 +128,22 @@ mod tests {
         assert!(blocked(&pq, &table, 4), "top == s must block (strict >)");
         assert!(blocked(&pq, &table, 7));
         assert!(admits(&pq, &table, 3));
+    }
+
+    #[test]
+    fn threshold_form_matches_fifo_semantics() {
+        // FIFO priorities are write steps: step s blocks on anything ≤ s-1.
+        let pq = TwoLevelPq::new(10);
+        pq.enqueue(9, 2); // a write from step 2, not yet flushed
+        let table = InflightTable::new(1);
+        assert!(blocked_at(&pq, &table, 2), "step 3 must wait for step 2");
+        assert!(!blocked_at(&pq, &table, 1), "step 2 needs only steps < 2");
+        // An in-flight marker participates at the same threshold.
+        let mut out = Vec::new();
+        pq.dequeue_batch_guarded(8, &mut out, table.guard(0));
+        assert!(blocked_at(&pq, &table, 2), "claimed but unapplied blocks");
+        table.clear(0);
+        assert!(!blocked_at(&pq, &table, 2));
     }
 
     #[test]

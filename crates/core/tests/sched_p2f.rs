@@ -21,7 +21,7 @@
 
 #![cfg(feature = "sched")]
 
-use frugal_core::{admits, GEntryStore, InflightTable, PqOpScratch};
+use frugal_core::{admits, blocked_at, GEntryStore, InflightTable, PqOpScratch, PriorityPolicy};
 use frugal_pq::{PriorityQueue, TwoLevelPq, INFINITE};
 use frugal_sched::{explore, replay, yield_point, ExploreConfig, SimBuilder};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -438,6 +438,236 @@ fn sharded_batch_registration_survives_sweep() {
     assert!(
         !outcome.found_violation(),
         "sharded batch registration must keep the wait condition sound: {:?}",
+        outcome.failure
+    );
+    assert_eq!(outcome.runs, 1024);
+}
+
+#[test]
+fn fifo_wait_condition_survives_sweep() {
+    // The FIFO-ablation wait condition end to end: an arrival-order store
+    // enqueues every write at its *write* step (reads never reposition
+    // anything), and a step-`s` trainer evaluates
+    // `blocked_at(pq, inflight, s - 1)` — all writes issued before step
+    // `s` must be durably applied first. Keys 1 and 65 (shard 1) register
+    // at step 0 through the uniform batch path; key 2 (shard 2) follows at
+    // step 1 and must NOT gate step 1. Until both step-0 rows are applied,
+    // `blocked_at(_, _, 0)` must hold in every reachable interleaving.
+    let outcome = explore(&quiet(0..1024), |sim| {
+        let pq: Arc<TwoLevelPq> = Arc::new(TwoLevelPq::new(16));
+        let gstore = Arc::new(GEntryStore::with_policy(PriorityPolicy::ArrivalOrder));
+        let grad: Arc<[f32]> = Arc::from(vec![1.0f32].as_slice());
+        let inflight = Arc::new(InflightTable::new(1));
+        let reg1_done = Arc::new(AtomicBool::new(false));
+        let applied = Arc::new(AtomicUsize::new(0));
+        let applied_step0 = Arc::new(AtomicUsize::new(0));
+
+        {
+            let pq = Arc::clone(&pq);
+            let gstore = Arc::clone(&gstore);
+            let reg1_done = Arc::clone(&reg1_done);
+            let grad = Arc::clone(&grad);
+            sim.thread("registrant", move || {
+                let mut scratch = PqOpScratch::default();
+                gstore.add_writes_batch(
+                    0,
+                    &[(1, Arc::clone(&grad)), (65, Arc::clone(&grad))],
+                    pq.as_ref(),
+                    &mut scratch,
+                );
+                reg1_done.store(true, Ordering::SeqCst);
+                yield_point("registrant.between_batches");
+                gstore.add_writes_batch(1, &[(2, Arc::clone(&grad))], pq.as_ref(), &mut scratch);
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            let gstore = Arc::clone(&gstore);
+            let inflight = Arc::clone(&inflight);
+            let reg1_done = Arc::clone(&reg1_done);
+            let applied = Arc::clone(&applied);
+            let applied_step0 = Arc::clone(&applied_step0);
+            sim.thread("flusher", move || {
+                let mut out = Vec::new();
+                for _ in 0..64 {
+                    if !reg1_done.load(Ordering::SeqCst) {
+                        yield_point("flusher.await_registration");
+                        continue;
+                    }
+                    out.clear();
+                    pq.dequeue_batch_guarded(8, &mut out, inflight.guard(0));
+                    for &(key, bucket_p) in &out {
+                        if gstore.take_writes(key, bucket_p).is_some() {
+                            applied.fetch_add(1, Ordering::SeqCst);
+                            if bucket_p == 0 {
+                                applied_step0.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                    inflight.clear(0);
+                    if applied.load(Ordering::SeqCst) == 3 {
+                        return;
+                    }
+                    yield_point("flusher.idle");
+                }
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            let inflight = Arc::clone(&inflight);
+            let reg1_done = Arc::clone(&reg1_done);
+            let applied_step0 = Arc::clone(&applied_step0);
+            sim.thread("trainer", move || {
+                for _ in 0..8 {
+                    if !reg1_done.load(Ordering::SeqCst) {
+                        yield_point("trainer.await_registration");
+                        continue;
+                    }
+                    let is_blocked = blocked_at(pq.as_ref() as &dyn PriorityQueue, &inflight, 0);
+                    // Monotone: `applied_step0` only grows, so a post-probe
+                    // read of < 2 means step-0 rows were pending for the
+                    // probe's whole duration.
+                    if applied_step0.load(Ordering::SeqCst) < 2 {
+                        assert!(
+                            is_blocked,
+                            "pending step-0 write invisible to the FIFO wait"
+                        );
+                    }
+                    yield_point("trainer.probe");
+                }
+            });
+        }
+        let gstore = Arc::clone(&gstore);
+        let applied = Arc::clone(&applied);
+        let applied_step0 = Arc::clone(&applied_step0);
+        sim.check("all rows drained", move || {
+            assert_eq!(applied.load(Ordering::SeqCst), 3, "flusher starved");
+            assert_eq!(applied_step0.load(Ordering::SeqCst), 2);
+            assert_eq!(gstore.pending_keys(), 0, "pending key survived the drain");
+        });
+    });
+    assert!(
+        !outcome.found_violation(),
+        "arrival-order registration must keep the FIFO wait sound: {:?}",
+        outcome.failure
+    );
+    assert_eq!(outcome.runs, 1024);
+}
+
+#[test]
+fn adjust_insert_before_delete_window_survives_sweep() {
+    // ROADMAP open item: `PriorityQueue::adjust` repositions an entry by
+    // inserting the new priority *before* deleting the old one, so a
+    // concurrent wait-condition evaluation always finds the key at one
+    // position or the other (transiently both). This sweep drives the
+    // re-activation tightening — a step-2 prefetch arrives for an entry
+    // queued at priority 5 — against a racing guarded dequeue and a
+    // probing trainer. Were the adjust delete-first, the explorer would
+    // catch the empty window where `admits(pq, inflight, 2)` turns true
+    // while the write is still pending; the stale-claim check must also
+    // keep the row applied exactly once.
+    let outcome = explore(&quiet(0..1024), |sim| {
+        let pq: Arc<TwoLevelPq> = Arc::new(TwoLevelPq::new(16));
+        let gstore = Arc::new(GEntryStore::new());
+        let grad: Arc<[f32]> = Arc::from(vec![1.0f32].as_slice());
+        // Build phase: one pending write on key 7, earliest read step 5.
+        gstore.add_read(7, 5, pq.as_ref() as &dyn PriorityQueue);
+        gstore.add_write(7, 0, Arc::clone(&grad), pq.as_ref());
+        let inflight = Arc::new(InflightTable::new(1));
+        let reg_done = Arc::new(AtomicBool::new(false));
+        let applied = Arc::new(AtomicUsize::new(0));
+
+        {
+            let pq = Arc::clone(&pq);
+            let gstore = Arc::clone(&gstore);
+            let reg_done = Arc::clone(&reg_done);
+            sim.thread("registrant", move || {
+                // Tighten 5 → 2: the adjust under test.
+                gstore.add_read(7, 2, pq.as_ref());
+                reg_done.store(true, Ordering::SeqCst);
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            let gstore = Arc::clone(&gstore);
+            let inflight = Arc::clone(&inflight);
+            let reg_done = Arc::clone(&reg_done);
+            let applied = Arc::clone(&applied);
+            sim.thread("flusher", move || {
+                let mut claims: Vec<(u64, u64)> = Vec::new();
+                let mut out = Vec::new();
+                // One pq-only dequeue racing the adjust. The slot's marker
+                // stays published until the collected claims are resolved
+                // below, so anything extracted here remains covered by the
+                // wait condition throughout (no g-entry locks are touched
+                // while the registrant may hold one).
+                pq.dequeue_batch_guarded(8, &mut out, inflight.guard(0));
+                claims.extend(out.iter().copied());
+                yield_point("flusher.collected");
+                let mut writes = Vec::new();
+                let mut claimed = false;
+                for _ in 0..64 {
+                    if !reg_done.load(Ordering::SeqCst) {
+                        yield_point("flusher.await_registration");
+                        continue;
+                    }
+                    if !claimed {
+                        claimed = true;
+                        for &(key, p) in &claims {
+                            let n = gstore.take_writes_into(key, p, &mut writes);
+                            applied.fetch_add(n, Ordering::SeqCst);
+                        }
+                        inflight.clear(0);
+                    }
+                    if gstore.pending_keys() == 0 {
+                        return;
+                    }
+                    out.clear();
+                    pq.dequeue_batch_guarded(8, &mut out, inflight.guard(0));
+                    for &(key, p) in &out {
+                        let n = gstore.take_writes_into(key, p, &mut writes);
+                        applied.fetch_add(n, Ordering::SeqCst);
+                    }
+                    inflight.clear(0);
+                    yield_point("flusher.drain");
+                }
+            });
+        }
+        {
+            let pq = Arc::clone(&pq);
+            let inflight = Arc::clone(&inflight);
+            let reg_done = Arc::clone(&reg_done);
+            let applied = Arc::clone(&applied);
+            sim.thread("trainer", move || {
+                for _ in 0..8 {
+                    if !reg_done.load(Ordering::SeqCst) {
+                        yield_point("trainer.await_registration");
+                        continue;
+                    }
+                    let ok = admits(pq.as_ref() as &dyn PriorityQueue, &inflight, 2);
+                    // After the tightening, the entry gates step 2; the
+                    // monotone `applied` read makes the probe sound.
+                    if applied.load(Ordering::SeqCst) == 0 {
+                        assert!(!ok, "tightened entry invisible to the wait condition");
+                    }
+                    yield_point("trainer.probe");
+                }
+            });
+        }
+        let gstore = Arc::clone(&gstore);
+        let applied = Arc::clone(&applied);
+        sim.check("write applied exactly once", move || {
+            assert_eq!(
+                applied.load(Ordering::SeqCst),
+                1,
+                "stale claim double-applied, or the drain starved"
+            );
+            assert_eq!(gstore.pending_keys(), 0, "pending key survived the drain");
+        });
+    });
+    assert!(
+        !outcome.found_violation(),
+        "adjust insert-before-delete must keep the wait condition sound: {:?}",
         outcome.failure
     );
     assert_eq!(outcome.runs, 1024);

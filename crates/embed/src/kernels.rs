@@ -57,7 +57,7 @@ pub fn sgd_step(row: &mut [f32], grad: &[f32], lr: f32) {
 /// Adagrad step: `acc[i] += grad[i]²; row[i] -= lr * grad[i] / (√acc[i] + eps)`.
 ///
 /// The per-element operation order matches the scalar optimizers
-/// ([`frugal_tensor`-style] accumulate-then-step), so a row driven through
+/// (`frugal_tensor`-style accumulate-then-step), so a row driven through
 /// this kernel stays bit-identical to one driven through the serial
 /// reference.
 ///

@@ -17,6 +17,9 @@
 //!   routes through.
 //! * [`GradAggregator`] — canonical-order per-key gradient summation for
 //!   bitwise-reproducible synchronous updates.
+//! * [`apply_claims`] / [`apply_updates`] — the flush-apply entry points:
+//!   every path that moves pending updates into the [`HostStore`]
+//!   (background flushers, the write-through leader) goes through here.
 //! * [`save_checkpoint`]/[`load_checkpoint`] — framed binary checkpoints of
 //!   the parameter store.
 
@@ -26,6 +29,7 @@
 mod agg;
 mod cache;
 mod checkpoint;
+mod flush;
 pub mod kernels;
 mod rule;
 mod shard;
@@ -35,6 +39,7 @@ mod store;
 pub use agg::GradAggregator;
 pub use cache::{CachePolicy, GpuCache, InsertOutcome};
 pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
+pub use flush::{apply_claims, apply_updates, FlushClaim};
 pub use rule::{AdagradRule, SgdRule, UpdateRule};
 pub use shard::Sharding;
 pub use state::DenseStateTable;

@@ -77,6 +77,20 @@ pub trait PriorityQueue: Send + Sync + Debug {
         }
     }
 
+    /// Inserts every key in `keys` at the same `priority` — the
+    /// arrival-order registration path of the FIFO flush ablation, where a
+    /// whole step's writes enqueue at priority = the step number.
+    ///
+    /// Semantically identical to calling [`Self::enqueue`] per key (same
+    /// visibility contract as [`Self::enqueue_batch`]); implementations
+    /// override it to exploit the shared priority — one bucket group and
+    /// one bound update for the entire batch.
+    fn enqueue_batch_uniform(&self, keys: &[u64], priority: Priority) {
+        for &key in keys {
+            self.enqueue(key, priority);
+        }
+    }
+
     /// Applies a batch of `(key, old, new)` priority moves.
     ///
     /// Per-key ordering follows [`Self::adjust`]: each key is visible at

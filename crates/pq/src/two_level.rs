@@ -350,6 +350,25 @@ impl PriorityQueue for TwoLevelPq {
         })
     }
 
+    fn enqueue_batch_uniform(&self, keys: &[u64], priority: Priority) {
+        if keys.is_empty() {
+            return;
+        }
+        self.probes.enqueue.time(|| {
+            // Same conservative counter rule as `enqueue_batch`: count the
+            // whole batch before any entry becomes visible.
+            sched_point!("pq.enqueue_batch.len");
+            self.len.fetch_add(keys.len(), Ordering::AcqRel);
+            let bucket = &self.buckets[self.bucket_index(priority)];
+            for &key in keys {
+                bucket.insert(key);
+                sched_point!("pq.enqueue_batch.inserted");
+            }
+            // One bucket, so one bound update covers the batch exactly.
+            self.note_insert(priority);
+        })
+    }
+
     fn adjust_batch(&self, moves: &[(u64, Priority, Priority)]) {
         if moves.is_empty() {
             return;

@@ -7,7 +7,7 @@
 //! ```
 
 use frugal::baselines::{BaselineConfig, BaselineEngine};
-use frugal::core::{FrugalConfig, FrugalEngine, PullToTarget};
+use frugal::core::{presets, PullToTarget};
 use frugal::data::{KeyDistribution, SyntheticTrace};
 use frugal::sim::{GpuSpec, Topology};
 
@@ -37,9 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let commodity_old_report = commodity_old.run(&trace, &model);
 
     // Frugal on the same commodity hardware.
-    let mut cfg = FrugalConfig::commodity(n_gpus, steps);
-    cfg.flush_threads = 4;
-    let frugal = FrugalEngine::new(cfg, trace.n_keys(), dim);
+    let cfg = presets::demo_commodity(n_gpus, steps);
+    let frugal = presets::build_engine(cfg, trace.n_keys(), dim)?;
     let frugal_report = frugal.run(&trace, &model);
 
     let a30 = GpuSpec::a30();

@@ -6,7 +6,7 @@
 //! cargo run --release --example knowledge_graph
 //! ```
 
-use frugal::core::{FrugalConfig, FrugalEngine};
+use frugal::core::presets;
 use frugal::data::{KgDatasetSpec, KgTrace};
 use frugal::models::{KgModel, KgScorer};
 
@@ -32,10 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let trace = KgTrace::new(spec.clone(), 64, n_gpus, 17)?;
         // Real scorer math (margin-ranking over negative samples).
         let model = KgModel::new(scorer, trace.clone(), 5, true);
-        let mut cfg = FrugalConfig::commodity(n_gpus, steps);
-        cfg.flush_threads = 2;
+        let mut cfg = presets::demo_commodity(n_gpus, steps);
         cfg.lr = 0.03;
-        let engine = FrugalEngine::new(cfg, spec.n_entities, 32);
+        let engine = presets::build_engine(cfg, spec.n_entities, 32)?;
         let report = engine.run(&trace, &model);
         println!(
             "{:<10} {:>12.0} {:>12.4} {:>12.4}",

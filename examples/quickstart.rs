@@ -5,7 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use frugal::core::{FrugalConfig, FrugalEngine, PullToTarget};
+use frugal::core::presets;
+use frugal::core::PullToTarget;
 use frugal::data::{KeyDistribution, SyntheticTrace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,13 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // is pulled toward a per-key target, so the loss visibly converges.
     let model = PullToTarget::new(32, 7);
 
-    // Paper defaults: 5% cache, lookahead L = 10, 8 flushing threads,
-    // two-level priority queue, P2F flushing.
-    let mut cfg = FrugalConfig::commodity(4, 30);
-    cfg.flush_threads = 4;
+    // Paper defaults scaled for a demo run: 5% cache, lookahead L = 10,
+    // one flushing thread per GPU, two-level priority queue, P2F flushing.
+    let mut cfg = presets::demo_commodity(4, 30);
     cfg.lr = 2.0; // gradients are mean-normalized; a higher rate converges fast
 
-    let engine = FrugalEngine::new(cfg, trace.n_keys(), 32);
+    let engine = presets::build_engine(cfg, trace.n_keys(), 32)?;
 
     println!("training 30 steps on 4 simulated RTX 3090s...");
     let report = engine.run(&trace, &model);

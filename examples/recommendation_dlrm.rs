@@ -7,7 +7,7 @@
 //! ```
 
 use frugal::baselines::{BaselineConfig, BaselineEngine};
-use frugal::core::{FrugalConfig, FrugalEngine, TrainReport};
+use frugal::core::{presets, TrainReport};
 use frugal::data::{RecDatasetSpec, RecTrace};
 use frugal::models::Dlrm;
 use frugal::sim::Topology;
@@ -51,9 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     results.push(("HugeCTR", ctr.run(&trace, &make_model())));
 
     // Frugal: proactive flushing + two-level PQ.
-    let mut cfg = FrugalConfig::commodity(n_gpus, steps);
-    cfg.flush_threads = 4;
-    let frugal = FrugalEngine::new(cfg, spec.n_ids, dim);
+    let cfg = presets::demo_commodity(n_gpus, steps);
+    let frugal = presets::build_engine(cfg, spec.n_ids, dim)?;
     results.push(("Frugal", frugal.run(&trace, &make_model())));
 
     println!(

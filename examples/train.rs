@@ -102,7 +102,7 @@ impl Args {
                 }
                 "--help" | "-h" => {
                     println!(
-                        "usage: train [--workload micro|rec|kg] [--system frugal|frugal-sync|pytorch|hugectr|uvm]\n\
+                        "usage: train [--workload micro|rec|kg] [--system frugal|frugal-sync|frugal-fifo|pytorch|hugectr|uvm]\n\
                          \x20            [--gpus N] [--batch N] [--steps N] [--cache-ratio F]\n\
                          \x20            [--flush-threads N] [--keys N] [--datacenter]"
                     );
@@ -128,15 +128,20 @@ fn run(
         Topology::commodity(args.gpus)
     };
     match args.system.as_str() {
-        "frugal" | "frugal-sync" => {
+        "frugal" | "frugal-sync" | "frugal-fifo" => {
             let mut cfg = FrugalConfig::commodity(args.gpus, args.steps);
             cfg.cost = frugal::sim::CostModel::new(topology);
             cfg.cache_ratio = args.cache_ratio;
             cfg.flush_threads = args.flush_threads;
             cfg.telemetry = telemetry.clone();
-            if args.system == "frugal-sync" {
-                cfg = cfg.write_through();
+            match args.system.as_str() {
+                "frugal-sync" => cfg = cfg.write_through(),
+                "frugal-fifo" => cfg = cfg.fifo(),
+                _ => {}
             }
+            // Report bad flag combinations as an error instead of the
+            // engine's construction panic.
+            cfg.validate().map_err(|e| e.to_string())?;
             let engine = FrugalEngine::new(cfg, workload.n_keys(), model.dim());
             Ok(engine.run(workload, model))
         }

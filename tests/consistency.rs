@@ -49,6 +49,16 @@ fn all_engines_agree_bitwise() {
             (0..N_KEYS).map(|k| engine.store().row_vec(k)).collect(),
         ));
     }
+    {
+        // The arrival-order flush ablation: unselective priorities, but
+        // still synchronously consistent.
+        let engine = FrugalEngine::new(frugal_cfg(2).fifo(), N_KEYS, DIM);
+        engine.run(&t, &model);
+        stores.push((
+            "frugal-fifo".into(),
+            (0..N_KEYS).map(|k| engine.store().row_vec(k)).collect(),
+        ));
+    }
     for kind in [
         BaselineKind::NoCache,
         BaselineKind::Cached,
