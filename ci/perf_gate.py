@@ -1,33 +1,63 @@
 #!/usr/bin/env python3
-"""Perf regression gate for the engine smoke benchmark.
+"""Perf regression gate with per-phase attribution for the engine smoke.
 
 Compares a freshly measured ``engine_smoke`` output against the committed
-baseline and fails (exit 1) when either tracked metric regresses beyond
-the tolerance:
+baseline and fails (exit 1) when a gated metric regresses beyond its
+tolerance:
 
 * ``steps_per_sec`` must not drop below ``baseline * (1 - tol)``;
-* ``flush_apply_ns_row`` must not rise above ``baseline * (1 + tol)``
-  (skipped when the baseline predates the metric or recorded 0, e.g. a
-  write-through run).
+* ``flush_apply_ns_row``, ``mean_gentry_ns``, and ``p95_stall_ns`` must
+  not rise above ``baseline * (1 + tol)`` (each skipped when the baseline
+  predates the metric or recorded 0).
 
-``mean_gentry_ns`` and ``p95_stall_ns`` are reported for context but not
-gated: both are calibrated/modeled quantities that shift when the
-calibration constants change, and gating them would punish intentional
-re-calibration rather than real regressions.
+Tolerances are fractional and resolve per metric:
+``FRUGAL_PERF_TOL_<METRIC>`` (metric name uppercased, e.g.
+``FRUGAL_PERF_TOL_P95_STALL_NS``) > ``FRUGAL_PERF_TOL`` > the per-metric
+default below. The calibrated/modeled metrics (``mean_gentry_ns``,
+``p95_stall_ns``) default much wider than the wall-clock ones: they shift
+with calibration constants and scheduler noise, so their gates catch
+collapses, not drift.
+
+When both files carry the per-phase ledger (``current.phases``, written by
+``engine_smoke`` since the critical-path profiler landed), the gate prints
+a per-phase delta table — mean and p95 ns per step for every engine phase
+— and attributes any top-level failure to the phases that moved most.
+Phase means are also soft-gated: a phase whose baseline mean is at least
+``PHASE_MIN_NS`` (1000 ns — below that, a ratio is noise) must not grow
+past ``baseline * (1 + phase_tol)`` where ``phase_tol`` resolves via
+``FRUGAL_PERF_TOL_PHASE_<NAME>`` > ``FRUGAL_PERF_TOL_PHASE`` (default
+2.0). Baselines without phases skip all of this gracefully.
+
+The delta table is additionally written to the path in
+``FRUGAL_PERF_TABLE_OUT`` (when set) so CI can upload it as an artifact.
 
 Usage::
 
     python3 ci/perf_gate.py [BASELINE_JSON] [CURRENT_JSON]
 
 Defaults: ``BENCH_engine.json`` (committed baseline) and
-``BENCH_engine.ci.json`` (fresh measurement). Tolerance comes from
-``FRUGAL_PERF_TOL`` (fractional, default 0.35 — CI boxes are noisy; the
-gate exists to catch collapses, not single-digit-percent drift).
+``BENCH_engine.ci.json`` (fresh measurement).
 """
 
 import json
 import os
 import sys
+
+# (metric, direction, default fractional tolerance). "floor": current must
+# stay above baseline * (1 - tol); "ceil": below baseline * (1 + tol).
+GATED = [
+    ("steps_per_sec", "floor", 0.35),
+    ("flush_apply_ns_row", "ceil", 0.35),
+    ("mean_gentry_ns", "ceil", 1.00),
+    ("p95_stall_ns", "ceil", 1.00),
+]
+
+# fifo_* track the arrival-order flush ablation, profiled_steps_per_sec the
+# instrumented run: recorded every run for the trajectory, never gated.
+INFORMATIONAL = ["fifo_steps_per_sec", "fifo_p95_stall_ns", "profiled_steps_per_sec"]
+
+PHASE_TOL_DEFAULT = 2.0
+PHASE_MIN_NS = 1000.0
 
 
 def load_current(path):
@@ -38,41 +68,140 @@ def load_current(path):
     return doc["current"]
 
 
+def tol_for(metric, default):
+    env = os.environ.get(f"FRUGAL_PERF_TOL_{metric.upper()}")
+    if env is None:
+        env = os.environ.get("FRUGAL_PERF_TOL")
+    return float(env) if env is not None else default
+
+
+def phase_tol_for(phase):
+    env = os.environ.get(f"FRUGAL_PERF_TOL_PHASE_{phase.upper()}")
+    if env is None:
+        env = os.environ.get("FRUGAL_PERF_TOL_PHASE")
+    return float(env) if env is not None else PHASE_TOL_DEFAULT
+
+
+def gate_metrics(base, cur):
+    """Top-level metric gates. Returns (lines, failures)."""
+    lines, failures = [], []
+    for name, direction, default in GATED:
+        tol = tol_for(name, default)
+        b = float(base.get(name, 0.0))
+        c = float(cur.get(name, 0.0))
+        if b <= 0.0:
+            lines.append(f"{name + ':':<20} baseline has none; current {c:.1f} (recorded, not gated)")
+            continue
+        if direction == "floor":
+            bound = (1.0 - tol) * b
+            lines.append(
+                f"{name + ':':<20} baseline {b:10.1f}  current {c:10.1f}  floor {bound:10.1f}  (tol {tol})"
+            )
+            if c < bound:
+                failures.append(f"{name} {c:.1f} < floor {bound:.1f} (baseline {b:.1f}, tol {tol})")
+        else:
+            bound = (1.0 + tol) * b
+            lines.append(
+                f"{name + ':':<20} baseline {b:10.1f}  current {c:10.1f}  ceil  {bound:10.1f}  (tol {tol})"
+            )
+            if c > bound:
+                failures.append(f"{name} {c:.1f} > ceil {bound:.1f} (baseline {b:.1f}, tol {tol})")
+    for name in INFORMATIONAL:
+        lines.append(
+            f"{name + ':':<20} baseline {float(base.get(name, 0)):10.1f}  "
+            f"current {float(cur.get(name, 0)):10.1f}  (informational)"
+        )
+    return lines, failures
+
+
+def phase_delta_table(base_phases, cur_phases):
+    """Per-phase delta rows sorted by the magnitude of the mean move.
+
+    Returns (table_lines, phase_failures, ranked) where ranked is
+    [(phase, delta_mean_ns, pct_or_None), ...] most-moved first.
+    """
+    names = list(cur_phases.keys())
+    for n in base_phases:
+        if n not in names:
+            names.append(n)
+    rows = []
+    failures = []
+    for name in names:
+        b = base_phases.get(name, {})
+        c = cur_phases.get(name, {})
+        b_mean = float(b.get("mean_ns", 0.0))
+        c_mean = float(c.get("mean_ns", 0.0))
+        b_p95 = float(b.get("p95_ns", 0.0))
+        c_p95 = float(c.get("p95_ns", 0.0))
+        delta = c_mean - b_mean
+        pct = (delta / b_mean * 100.0) if b_mean > 0 else None
+        rows.append((name, b_mean, c_mean, delta, pct, b_p95, c_p95))
+        if b_mean >= PHASE_MIN_NS:
+            tol = phase_tol_for(name)
+            ceil = (1.0 + tol) * b_mean
+            if c_mean > ceil:
+                failures.append(
+                    f"phase {name} mean {c_mean:.0f} ns > ceil {ceil:.0f} ns "
+                    f"(baseline {b_mean:.0f}, tol {tol})"
+                )
+    rows.sort(key=lambda r: abs(r[3]), reverse=True)
+
+    lines = [
+        "per-phase delta (ns per step, sorted by |Δmean|):",
+        f"  {'phase':<14} {'base mean':>10} {'cur mean':>10} {'Δmean':>10} {'Δ%':>8} {'base p95':>10} {'cur p95':>10}",
+    ]
+    for name, b_mean, c_mean, delta, pct, b_p95, c_p95 in rows:
+        pct_s = f"{pct:+7.1f}%" if pct is not None else "     new"
+        lines.append(
+            f"  {name:<14} {b_mean:>10.0f} {c_mean:>10.0f} {delta:>+10.0f} {pct_s:>8} {b_p95:>10.0f} {c_p95:>10.0f}"
+        )
+    ranked = [(r[0], r[3], r[4]) for r in rows]
+    return lines, failures, ranked
+
+
+def attribute(failures, ranked):
+    """Names the phases most plausibly behind the failed top-level gates."""
+    movers = [(n, d, p) for n, d, p in ranked if d > 0][:3]
+    if not movers:
+        return ["attribution: no phase grew vs baseline (regression is outside the ledger's phases)"]
+    lines = ["attribution: phases that grew most vs baseline:"]
+    for name, delta, pct in movers:
+        pct_s = f" ({pct:+.1f}%)" if pct is not None else ""
+        lines.append(f"  {name}: {delta:+.0f} ns per step{pct_s}")
+    return lines
+
+
 def main():
     baseline_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_engine.json"
     current_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_engine.ci.json"
-    tol = float(os.environ.get("FRUGAL_PERF_TOL", "0.35"))
 
     base = load_current(baseline_path)
     cur = load_current(current_path)
-    failures = []
 
-    b = float(base["steps_per_sec"])
-    c = float(cur["steps_per_sec"])
-    floor = (1.0 - tol) * b
-    print(f"steps_per_sec:      baseline {b:10.1f}  current {c:10.1f}  floor {floor:10.1f}")
-    if c < floor:
-        failures.append(f"steps_per_sec {c:.1f} < floor {floor:.1f} (baseline {b:.1f}, tol {tol})")
+    lines, failures = gate_metrics(base, cur)
 
-    b = float(base.get("flush_apply_ns_row", 0.0))
-    c = float(cur.get("flush_apply_ns_row", 0.0))
-    if b > 0.0:
-        ceil = (1.0 + tol) * b
-        print(f"flush_apply_ns_row: baseline {b:10.1f}  current {c:10.1f}  ceil  {ceil:10.1f}")
-        if c > ceil:
-            failures.append(
-                f"flush_apply_ns_row {c:.1f} > ceil {ceil:.1f} (baseline {b:.1f}, tol {tol})"
-            )
+    base_phases = base.get("phases") or {}
+    cur_phases = cur.get("phases") or {}
+    table_lines = []
+    if cur_phases:
+        if base_phases:
+            table_lines, phase_failures, ranked = phase_delta_table(base_phases, cur_phases)
+            failures.extend(phase_failures)
+            if failures:
+                table_lines += attribute(failures, ranked)
+        else:
+            table_lines = ["per-phase: baseline has no ledger; current phases recorded, not gated"]
     else:
-        print(f"flush_apply_ns_row: baseline has none; current {c:.1f} (recorded, not gated)")
+        table_lines = ["per-phase: current run carries no ledger (profiling disabled?)"]
 
-    # fifo_* track the arrival-order flush ablation: recorded each run so
-    # the trajectory shows what the P2F priorities buy, never gated.
-    for name in ("mean_gentry_ns", "p95_stall_ns", "fifo_steps_per_sec", "fifo_p95_stall_ns"):
-        print(
-            f"{name + ':':<19} baseline {float(base.get(name, 0)):10.1f}  "
-            f"current {float(cur.get(name, 0)):10.1f}  (informational)"
-        )
+    for line in lines + table_lines:
+        print(line)
+
+    table_out = os.environ.get("FRUGAL_PERF_TABLE_OUT")
+    if table_out:
+        with open(table_out, "w") as f:
+            f.write("\n".join(lines + table_lines) + "\n")
+        print(f"perf-gate: wrote delta table to {table_out}")
 
     if failures:
         for f in failures:

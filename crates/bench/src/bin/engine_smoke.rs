@@ -2,7 +2,7 @@
 //!
 //! Runs the full Frugal engine on a deterministic workload (2 GPUs,
 //! Zipf 0.9, 200 steps by default) and writes `BENCH_engine.json` with the
-//! three numbers the perf trajectory tracks from this PR onward:
+//! numbers the perf trajectory tracks:
 //!
 //! * `steps_per_sec` — wall-clock engine steps per second (best of
 //!   `FRUGAL_SMOKE_REPEATS` runs, to cut scheduler noise),
@@ -16,14 +16,26 @@
 //! The `fifo_*` fields record the arrival-order flush ablation on the
 //! same workload; the perf gate reports them but never gates on them.
 //!
+//! After the timed repeats, one additional run executes with full
+//! telemetry attached and emits the critical-path **phase ledger**: a
+//! `"phases"` object with per-step mean/p50/p95/p99/max nanoseconds for
+//! every engine phase (sample → leader_apply on trainers, dequeue/apply on
+//! flushers). `ci/perf_gate.py` uses it to attribute a throughput or
+//! stall regression to the phase(s) that moved. `profiled_steps_per_sec`
+//! records that run's throughput so the profiling overhead itself is
+//! visible (it must stay within a few percent of `steps_per_sec`).
+//!
 //! Environment knobs: `FRUGAL_SMOKE_STEPS` (default 200),
 //! `FRUGAL_SMOKE_REPEATS` (default 3), `FRUGAL_SMOKE_OUT` (default
 //! `BENCH_engine.json`), `FRUGAL_SMOKE_BASELINE` (path to a previous
 //! output whose `current` block is embedded as `baseline` for
-//! side-by-side comparison).
+//! side-by-side comparison), `FRUGAL_SMOKE_TRACE` (path to write the
+//! profiled run's Chrome trace — open in `chrome://tracing` or Perfetto
+//! to see the cross-thread unblock arrows).
 
 use frugal_core::{FrugalConfig, FrugalEngine, PullToTarget};
 use frugal_data::{KeyDistribution, SyntheticTrace};
+use frugal_telemetry::{LedgerPhase, Telemetry};
 use std::time::Instant;
 
 const N_KEYS: u64 = 10_000;
@@ -42,6 +54,18 @@ struct SmokeNumbers {
     /// the trajectory (the perf gate reports it but does not gate on it).
     fifo_steps_per_sec: f64,
     fifo_p95_stall_ns: u64,
+}
+
+/// One per-phase row of the profiled run's ledger summary.
+#[derive(Debug, Clone)]
+struct PhaseRow {
+    name: &'static str,
+    steps: u64,
+    mean_ns: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -87,9 +111,69 @@ fn run_once(steps: u64) -> SmokeNumbers {
     }
 }
 
+/// One fully instrumented run: phase ledger, stall provenance, and (when
+/// `FRUGAL_SMOKE_TRACE` is set) a Chrome trace with unblock flow arrows.
+/// Kept separate from the timed repeats so profiling cost never taints
+/// the gated `steps_per_sec`.
+fn run_profiled_once(steps: u64) -> (f64, Telemetry) {
+    let telemetry = Telemetry::new();
+    let trace = SyntheticTrace::new(N_KEYS, KeyDistribution::Zipf(0.9), BATCH, N_GPUS, SEED)
+        .expect("valid trace");
+    let model = PullToTarget::new(DIM, SEED);
+    let cfg = smoke_cfg(steps).with_telemetry(telemetry.clone());
+    let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
+    let t0 = Instant::now();
+    let report = engine.run(&trace, &model);
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(report.stats.len(), steps as usize);
+    (steps as f64 / wall.max(1e-9), telemetry)
+}
+
+/// Best of `repeats` instrumented runs — the *same* sample count as the
+/// untimed measurement, so `profiled_steps_per_sec` vs `steps_per_sec`
+/// reflects profiling overhead rather than best-of-N sampling bias or
+/// scheduler noise. The kept run's ledger and Chrome trace are the ones
+/// exported.
+fn run_profiled(steps: u64, repeats: u64) -> (f64, Vec<PhaseRow>) {
+    let mut best = run_profiled_once(steps);
+    for _ in 1..repeats {
+        let next = run_profiled_once(steps);
+        if next.0 > best.0 {
+            best = next;
+        }
+    }
+    let (sps, telemetry) = best;
+
+    if let Ok(path) = std::env::var("FRUGAL_SMOKE_TRACE") {
+        if !path.is_empty() {
+            match telemetry.write_chrome_trace(&path) {
+                Ok(true) => eprintln!("wrote chrome trace: {path}"),
+                Ok(false) => eprintln!("chrome trace skipped (telemetry off)"),
+                Err(e) => eprintln!("chrome trace write failed: {e}"),
+            }
+        }
+    }
+
+    let mut rows = Vec::with_capacity(LedgerPhase::COUNT);
+    if let Some(summary) = telemetry.ledger_summary() {
+        for p in summary.phases {
+            rows.push(PhaseRow {
+                name: p.phase.name(),
+                steps: p.steps,
+                mean_ns: p.mean_ns as u64,
+                p50_ns: p.p50_ns,
+                p95_ns: p.p95_ns,
+                p99_ns: p.p99_ns,
+                max_ns: p.max_ns,
+            });
+        }
+    }
+    (sps, rows)
+}
+
 /// Extracts `"field": <number>` from the `"current"` object of a previous
 /// smoke output (the files are flat and machine-written; a full JSON parser
-/// is not warranted for three known keys).
+/// is not warranted for a handful of known keys).
 fn extract_number(json: &str, field: &str) -> Option<f64> {
     let cur = json.find("\"current\"")?;
     let tail = &json[cur..];
@@ -104,16 +188,73 @@ fn extract_number(json: &str, field: &str) -> Option<f64> {
     val.parse().ok()
 }
 
-fn block(n: &SmokeNumbers) -> String {
-    format!(
-        "{{\n    \"steps_per_sec\": {:.2},\n    \"mean_gentry_ns\": {},\n    \"p95_stall_ns\": {},\n    \"flush_apply_ns_row\": {:.2},\n    \"fifo_steps_per_sec\": {:.2},\n    \"fifo_p95_stall_ns\": {}\n  }}",
+/// Copies the `"phases": { ... }` object out of the `"current"` block of a
+/// previous smoke output verbatim (balanced-brace scan; the files are
+/// machine-written with no braces inside strings). Baselines written
+/// before the phase ledger existed simply have no such object.
+fn extract_phases(json: &str) -> Option<String> {
+    let cur = json.find("\"current\"")?;
+    let tail = &json[cur..];
+    let pos = tail.find("\"phases\"")?;
+    let rest = &tail[pos..];
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn phases_json(rows: &[PhaseRow], indent: &str) -> String {
+    let mut s = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "{indent}  \"{}\": {{\"steps\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}\n",
+            r.name,
+            r.steps,
+            r.mean_ns,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
+            r.max_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(indent);
+    s.push('}');
+    s
+}
+
+/// Renders one result block. `phases` is pre-rendered JSON (either from
+/// this run's ledger or copied verbatim from a baseline file); scalar
+/// fields stay first so the flat `extract_number` parser keeps working on
+/// both old and new files.
+fn block(n: &SmokeNumbers, profiled_steps_per_sec: f64, phases: Option<&str>) -> String {
+    let mut s = format!(
+        "{{\n    \"steps_per_sec\": {:.2},\n    \"mean_gentry_ns\": {},\n    \"p95_stall_ns\": {},\n    \"flush_apply_ns_row\": {:.2},\n    \"fifo_steps_per_sec\": {:.2},\n    \"fifo_p95_stall_ns\": {},\n    \"profiled_steps_per_sec\": {:.2}",
         n.steps_per_sec,
         n.mean_gentry_ns,
         n.p95_stall_ns,
         n.flush_apply_ns_row,
         n.fifo_steps_per_sec,
-        n.fifo_p95_stall_ns
-    )
+        n.fifo_p95_stall_ns,
+        profiled_steps_per_sec
+    );
+    if let Some(p) = phases {
+        s.push_str(",\n    \"phases\": ");
+        s.push_str(p);
+    }
+    s.push_str("\n  }");
+    s
 }
 
 fn main() {
@@ -145,30 +286,57 @@ fn main() {
     }
     let current = best.expect("at least one run");
 
-    let baseline = std::env::var("FRUGAL_SMOKE_BASELINE")
+    // The instrumented run, after the timed repeats so its overhead cannot
+    // taint them.
+    let (profiled_sps, phase_rows) = run_profiled(steps, repeats);
+    eprintln!(
+        "profiled run: {:.1} steps/s ({:+.1}% vs best untimed)",
+        profiled_sps,
+        (profiled_sps / current.steps_per_sec - 1.0) * 100.0
+    );
+    for r in &phase_rows {
+        eprintln!(
+            "  phase {:>14}: mean {:>9} ns  p50 {:>9}  p95 {:>9}  p99 {:>9}  max {:>10}",
+            r.name, r.mean_ns, r.p50_ns, r.p95_ns, r.p99_ns, r.max_ns
+        );
+    }
+
+    let baseline_json = std::env::var("FRUGAL_SMOKE_BASELINE")
         .ok()
-        .and_then(|p| std::fs::read_to_string(p).ok())
-        .and_then(|json| {
-            Some(SmokeNumbers {
-                steps_per_sec: extract_number(&json, "steps_per_sec")?,
-                mean_gentry_ns: extract_number(&json, "mean_gentry_ns")? as u64,
-                p95_stall_ns: extract_number(&json, "p95_stall_ns")? as u64,
-                // Optional: baselines written before these fields existed
-                // compare as 0 (the perf gate skips a zero baseline).
-                flush_apply_ns_row: extract_number(&json, "flush_apply_ns_row").unwrap_or(0.0),
-                fifo_steps_per_sec: extract_number(&json, "fifo_steps_per_sec").unwrap_or(0.0),
-                fifo_p95_stall_ns: extract_number(&json, "fifo_p95_stall_ns").unwrap_or(0.0) as u64,
-            })
-        });
+        .and_then(|p| std::fs::read_to_string(p).ok());
+    let baseline = baseline_json.as_ref().and_then(|json| {
+        Some(SmokeNumbers {
+            steps_per_sec: extract_number(json, "steps_per_sec")?,
+            mean_gentry_ns: extract_number(json, "mean_gentry_ns")? as u64,
+            p95_stall_ns: extract_number(json, "p95_stall_ns")? as u64,
+            // Optional: baselines written before these fields existed
+            // compare as 0 (the perf gate skips a zero baseline).
+            flush_apply_ns_row: extract_number(json, "flush_apply_ns_row").unwrap_or(0.0),
+            fifo_steps_per_sec: extract_number(json, "fifo_steps_per_sec").unwrap_or(0.0),
+            fifo_p95_stall_ns: extract_number(json, "fifo_p95_stall_ns").unwrap_or(0.0) as u64,
+        })
+    });
+    let baseline_profiled = baseline_json
+        .as_ref()
+        .and_then(|json| extract_number(json, "profiled_steps_per_sec"))
+        .unwrap_or(0.0);
+    let baseline_phases = baseline_json.as_ref().and_then(|json| extract_phases(json));
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"bench\": \"engine_smoke\",\n  \"workload\": {{\n    \"n_gpus\": {N_GPUS},\n    \"zipf\": 0.9,\n    \"steps\": {steps},\n    \"n_keys\": {N_KEYS},\n    \"batch\": {BATCH},\n    \"seed\": {SEED}\n  }},\n"
     ));
     if let Some(b) = &baseline {
-        json.push_str(&format!("  \"baseline\": {},\n", block(b)));
+        json.push_str(&format!(
+            "  \"baseline\": {},\n",
+            block(b, baseline_profiled, baseline_phases.as_deref())
+        ));
     }
-    json.push_str(&format!("  \"current\": {}\n}}\n", block(&current)));
+    let cur_phases = phases_json(&phase_rows, "    ");
+    json.push_str(&format!(
+        "  \"current\": {}\n}}\n",
+        block(&current, profiled_sps, Some(&cur_phases))
+    ));
     std::fs::write(&out_path, &json).expect("write smoke output");
     println!(
         "wrote {out_path}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, fifo {:.1} steps/s",

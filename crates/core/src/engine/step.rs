@@ -128,6 +128,10 @@ impl StepState {
 /// synchronous leader apply (the Frugal-Sync stall under write-through).
 pub(crate) fn leader_prepare(shared: &RunShared<'_>, s: u64) {
     let cfg = shared.cfg;
+    // Route flusher-lane ledger attribution to this step (±1-step
+    // approximation: background work between barrier A of step s and
+    // barrier A of step s + 1 books to step s).
+    cfg.telemetry.ledger_advance(s);
     let leader = &mut *shared.step.leader.lock();
     for slot in &shared.step.agg_slots {
         leader.merged.merge_from(&mut slot.lock());

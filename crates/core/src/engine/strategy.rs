@@ -13,7 +13,7 @@
 //! | enqueue priority            | earliest future read   | —                 | write step          |
 //! | step `s` waits while        | pending floor ≤ `s`    | never             | pending floor ≤ `s−1` |
 //! | leader-side apply           | —                      | whole update list | —                   |
-//! | modeled stall rows          | blocking next-step keys| all rows (sync)   | all pending keys    |
+//! | modeled stall rows          | blocking next-step keys| all rows (sync)   | own written keys    |
 //!
 //! All three preserve synchronous consistency (bit-equality with the
 //! serial oracle): write-through flushes everything inside the barrier,
@@ -58,6 +58,15 @@ pub(crate) trait FlushStrategy: Sync + std::fmt::Debug {
     /// are write steps, so reads would be dead weight on the hot path.
     fn registers_reads(&self) -> bool;
 
+    /// True when the modeled stall gates on this step's own writes
+    /// (FIFO): the registration phase then counts just-written keys still
+    /// pending into `blocking_next` — the same measurement point P²F uses
+    /// for next-step readers. Counting later (after barrier C) loses the
+    /// race against the flushers and reads a drained store.
+    fn counts_written_backlog(&self) -> bool {
+        false
+    }
+
     /// How the g-entry store derives queue priorities from R/W sets.
     fn priority_policy(&self) -> PriorityPolicy;
 
@@ -87,10 +96,12 @@ pub(crate) trait FlushStrategy: Sync + std::fmt::Debug {
     ) -> Nanos;
 
     /// How many rows the modeled stall must cover after step `s`:
-    /// `blocking_next` is the count of next-step keys with pending writes
-    /// (P²F — only rows about to be read gate the wait), `pending_keys`
-    /// the count of *all* keys with pending writes (FIFO — everything
-    /// gates the wait; this asymmetry is the priority ablation's result).
+    /// `blocking_next` is the registration-time count of gating keys with
+    /// pending writes (P²F — next-step readers; FIFO — this step's own
+    /// writes), `pending_keys` a post-barrier snapshot of *all* keys with
+    /// pending writes (kept for strategies whose gate is not measurable
+    /// at registration). The P²F/FIFO asymmetry in what gates the wait is
+    /// the priority ablation's result.
     fn stall_rows(&self, blocking_next: u64, pending_keys: u64) -> u64;
 }
 
@@ -246,6 +257,10 @@ impl FlushStrategy for Fifo {
         false
     }
 
+    fn counts_written_backlog(&self) -> bool {
+        true
+    }
+
     fn priority_policy(&self) -> PriorityPolicy {
         PriorityPolicy::ArrivalOrder
     }
@@ -278,10 +293,14 @@ impl FlushStrategy for Fifo {
         Nanos::ZERO
     }
 
-    fn stall_rows(&self, _blocking_next: u64, pending_keys: u64) -> u64 {
-        // Every pending write gates the next step — the stall P²F's
-        // read-driven priorities avoid.
-        pending_keys
+    fn stall_rows(&self, blocking_next: u64, _pending_keys: u64) -> u64 {
+        // Every write of this step gates the next — the stall P²F's
+        // read-driven priorities avoid. The count comes from
+        // `blocking_next`, filled at registration time (see
+        // `counts_written_backlog`); the post-barrier `pending_keys`
+        // snapshot is taken after the flushers have already drained the
+        // backlog and would report ~0.
+        blocking_next
     }
 }
 
@@ -325,6 +344,11 @@ mod tests {
         assert_eq!(s.wait_threshold(5), Some(4), "all writes < 5 must land");
         assert_eq!(s.initial_upper_bound(10), Some(0));
         assert_eq!(s.upper_bound_after(4, 10), Some(5));
-        assert_eq!(s.stall_rows(3, 100), 100, "everything pending gates");
+        assert!(s.counts_written_backlog(), "gate counted at registration");
+        assert_eq!(
+            s.stall_rows(30, 1),
+            30,
+            "registration-time backlog gates, not the drained snapshot"
+        );
     }
 }

@@ -8,7 +8,9 @@ use crate::wait;
 use frugal_data::Key;
 use frugal_embed::{GpuCache, GradAggregator};
 use frugal_sim::{HostPath, Nanos};
-use frugal_telemetry::{Phase, SpanArgs, StallRecord, ThreadRecorder};
+use frugal_telemetry::{
+    LaneKind, LedgerLane, LedgerPhase, Phase, SpanArgs, StallRecord, ThreadRecorder,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Barrier};
@@ -115,9 +117,11 @@ pub(crate) fn register_own_reads(
 /// with `sid % n_gpus == g`. Shards partition the key space, so exactly
 /// one trainer mutates any given g-entry this step — trainers never
 /// contend on a shard lock, only (rarely) with flushers draining it.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn register_phase(
     shared: &RunShared<'_>,
     rec: &ThreadRecorder,
+    lane: &LedgerLane,
     s: u64,
     g: usize,
     scratch: &mut StepScratch,
@@ -149,6 +153,9 @@ pub(crate) fn register_phase(
                 scratch.write_bufs[sid / n].push((*key, Arc::clone(grad)));
             }
         }
+    }
+    if lane.is_enabled() {
+        lane.add(s, LedgerPhase::CacheApply, t0.elapsed().as_nanos() as u64);
     }
     if proactive {
         // Write registration — the sharded critical path. The slowest
@@ -183,10 +190,26 @@ pub(crate) fn register_phase(
         if shared.strategy.registers_reads() && s + 1 < cfg.steps {
             // Blocking rows for step s + 1: reuse the deduped lookahead
             // keys registration filed in the ring — no workload re-query,
-            // no fresh dedup set. (Arrival-order strategies never file the
-            // ring; their stall covers every pending key instead.)
+            // no fresh dedup set.
             let slot = ((s + 1) % scratch.ring.len() as u64) as usize;
             let blocked = shared.gstore.count_pending(&scratch.ring[slot]);
+            if blocked > 0 {
+                shared
+                    .step
+                    .blocking_next
+                    .fetch_add(blocked, Ordering::AcqRel);
+            }
+        }
+        if shared.strategy.counts_written_backlog() && s + 1 < cfg.steps {
+            // Arrival-order (FIFO) gate for step s + 1: every just-written
+            // key still pending blocks the next wait. Counting here — at
+            // registration, before the backlog drains — is the same
+            // measurement point the read-driven branch above uses; the
+            // C-leader runs after the drain and would always read ~0.
+            let mut blocked = 0u64;
+            for buf in &scratch.write_bufs {
+                blocked += shared.gstore.count_pending_writes(buf);
+            }
             if blocked > 0 {
                 shared
                     .step
@@ -199,6 +222,13 @@ pub(crate) fn register_phase(
             .gentry_batch_ns
             .add(t0.elapsed().as_nanos() as u64);
         rec.record_completed(Phase::GEntryUpdate, t0, SpanArgs::one("rows", own_rows));
+        if lane.is_enabled() {
+            lane.add(
+                s,
+                LedgerPhase::Registration,
+                t_writes.elapsed().as_nanos() as u64,
+            );
+        }
     }
 }
 
@@ -206,6 +236,7 @@ pub(crate) fn register_phase(
 pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
     let cfg = shared.cfg;
     let rec = cfg.telemetry.recorder(format!("trainer-{g}"));
+    let lane = cfg.telemetry.ledger_lane(LaneKind::Trainer);
     let dim = shared.model.dim();
     let n = cfg.n_gpus();
     let n_keys = shared.workload.n_keys();
@@ -249,10 +280,16 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) 
                 if blocked(shared) {
                     // Stall attribution: what is this wait blocked *on*?
                     // The lowest deadline across the queue top and
-                    // in-flight flushes, and the outstanding backlog at
-                    // wait entry.
+                    // in-flight flushes, the outstanding backlog, the
+                    // queue depth, and (best effort) a key sitting at the
+                    // blocking priority.
                     let floor = wait::pending_floor(shared.pq.as_ref(), &shared.flush.inflight);
                     let pending = shared.gstore.pending_keys() as u64;
+                    let (queue_depth, blocking_key) = if cfg.telemetry.is_enabled() {
+                        (shared.pq.len() as u64, shared.pq.peek_top().map(|(k, _)| k))
+                    } else {
+                        (0, None)
+                    };
                     let span = rec.span_with(
                         Phase::P2fWait,
                         SpanArgs::two("blocking_priority", floor, "pending_keys", pending),
@@ -260,22 +297,30 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) 
                     shared.flush.wait_until(|| !blocked(shared));
                     let wait_ns = span.finish();
                     if wait_ns > 0 {
+                        // Provenance: the flusher batch whose in-flight
+                        // clear we (most plausibly) woke on — the other
+                        // half of the Chrome-trace flow arrow.
+                        let cleared_by = shared.flush.last_clear();
+                        rec.flow_finish(cleared_by);
                         cfg.telemetry.record_stall(StallRecord {
                             step: s,
                             wait_ns,
                             blocking_priority: floor,
                             pending_keys: pending,
+                            queue_depth,
+                            blocking_key,
+                            cleared_by,
                         });
+                        lane.add(s, LedgerPhase::StallWait, wait_ns);
                     }
                 }
             }
         }
 
         // Sample: draw this iteration's keys from the workload.
-        let keys = {
-            let _span = rec.span(Phase::Sample);
-            shared.workload.keys(s, g)
-        };
+        let sample_span = rec.span(Phase::Sample);
+        let keys = shared.workload.keys(s, g);
+        lane.add(s, LedgerPhase::Sample, sample_span.finish());
 
         // Forward pass 1 — cache query: dedup the batch and resolve unique
         // keys against the local cache, collecting the ones every cache
@@ -305,7 +350,7 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) 
             }
             scratch.missing.push((i, key));
         }
-        drop(cq_span);
+        lane.add(s, LedgerPhase::CacheQuery, cq_span.finish());
 
         // Forward pass 2 — host reads (UVA zero-copy) for the cache misses.
         // Safe to split from pass 1: keys are unique within a step, so a
@@ -332,7 +377,7 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) 
                 fills += 1;
             }
         }
-        drop(hr_span);
+        lane.add(s, LedgerPhase::HostRead, hr_span.finish());
 
         // Scatter unique rows to per-instance rows for the model.
         scratch.rows.clear();
@@ -356,7 +401,7 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) 
                 .agg
                 .add(key, &grads.emb_grads[i * dim..(i + 1) * dim]);
         }
-        drop(compute_span);
+        lane.add(s, LedgerPhase::Compute, compute_span.finish());
 
         // Modeled hardware times for this iteration.
         let cost = &cfg.cost;
@@ -383,14 +428,20 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) 
 
         // Barrier A: aggregates deposited. The A-leader merges and
         // publishes the step's work.
-        if barrier.wait().is_leader() {
+        let t_bar = lane.start();
+        let a = barrier.wait();
+        lane.add_since(s, LedgerPhase::BarrierA, t_bar);
+        if a.is_leader() {
+            let t_lead = lane.start();
             step::leader_prepare(shared, s);
+            lane.add_since(s, LedgerPhase::LeaderApply, t_lead);
         }
         // Barrier B: StepWork visible. Everyone registers their shards.
         let b = barrier.wait();
         register_phase(
             shared,
             &rec,
+            &lane,
             s,
             g,
             &mut scratch,
@@ -404,7 +455,9 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) 
         // queued before any trainer can evaluate step s + 1's wait
         // condition. The C-leader finalizes bookkeeping concurrently.
         if barrier.wait().is_leader() {
+            let t_lead = lane.start();
             step::leader_finish(shared, s);
+            lane.add_since(s, LedgerPhase::LeaderApply, t_lead);
         }
     }
 

@@ -316,6 +316,28 @@ impl GEntryStore {
         }
     }
 
+    /// [`GEntryStore::count_pending`] over a write batch: counts how many
+    /// of the just-registered `(key, grad)` pairs still have pending
+    /// writes. One lock per shard — callers pass a single shard's bucket
+    /// (the registration write buffers are already shard-grouped), so in
+    /// practice this locks once. Used by arrival-order strategies, whose
+    /// wait gate is the step's own write backlog.
+    pub fn count_pending_writes(&self, items: &[(Key, Arc<[f32]>)]) -> u64 {
+        let mut blocked = 0u64;
+        let mut i = 0;
+        while i < items.len() {
+            let sid = Self::shard_of(items[i].0);
+            let shard = self.shards[sid].lock();
+            while i < items.len() && Self::shard_of(items[i].0) == sid {
+                if shard.get(&items[i].0).is_some_and(|e| !e.w_set.is_empty()) {
+                    blocked += 1;
+                }
+                i += 1;
+            }
+        }
+        blocked
+    }
+
     /// Counts how many of `keys` currently have pending (unflushed)
     /// writes, locking each shard once per contiguous same-shard run.
     /// This is the blocking-rows probe of the next step's wait condition;

@@ -338,6 +338,30 @@ impl LockFreeSet {
         taken
     }
 
+    /// Non-destructive best-effort peek: some key currently in the set,
+    /// or `None` if it looks empty. The key may be removed concurrently
+    /// before the caller uses it — provenance/diagnostics only.
+    pub fn peek_any(&self) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut seg_ptr = self.head.load(Ordering::Acquire);
+        while !seg_ptr.is_null() {
+            // SAFETY: segments are never freed while the set is alive.
+            let seg = unsafe { &*seg_ptr };
+            if seg.occupied.load(Ordering::Acquire) > 0 {
+                for slot in seg.slots.iter() {
+                    let cur = slot.load(Ordering::Acquire);
+                    if cur != EMPTY && cur != TOMBSTONE {
+                        return Some(decode(cur));
+                    }
+                }
+            }
+            seg_ptr = seg.next.load(Ordering::Acquire);
+        }
+        None
+    }
+
     /// True if `key` is currently present (linearizable at some point during
     /// the call).
     pub fn contains(&self, key: u64) -> bool {
@@ -384,6 +408,18 @@ unsafe impl Sync for LockFreeSet {}
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn peek_any_is_nondestructive() {
+        let s = LockFreeSet::new();
+        assert_eq!(s.peek_any(), None);
+        s.insert(42);
+        assert_eq!(s.peek_any(), Some(42));
+        assert_eq!(s.peek_any(), Some(42));
+        assert_eq!(s.len(), 1);
+        s.remove(42);
+        assert_eq!(s.peek_any(), None);
+    }
 
     #[test]
     fn insert_remove_contains() {

@@ -14,9 +14,10 @@
 //! inconsistent g-entry by comparing its priority with the priority of the
 //! hash table in which it resides").
 
-use frugal_telemetry::{Probe, Telemetry};
+use frugal_telemetry::{Gauge, Probe, Telemetry};
 use std::fmt::Debug;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A training-step priority. Smaller = flushed sooner.
 pub type Priority = u64;
@@ -35,16 +36,28 @@ pub struct PqProbes {
     /// Histogram `pq.dequeue_ns`: one [`PriorityQueue::dequeue_batch`]
     /// call (a whole batch, not per entry).
     pub dequeue: Probe,
+    /// Gauge `flush.queue_depth`: the queue's approximate length,
+    /// sampled after each dequeue batch (one atomic store per batch).
+    pub depth: Option<Arc<Gauge>>,
 }
 
 impl PqProbes {
-    /// Resolves the three probes on `telemetry` (all disabled when
-    /// telemetry is off).
+    /// Resolves the probes on `telemetry` (all disabled when telemetry
+    /// is off).
     pub fn from_telemetry(telemetry: &Telemetry) -> Self {
         PqProbes {
             enqueue: telemetry.probe("pq.enqueue_ns"),
             adjust: telemetry.probe("pq.adjust_ns"),
             dequeue: telemetry.probe("pq.dequeue_ns"),
+            depth: telemetry.registry().map(|r| r.gauge("flush.queue_depth")),
+        }
+    }
+
+    /// Records the current queue length on the depth gauge, if attached.
+    #[inline]
+    pub fn sample_depth(&self, len: usize) {
+        if let Some(g) = &self.depth {
+            g.set(len as i64);
         }
     }
 }
@@ -149,6 +162,16 @@ pub trait PriorityQueue: Send + Sync + Debug {
     /// empty. This is the value the P²F wait condition compares against the
     /// next step number.
     fn top_priority(&self) -> Priority;
+
+    /// Best-effort, non-destructive peek at one entry near the top:
+    /// `(key, priority)` for some entry at (or near) the smallest finite
+    /// priority, `None` when the queue looks empty or the implementation
+    /// cannot name one. Used for stall provenance ("which key is
+    /// blocking?"), not for correctness — the entry may be stale by the
+    /// time the caller reads it.
+    fn peek_top(&self) -> Option<(u64, Priority)> {
+        None
+    }
 
     /// Hints the largest finite priority that can currently exist
     /// (`current_step + L` — the scan-range compression of §3.4).

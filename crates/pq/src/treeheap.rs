@@ -151,7 +151,9 @@ impl PriorityQueue for TreeHeap {
                 None => break,
             }
         }
+        let remaining = heap.len();
         drop(heap);
+        self.probes.sample_depth(remaining);
         for _ in 0..pops {
             self.sift_lock_traffic(len);
         }
@@ -179,7 +181,9 @@ impl PriorityQueue for TreeHeap {
                 None => break,
             }
         }
+        let remaining = heap.len();
         drop(heap);
+        self.probes.sample_depth(remaining);
         for _ in 0..pops {
             self.sift_lock_traffic(len);
         }
@@ -191,6 +195,16 @@ impl PriorityQueue for TreeHeap {
             .peek()
             .map(|Reverse((p, _))| *p)
             .unwrap_or(INFINITE)
+    }
+
+    fn peek_top(&self) -> Option<(u64, Priority)> {
+        // Min-heap root is the exact top; skip ∞ entries (they never
+        // block a step, so there is nothing to name for provenance).
+        self.heap
+            .lock()
+            .peek()
+            .filter(|Reverse((p, _))| *p != INFINITE)
+            .map(|Reverse((p, k))| (*k, *p))
     }
 
     fn set_upper_bound(&self, _upper: Priority) {
@@ -247,6 +261,17 @@ mod tests {
         assert_eq!(pq.top_priority(), INFINITE);
         pq.enqueue(2, 4);
         assert_eq!(pq.top_priority(), 4);
+    }
+
+    #[test]
+    fn peek_top_names_the_root() {
+        let pq = TreeHeap::new();
+        assert_eq!(pq.peek_top(), None);
+        pq.enqueue(9, INFINITE);
+        assert_eq!(pq.peek_top(), None, "∞ entries are never blocking");
+        pq.enqueue(5, 3);
+        assert_eq!(pq.peek_top(), Some((5, 3)));
+        assert_eq!(pq.len(), 2, "peek must not consume");
     }
 
     #[test]

@@ -289,6 +289,7 @@ impl TwoLevelPq {
         if taken > 0 {
             self.len.fetch_sub(taken, Ordering::AcqRel);
         }
+        self.probes.sample_depth(self.len());
     }
 }
 
@@ -442,6 +443,24 @@ impl PriorityQueue for TwoLevelPq {
         INFINITE
     }
 
+    fn peek_top(&self) -> Option<(u64, Priority)> {
+        // Provenance-only read: scan the finite buckets from the lower
+        // bound and name one member of the first non-empty bucket,
+        // without raising the bound or disturbing entries.
+        let seen = self.lower_epoch.load(Ordering::Acquire);
+        let end = self.scan_end();
+        let mut p = seen & LOWER_MASK;
+        while p <= end {
+            if let Some(key) = self.buckets[p as usize].peek_any() {
+                return Some((key, p));
+            }
+            p += 1;
+        }
+        // ∞ entries never block a step; callers peeking for stall
+        // provenance treat "only ∞ left" as nothing to name.
+        None
+    }
+
     fn set_upper_bound(&self, upper: Priority) {
         self.upper
             .store(upper.min(self.max_step), Ordering::Release);
@@ -486,6 +505,18 @@ mod tests {
         pq.dequeue_batch(1, &mut out);
         assert_eq!(out, vec![(2, 10)]);
         assert_eq!(pq.top_priority(), 30);
+    }
+
+    #[test]
+    fn peek_top_is_nondestructive() {
+        let pq = TwoLevelPq::new(50);
+        assert_eq!(pq.peek_top(), None);
+        pq.enqueue(7, INFINITE);
+        assert_eq!(pq.peek_top(), None, "∞ entries are never blocking");
+        pq.enqueue(3, 4);
+        assert_eq!(pq.peek_top(), Some((3, 4)));
+        assert_eq!(pq.peek_top(), Some((3, 4)), "peek must not consume");
+        assert_eq!(pq.top_priority(), 4);
     }
 
     #[test]

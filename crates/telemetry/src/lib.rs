@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+mod ledger;
 mod registry;
 mod span;
 mod trace;
@@ -33,17 +34,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub use ledger::{
+    LaneKind, LedgerLane, LedgerPhase, LedgerPhaseSummary, LedgerSummary, DEFAULT_LEDGER_STEPS,
+};
 pub use registry::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry};
 pub use span::{Phase, Probe, Span, SpanArgs, ThreadRecorder};
 pub use trace::DEFAULT_SPANS_PER_THREAD;
 
 use json::JsonWriter;
+use ledger::LedgerCore;
 use trace::TraceCollector;
 
 /// Default cap on retained [`StallRecord`]s.
 pub const DEFAULT_MAX_STALLS: usize = 4 * 1024;
 
-/// One P²F wait that actually blocked, with attribution.
+/// One P²F wait that actually blocked, with attribution and provenance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StallRecord {
     /// The training step that stalled.
@@ -55,6 +60,16 @@ pub struct StallRecord {
     pub blocking_priority: u64,
     /// Pending g-entry keys at wait entry (outstanding flush backlog).
     pub pending_keys: u64,
+    /// Priority-queue depth (keys awaiting dequeue) at wait entry.
+    pub queue_depth: u64,
+    /// A key sitting at the blocking priority at wait entry, when the
+    /// queue could name one (best effort, non-destructive peek).
+    pub blocking_key: Option<u64>,
+    /// Id of the flusher batch whose in-flight clear the trainer
+    /// observed on wake-up — the other end of the Chrome-trace flow
+    /// arrow. `0` when no batch had completed yet (e.g. a spurious or
+    /// shutdown wake).
+    pub cleared_by: u64,
 }
 
 /// The retained stall records plus how many were dropped at the cap.
@@ -93,6 +108,7 @@ struct Inner {
     epoch: Instant,
     registry: Arc<Registry>,
     trace: TraceCollector,
+    ledger: LedgerCore,
     stalls: Mutex<Vec<StallRecord>>,
     stalls_dropped: AtomicU64,
     stall_cap: usize,
@@ -117,11 +133,22 @@ impl Telemetry {
     /// An enabled instance retaining at most `spans_per_thread` completed
     /// spans per recorder thread and `max_stalls` stall records.
     pub fn with_capacity(spans_per_thread: usize, max_stalls: usize) -> Self {
+        Self::with_ledger_capacity(spans_per_thread, max_stalls, DEFAULT_LEDGER_STEPS)
+    }
+
+    /// [`Telemetry::with_capacity`] with an explicit step-ledger window
+    /// (`ledger_steps` step slots per lane).
+    pub fn with_ledger_capacity(
+        spans_per_thread: usize,
+        max_stalls: usize,
+        ledger_steps: usize,
+    ) -> Self {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
                 registry: Arc::new(Registry::new()),
                 trace: TraceCollector::new(spans_per_thread),
+                ledger: LedgerCore::new(ledger_steps),
                 stalls: Mutex::new(Vec::new()),
                 stalls_dropped: AtomicU64::new(0),
                 stall_cap: max_stalls,
@@ -150,11 +177,37 @@ impl Telemetry {
         match &self.inner {
             None => ThreadRecorder::disabled(),
             Some(i) => {
-                let buf = i.trace.register_thread(name.into());
+                let (buf, flows) = i.trace.register_thread(name.into());
                 let hists = Phase::ALL.map(|p| i.registry.histogram(p.metric_name()));
-                ThreadRecorder::enabled(buf, i.epoch, hists)
+                ThreadRecorder::enabled(buf, flows, i.epoch, hists)
             }
         }
+    }
+
+    /// Registers a step-ledger lane for the calling engine thread (a
+    /// disabled lane when telemetry is off). Each lane must be written
+    /// by exactly one thread.
+    pub fn ledger_lane(&self, kind: LaneKind) -> LedgerLane {
+        match &self.inner {
+            None => LedgerLane::disabled(),
+            Some(i) => i.ledger.lane(kind),
+        }
+    }
+
+    /// Advances the ledger's step cursor; called by the barrier-A leader
+    /// at the top of each step so flusher lanes attribute their work to
+    /// the step currently executing.
+    #[inline]
+    pub fn ledger_advance(&self, step: u64) {
+        if let Some(i) = &self.inner {
+            i.ledger.advance(step);
+        }
+    }
+
+    /// Windowed per-phase critical-path statistics; `None` when
+    /// disabled.
+    pub fn ledger_summary(&self) -> Option<LedgerSummary> {
+        self.inner.as_ref().map(|i| i.ledger.summary())
     }
 
     /// A histogram-only latency probe named `name` (disabled probe when
@@ -188,6 +241,7 @@ impl Telemetry {
                 records: i.stalls.lock().unwrap().clone(),
                 dropped: i.stalls_dropped.load(Ordering::Relaxed),
             },
+            ledger: Some(i.ledger.summary()),
             dropped_spans: i.trace.dropped_spans(),
         })
     }
@@ -227,6 +281,9 @@ pub struct TelemetrySummary {
     pub metrics: MetricsSnapshot,
     /// P²F stall attribution records.
     pub stalls: StallSummary,
+    /// Per-step critical-path phase ledger (exact windowed percentiles);
+    /// `None` only on summaries built before the ledger existed.
+    pub ledger: Option<LedgerSummary>,
     /// Spans evicted from trace rings (0 means the trace is complete).
     pub dropped_spans: u64,
 }
@@ -264,6 +321,30 @@ impl TelemetrySummary {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        if let Some(ledger) = self.ledger.as_ref().filter(|l| !l.is_empty()) {
+            let _ = writeln!(
+                out,
+                "  step ledger: {} steps (steps {}..={}), per-step critical path:",
+                ledger.window, ledger.first_step, ledger.last_step
+            );
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                "phase (ns/step)", "mean", "p50", "p95", "p99", "max"
+            );
+            for p in &ledger.phases {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>11.0} {:>11} {:>11} {:>11} {:>11}",
+                    p.phase.name(),
+                    p.mean_ns,
+                    p.p50_ns,
+                    p.p95_ns,
+                    p.p99_ns,
+                    p.max_ns
+                );
+            }
+        }
         if !self.metrics.histograms.is_empty() {
             let _ = writeln!(
                 out,
@@ -306,11 +387,14 @@ impl TelemetrySummary {
             if let Some(l) = self.stalls.longest() {
                 let _ = write!(
                     out,
-                    "; longest {:.3} ms at step {} (blocking priority {}, {} pending keys)",
+                    "; longest {:.3} ms at step {} (blocking priority {}, {} pending keys, \
+                     queue depth {}, cleared by batch {})",
                     l.wait_ns as f64 / 1e6,
                     l.step,
                     l.blocking_priority,
-                    l.pending_keys
+                    l.pending_keys,
+                    l.queue_depth,
+                    l.cleared_by
                 );
             }
             let _ = writeln!(out);
@@ -365,6 +449,24 @@ impl TelemetrySummary {
             out.push_str(&w.finish());
             out.push('\n');
         }
+        if let Some(ledger) = self.ledger.as_ref().filter(|l| !l.is_empty()) {
+            for p in &ledger.phases {
+                let mut w = JsonWriter::new();
+                w.begin_object();
+                w.key("kind").string("ledger_phase");
+                w.key("name").string(p.phase.name());
+                w.key("steps").number_u64(p.steps);
+                w.key("total_ns").number_u64(p.total_ns);
+                w.key("mean_ns").number_f64(p.mean_ns);
+                w.key("p50_ns").number_u64(p.p50_ns);
+                w.key("p95_ns").number_u64(p.p95_ns);
+                w.key("p99_ns").number_u64(p.p99_ns);
+                w.key("max_ns").number_u64(p.max_ns);
+                w.end_object();
+                out.push_str(&w.finish());
+                out.push('\n');
+            }
+        }
         for r in &self.stalls.records {
             let mut w = JsonWriter::new();
             w.begin_object();
@@ -373,6 +475,11 @@ impl TelemetrySummary {
             w.key("wait_ns").number_u64(r.wait_ns);
             w.key("blocking_priority").number_u64(r.blocking_priority);
             w.key("pending_keys").number_u64(r.pending_keys);
+            w.key("queue_depth").number_u64(r.queue_depth);
+            if let Some(k) = r.blocking_key {
+                w.key("blocking_key").number_u64(k);
+            }
+            w.key("cleared_by").number_u64(r.cleared_by);
             w.end_object();
             out.push_str(&w.finish());
             out.push('\n');
@@ -401,7 +508,14 @@ mod tests {
             wait_ns: 1,
             blocking_priority: 0,
             pending_keys: 0,
+            queue_depth: 0,
+            blocking_key: None,
+            cleared_by: 0,
         });
+        let lane = tel.ledger_lane(LaneKind::Trainer);
+        assert!(!lane.is_enabled());
+        tel.ledger_advance(9);
+        assert!(tel.ledger_summary().is_none());
     }
 
     #[test]
@@ -452,6 +566,9 @@ mod tests {
                 wait_ns: 100 * (step + 1),
                 blocking_priority: step,
                 pending_keys: 7,
+                queue_depth: 11,
+                blocking_key: Some(42),
+                cleared_by: step + 1,
             });
         }
         let s = tel.summary().unwrap();
@@ -474,7 +591,12 @@ mod tests {
             wait_ns: 42,
             blocking_priority: 1,
             pending_keys: 2,
+            queue_depth: 5,
+            blocking_key: Some(17),
+            cleared_by: 2,
         });
+        tel.ledger_lane(LaneKind::Trainer)
+            .add(3, LedgerPhase::StallWait, 42);
         let jsonl = tel.metrics_jsonl().unwrap();
         let lines: Vec<&str> = jsonl.lines().collect();
         assert!(lines.len() >= 4);
@@ -482,6 +604,10 @@ mod tests {
             json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
         }
         assert!(lines.iter().any(|l| l.contains("\"kind\":\"stall\"")));
+        assert!(lines.iter().any(|l| l.contains("\"queue_depth\":5")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"ledger_phase\"") && l.contains("\"stall_wait\"")));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::registry::Histogram;
-use crate::trace::{SpanEvent, ThreadBuf};
+use crate::trace::{FlowRecord, FlowSink, SpanEvent, ThreadBuf, TraceCollector};
 
 /// The engine phases that get span timing.
 ///
@@ -159,6 +159,7 @@ pub struct ThreadRecorder {
 #[derive(Debug)]
 pub(crate) struct RecorderInner {
     buf: Arc<ThreadBuf>,
+    flows: Arc<FlowSink>,
     epoch: Instant,
     seq: Cell<u64>,
     hists: [Arc<Histogram>; Phase::COUNT],
@@ -172,12 +173,14 @@ impl ThreadRecorder {
 
     pub(crate) fn enabled(
         buf: Arc<ThreadBuf>,
+        flows: Arc<FlowSink>,
         epoch: Instant,
         hists: [Arc<Histogram>; Phase::COUNT],
     ) -> Self {
         ThreadRecorder {
             inner: Some(RecorderInner {
                 buf,
+                flows,
                 epoch,
                 seq: Cell::new(0),
                 hists,
@@ -188,6 +191,34 @@ impl ThreadRecorder {
     /// Whether spans opened on this recorder actually record.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Emits the producing half of a cross-thread flow arrow (Chrome
+    /// `ph:"s"`), e.g. a flusher batch that just cleared its in-flight
+    /// marker. `id == 0` means "no batch" and is ignored, as is a
+    /// disabled recorder.
+    pub fn flow_start(&self, id: u64) {
+        self.flow(id, true);
+    }
+
+    /// Emits the consuming half of a flow arrow (Chrome `ph:"f"`,
+    /// binding to the enclosing slice end), e.g. a trainer observing the
+    /// stall-clearing batch. `id == 0` is ignored.
+    pub fn flow_finish(&self, id: u64) {
+        self.flow(id, false);
+    }
+
+    fn flow(&self, id: u64, start: bool) {
+        let Some(rec) = &self.inner else { return };
+        if id == 0 {
+            return;
+        }
+        rec.flows.push(FlowRecord {
+            id,
+            tid: TraceCollector::tid_of(&rec.buf),
+            ts_ns: rec.epoch.elapsed().as_nanos() as u64,
+            start,
+        });
     }
 
     /// Opens an unannotated span for `phase`; it records when dropped.

@@ -17,6 +17,59 @@ use crate::span::{Phase, SpanArgs};
 /// Default per-thread ring capacity (completed spans).
 pub const DEFAULT_SPANS_PER_THREAD: usize = 16 * 1024;
 
+/// Cap on retained cross-thread flow events (starts + finishes).
+pub const DEFAULT_FLOW_EVENTS: usize = 32 * 1024;
+
+/// One half of a cross-thread flow arrow (`ph:"s"` / `ph:"f"` in Chrome
+/// trace terms): a flusher batch clearing its in-flight marker (start)
+/// or a trainer observing itself unblocked by that batch (finish).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlowRecord {
+    /// Flow id — the flusher batch id; start/finish pairs share it.
+    pub id: u64,
+    /// Emitting thread.
+    pub tid: u64,
+    /// Emission time relative to the telemetry epoch.
+    pub ts_ns: u64,
+    /// `true` for the flusher-side start, `false` for the trainer-side
+    /// finish.
+    pub start: bool,
+}
+
+/// Bounded shared ring of [`FlowRecord`]s (all threads push here; flow
+/// volume is one event per stall or applied batch, far below span
+/// volume, so a single mutex-guarded ring is fine).
+#[derive(Debug)]
+pub(crate) struct FlowSink {
+    capacity: usize,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<FlowRecord>>,
+}
+
+impl FlowSink {
+    pub fn new(capacity: usize) -> Self {
+        FlowSink {
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends a flow half-event, evicting the oldest at capacity.
+    pub fn push(&self, rec: FlowRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(rec);
+    }
+
+    pub fn snapshot(&self) -> Vec<FlowRecord> {
+        self.ring.lock().unwrap().iter().copied().collect()
+    }
+}
+
 /// One completed span, as stored in a thread ring.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SpanEvent {
@@ -56,6 +109,7 @@ pub(crate) struct TraceCollector {
     capacity: usize,
     next_tid: AtomicU64,
     threads: Mutex<Vec<Arc<ThreadBuf>>>,
+    flows: Arc<FlowSink>,
 }
 
 impl TraceCollector {
@@ -64,11 +118,13 @@ impl TraceCollector {
             capacity: spans_per_thread.max(1),
             next_tid: AtomicU64::new(1),
             threads: Mutex::new(Vec::new()),
+            flows: Arc::new(FlowSink::new(DEFAULT_FLOW_EVENTS)),
         }
     }
 
-    /// Creates and registers a ring for a new recorder thread.
-    pub fn register_thread(&self, name: String) -> Arc<ThreadBuf> {
+    /// Creates and registers a ring for a new recorder thread. Returns
+    /// the ring and the shared flow sink (flows carry the ring's `tid`).
+    pub fn register_thread(&self, name: String) -> (Arc<ThreadBuf>, Arc<FlowSink>) {
         let buf = Arc::new(ThreadBuf {
             tid: self.next_tid.fetch_add(1, Ordering::Relaxed),
             name,
@@ -77,7 +133,12 @@ impl TraceCollector {
             ring: Mutex::new(VecDeque::new()),
         });
         self.threads.lock().unwrap().push(Arc::clone(&buf));
-        buf
+        (buf, Arc::clone(&self.flows))
+    }
+
+    /// The thread id a [`ThreadBuf`] was registered with.
+    pub fn tid_of(buf: &ThreadBuf) -> u64 {
+        buf.tid
     }
 
     /// Spans evicted across all rings so far.
@@ -142,6 +203,22 @@ impl TraceCollector {
                 w.end_object();
             }
         }
+        // Cross-thread flow arrows: flusher batch (`s`) → unblocked
+        // trainer (`f`, binding point "e" = enclosing slice end).
+        for flow in self.flows.snapshot() {
+            w.begin_object();
+            w.key("ph").string(if flow.start { "s" } else { "f" });
+            if !flow.start {
+                w.key("bp").string("e");
+            }
+            w.key("name").string("unblock");
+            w.key("cat").string("p2f_unblock");
+            w.key("id").number_u64(flow.id);
+            w.key("pid").number_u64(1);
+            w.key("tid").number_u64(flow.tid);
+            w.key("ts").number_f64(flow.ts_ns as f64 / 1_000.0);
+            w.end_object();
+        }
         w.end_array();
         w.end_object();
     }
@@ -165,7 +242,7 @@ mod tests {
     #[test]
     fn ring_evicts_whole_spans_and_counts_drops() {
         let tc = TraceCollector::new(2);
-        let buf = tc.register_thread("t".into());
+        let (buf, _) = tc.register_thread("t".into());
         buf.push(event(0, 1, 0, 10));
         buf.push(event(2, 3, 20, 10));
         buf.push(event(4, 5, 40, 10));
@@ -177,7 +254,7 @@ mod tests {
     #[test]
     fn chrome_export_is_balanced_and_ordered() {
         let tc = TraceCollector::new(8);
-        let buf = tc.register_thread("trainer-0".into());
+        let (buf, _) = tc.register_thread("trainer-0".into());
         // Nested spans: outer (seq 0..3) around inner (seq 1..2).
         buf.push(event(1, 2, 5, 10));
         buf.push(event(0, 3, 0, 30));
@@ -202,5 +279,63 @@ mod tests {
             ts.windows(2).all(|w| w[0] <= w[1]),
             "ts not monotonic: {ts:?}"
         );
+    }
+
+    #[test]
+    fn flow_events_export_as_s_f_pairs() {
+        let tc = TraceCollector::new(8);
+        let (fbuf, flows) = tc.register_thread("flusher-0".into());
+        let (tbuf, _) = tc.register_thread("trainer-0".into());
+        flows.push(FlowRecord {
+            id: 7,
+            tid: TraceCollector::tid_of(&fbuf),
+            ts_ns: 1_000,
+            start: true,
+        });
+        flows.push(FlowRecord {
+            id: 7,
+            tid: TraceCollector::tid_of(&tbuf),
+            ts_ns: 2_000,
+            start: false,
+        });
+        let mut w = JsonWriter::new();
+        tc.write_chrome_trace(&mut w);
+        let doc = crate::json::parse(&w.finish()).expect("trace must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(crate::json::Json::as_array)
+            .unwrap();
+        let s = events
+            .iter()
+            .find(|e| e.get("ph").and_then(crate::json::Json::as_str) == Some("s"))
+            .expect("flow start present");
+        let f = events
+            .iter()
+            .find(|e| e.get("ph").and_then(crate::json::Json::as_str) == Some("f"))
+            .expect("flow finish present");
+        assert_eq!(s.get("id").and_then(crate::json::Json::as_f64), Some(7.0));
+        assert_eq!(f.get("id").and_then(crate::json::Json::as_f64), Some(7.0));
+        assert_eq!(f.get("bp").and_then(crate::json::Json::as_str), Some("e"));
+        assert!(s.get("bp").is_none());
+        let ts_s = s.get("ts").and_then(crate::json::Json::as_f64).unwrap();
+        let ts_f = f.get("ts").and_then(crate::json::Json::as_f64).unwrap();
+        assert!(ts_s <= ts_f);
+    }
+
+    #[test]
+    fn flow_sink_is_bounded() {
+        let sink = FlowSink::new(2);
+        for id in 0..5 {
+            sink.push(FlowRecord {
+                id,
+                tid: 1,
+                ts_ns: id,
+                start: true,
+            });
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].id, 3);
+        assert_eq!(sink.dropped.load(Ordering::Relaxed), 3);
     }
 }

@@ -1,0 +1,158 @@
+//! Integration tests for the critical-path profiler: the per-step phase
+//! ledger must cover every step of a multi-GPU run with balanced,
+//! contiguous records; stall provenance must pair each trainer unblock to
+//! exactly one flusher apply via Chrome-trace flow events; and the FIFO
+//! ablation must actually measure its stalls (the regression the profiler
+//! was built to catch).
+
+use frugal::core::{FrugalConfig, FrugalEngine, PullToTarget, TrainReport};
+use frugal::data::{KeyDistribution, SyntheticTrace};
+use frugal::telemetry::json::{self, Json};
+use frugal::telemetry::{LedgerPhase, Telemetry};
+
+const N_KEYS: u64 = 5_000;
+const STEPS: u64 = 40;
+const N_GPUS: usize = 3;
+
+/// A 3-GPU run with two flushers. `throttle_us > 0` slows every flush
+/// batch down, forcing a backlog and therefore real trainer stalls.
+fn profiled_run(telemetry: &Telemetry, throttle_us: u64, fifo: bool) -> TrainReport {
+    let trace = SyntheticTrace::new(N_KEYS, KeyDistribution::Zipf(0.9), 64, N_GPUS, 17).unwrap();
+    let model = PullToTarget::new(8, 3);
+    let mut cfg = FrugalConfig::commodity(N_GPUS, STEPS)
+        .checked()
+        .with_telemetry(telemetry.clone());
+    if fifo {
+        cfg = cfg.fifo();
+    }
+    cfg.flush_threads = 2;
+    cfg.cache_ratio = 0.02;
+    cfg.flush_throttle_us = throttle_us;
+    let engine = FrugalEngine::new(cfg, trace.n_keys(), 8);
+    engine.run(&trace, &model)
+}
+
+#[test]
+fn ledger_covers_every_step_balanced_and_contiguous() {
+    let telemetry = Telemetry::new();
+    profiled_run(&telemetry, 0, false);
+    let ledger = telemetry.ledger_summary().expect("telemetry was on");
+
+    // Every step of the run is retained (the window is far larger), and
+    // the window is contiguous: steps [0, STEPS).
+    assert_eq!(ledger.window, STEPS, "one ledger record per step");
+    assert_eq!(ledger.first_step, 0);
+    assert_eq!(ledger.last_step, STEPS - 1);
+    assert_eq!(
+        ledger.last_step - ledger.first_step + 1,
+        ledger.window,
+        "window must be contiguous"
+    );
+
+    // Balanced: every phase reports exactly one (possibly zero-valued)
+    // sample per retained step — no phase over- or under-counts.
+    for p in &ledger.phases {
+        assert_eq!(
+            p.steps,
+            ledger.window,
+            "phase {} must cover the whole window",
+            p.phase.name()
+        );
+    }
+
+    // The phases every trainer executes every step carry real time.
+    for phase in [
+        LedgerPhase::Sample,
+        LedgerPhase::CacheQuery,
+        LedgerPhase::Compute,
+        LedgerPhase::BarrierA,
+        LedgerPhase::Registration,
+        LedgerPhase::LeaderApply,
+    ] {
+        let s = ledger.phase(phase).expect("phase present");
+        assert!(s.total_ns > 0, "{} recorded no time", phase.name());
+        assert!(
+            s.max_ns >= s.p95_ns && s.p95_ns >= s.p50_ns,
+            "percentiles ordered"
+        );
+    }
+    // The flusher lanes recorded background work too.
+    let fa = ledger.phase(LedgerPhase::FlushApply).expect("flush_apply");
+    assert!(fa.total_ns > 0, "flushers applied batches");
+}
+
+#[test]
+fn flow_events_pair_each_unblock_to_one_apply() {
+    let telemetry = Telemetry::new();
+    profiled_run(&telemetry, 200, false);
+
+    // Throttled flushers force a backlog: the stall log must carry
+    // provenance (the batch that cleared the wait, and the queue state
+    // seen when blocking).
+    let summary = telemetry.summary().expect("telemetry was on");
+    let with_provenance: Vec<_> = summary
+        .stalls
+        .records
+        .iter()
+        .filter(|r| r.cleared_by > 0)
+        .collect();
+    assert!(
+        !with_provenance.is_empty(),
+        "throttled run must produce stalls attributed to a flush batch"
+    );
+
+    // Every trainer-side flow finish ("f") pairs with exactly one
+    // flusher-side start ("s") of the same batch id, and the finish is
+    // timestamped at or after its start (the flusher stamps the batch
+    // before clearing the marker the trainer waits on).
+    let doc = telemetry.chrome_trace_json().expect("telemetry was on");
+    let root = json::parse(&doc).expect("valid trace JSON");
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents");
+    let mut starts: Vec<(u64, f64)> = Vec::new();
+    let mut finishes: Vec<(u64, f64)> = Vec::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph != "s" && ph != "f" {
+            continue;
+        }
+        let id = ev.get("id").and_then(Json::as_f64).expect("flow id") as u64;
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("flow ts");
+        if ph == "s" {
+            starts.push((id, ts));
+        } else {
+            finishes.push((id, ts));
+        }
+    }
+    assert!(!finishes.is_empty(), "stalled run must emit unblock arrows");
+    for (id, ts_f) in &finishes {
+        let matching: Vec<_> = starts.iter().filter(|(sid, _)| sid == id).collect();
+        assert_eq!(
+            matching.len(),
+            1,
+            "finish id {id} must pair with exactly one apply"
+        );
+        assert!(
+            *ts_f >= matching[0].1,
+            "unblock at {ts_f} precedes its apply at {}",
+            matching[0].1
+        );
+    }
+}
+
+#[test]
+fn fifo_ablation_measures_nonzero_stalls() {
+    // The FIFO strategy counts its own written-key backlog at registration
+    // time (not the post-drain pending set, which the flushers usually
+    // empty before the C-leader reads it — the bug that froze
+    // `fifo_p95_stall_ns` at 0). A throttled run must therefore model
+    // nonzero stalls.
+    let telemetry = Telemetry::off();
+    let report = profiled_run(&telemetry, 100, true);
+    assert!(
+        report.stats.stall_percentile(0.95).as_nanos() > 0,
+        "throttled FIFO run must record nonzero modeled stalls"
+    );
+}

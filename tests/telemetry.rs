@@ -64,11 +64,30 @@ fn chrome_trace_is_valid_balanced_and_monotonic() {
     assert!(!events.is_empty());
 
     // Count B/E per thread and check per-thread ts never goes backwards.
+    // Flow events ("s"/"f" — cross-thread unblock arrows) are exported
+    // after the duration events and checked separately for pairing.
     let mut open: Vec<(f64, i64, i64)> = Vec::new(); // (last_ts, depth, tid)
+    let mut flow_starts: Vec<f64> = Vec::new();
+    let mut flow_finishes: Vec<f64> = Vec::new();
     for ev in events {
         let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
         if ph == "M" {
             continue; // thread_name metadata carries no ts
+        }
+        if ph == "s" || ph == "f" {
+            assert_eq!(
+                ev.get("cat").and_then(Json::as_str),
+                Some("p2f_unblock"),
+                "flow events carry the unblock category"
+            );
+            let id = ev.get("id").and_then(Json::as_f64).expect("flow id");
+            assert!(id > 0.0, "flow ids are nonzero batch ids");
+            if ph == "s" {
+                flow_starts.push(id);
+            } else {
+                flow_finishes.push(id);
+            }
+            continue;
         }
         let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as i64;
         let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
@@ -95,6 +114,14 @@ fn chrome_trace_is_valid_balanced_and_monotonic() {
     assert!(open.len() >= 2, "at least the two trainer threads traced");
     for (_, depth, tid) in &open {
         assert_eq!(*depth, 0, "thread {tid}: unbalanced B/E events");
+    }
+    // Every trainer-side flow finish refers to a flusher batch that
+    // emitted a start (the rings are large enough that nothing evicted).
+    for id in &flow_finishes {
+        assert!(
+            flow_starts.contains(id),
+            "flow finish id {id} has no matching start"
+        );
     }
 }
 
