@@ -10,9 +10,24 @@ tolerance:
   not rise above ``baseline * (1 + tol)`` (each skipped when the baseline
   predates the metric or recorded 0).
 
-Tolerances are fractional and resolve per metric:
-``FRUGAL_PERF_TOL_<METRIC>`` (metric name uppercased, e.g.
-``FRUGAL_PERF_TOL_P95_STALL_NS``) > ``FRUGAL_PERF_TOL`` > the per-metric
+Both files may carry several workload profiles under ``"profiles"``
+(``2gpu`` — the historical smoke workload — and ``8gpu`` — the paper's
+commodity testbed width). Every profile present in the *current* file is
+gated against the matching baseline profile; a profile the baseline lacks
+is recorded but not gated. Flat files written before the multi-profile
+schema are read as a bare ``2gpu`` profile, so an old committed baseline
+still gates the 2-GPU numbers of a new measurement (and vice versa).
+
+A ``gentry_mem`` block in the current file is gated against the absolute
+CriteoTB feasibility bound: ``bytes_per_key`` must stay below
+``FRUGAL_PERF_MAX_GENTRY_BYTES_PER_KEY`` (default 32 — the DESIGN.md §14
+budget), independent of any baseline.
+
+Tolerances are fractional and resolve per metric, most specific first:
+``FRUGAL_PERF_TOL_<PROFILE>_<METRIC>`` (e.g.
+``FRUGAL_PERF_TOL_8GPU_STEPS_PER_SEC`` — the wide profile oversubscribes
+small CI hosts heavily, so its wall-clock noise floor is higher) >
+``FRUGAL_PERF_TOL_<METRIC>`` > ``FRUGAL_PERF_TOL`` > the per-metric
 default below. The calibrated/modeled metrics (``mean_gentry_ns``,
 ``p95_stall_ns``) default much wider than the wall-clock ones: they shift
 with calibration constants and scheduler noise, so their gates catch
@@ -60,16 +75,27 @@ PHASE_TOL_DEFAULT = 2.0
 PHASE_MIN_NS = 1000.0
 
 
-def load_current(path):
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
-    if "current" not in doc:
-        sys.exit(f"perf-gate: {path} has no 'current' block")
-    return doc["current"]
+        return json.load(f)
 
 
-def tol_for(metric, default):
-    env = os.environ.get(f"FRUGAL_PERF_TOL_{metric.upper()}")
+def profiles_of(doc, path):
+    """Profile-name -> profile-object map, treating legacy flat files
+    (no ``profiles`` key) as a bare 2-GPU profile."""
+    if "profiles" in doc:
+        return doc["profiles"]
+    if "current" in doc:
+        return {"2gpu": doc}
+    sys.exit(f"perf-gate: {path} has neither 'profiles' nor 'current'")
+
+
+def tol_for(metric, default, profile=None):
+    env = None
+    if profile is not None:
+        env = os.environ.get(f"FRUGAL_PERF_TOL_{profile.upper()}_{metric.upper()}")
+    if env is None:
+        env = os.environ.get(f"FRUGAL_PERF_TOL_{metric.upper()}")
     if env is None:
         env = os.environ.get("FRUGAL_PERF_TOL")
     return float(env) if env is not None else default
@@ -82,11 +108,11 @@ def phase_tol_for(phase):
     return float(env) if env is not None else PHASE_TOL_DEFAULT
 
 
-def gate_metrics(base, cur):
+def gate_metrics(base, cur, profile=None):
     """Top-level metric gates. Returns (lines, failures)."""
     lines, failures = [], []
     for name, direction, default in GATED:
-        tol = tol_for(name, default)
+        tol = tol_for(name, default, profile)
         b = float(base.get(name, 0.0))
         c = float(cur.get(name, 0.0))
         if b <= 0.0:
@@ -171,36 +197,91 @@ def attribute(failures, ranked):
     return lines
 
 
+def gate_profile(name, base_profile, cur_profile):
+    """Gates one profile. Returns (lines, failures); profile-less baselines
+    record without gating."""
+    lines = [f"=== profile {name} ==="]
+    cur = cur_profile.get("current")
+    if cur is None:
+        return lines + ["  current file has no 'current' block (skipped)"], []
+
+    base = (base_profile or {}).get("current")
+    if base is None:
+        lines.append(f"profile {name}: baseline has no such profile; recorded, not gated")
+        for metric, _, _ in GATED:
+            lines.append(f"{metric + ':':<20} current {float(cur.get(metric, 0.0)):10.1f} (recorded)")
+        return lines, []
+
+    metric_lines, failures = gate_metrics(base, cur, name)
+    failures = [f"[{name}] {f}" for f in failures]
+    lines += metric_lines
+
+    base_phases = base.get("phases") or {}
+    cur_phases = cur.get("phases") or {}
+    if cur_phases:
+        if base_phases:
+            table_lines, phase_failures, ranked = phase_delta_table(base_phases, cur_phases)
+            failures.extend(f"[{name}] {f}" for f in phase_failures)
+            if failures:
+                table_lines += attribute(failures, ranked)
+            lines += table_lines
+        else:
+            lines.append("per-phase: baseline has no ledger; current phases recorded, not gated")
+    else:
+        lines.append("per-phase: current run carries no ledger (profiling disabled?)")
+    return lines, failures
+
+
+def gate_gentry_mem(cur_doc):
+    """Absolute memory-feasibility gate on the g-entry store probe."""
+    mem = cur_doc.get("gentry_mem")
+    if not mem:
+        return ["gentry_mem: not recorded"], []
+    bound = float(os.environ.get("FRUGAL_PERF_MAX_GENTRY_BYTES_PER_KEY", "32"))
+    bpk = float(mem.get("bytes_per_key", 0.0))
+    keys = int(mem.get("keys", 0))
+    lines = [
+        f"gentry_mem:          {bpk:.2f} bytes/key at {keys} keys  bound {bound:.1f} (absolute)"
+    ]
+    failures = []
+    if bpk <= 0.0:
+        failures.append(f"gentry_mem bytes_per_key {bpk} is not a positive measurement")
+    elif bpk >= bound:
+        failures.append(f"gentry_mem {bpk:.2f} bytes/key >= bound {bound:.1f}")
+    return lines, failures
+
+
 def main():
     baseline_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_engine.json"
     current_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_engine.ci.json"
 
-    base = load_current(baseline_path)
-    cur = load_current(current_path)
+    base_doc = load_doc(baseline_path)
+    cur_doc = load_doc(current_path)
+    base_profiles = profiles_of(base_doc, baseline_path)
+    cur_profiles = profiles_of(cur_doc, current_path)
 
-    lines, failures = gate_metrics(base, cur)
+    all_lines, failures = [], []
+    for name, cur_profile in cur_profiles.items():
+        lines, fails = gate_profile(name, base_profiles.get(name), cur_profile)
+        all_lines += lines
+        failures += fails
+    for name in base_profiles:
+        if name not in cur_profiles:
+            all_lines.append(f"=== profile {name} ===")
+            all_lines.append("  baseline-only profile: current file did not measure it")
+            failures.append(f"[{name}] profile present in baseline but missing from current")
 
-    base_phases = base.get("phases") or {}
-    cur_phases = cur.get("phases") or {}
-    table_lines = []
-    if cur_phases:
-        if base_phases:
-            table_lines, phase_failures, ranked = phase_delta_table(base_phases, cur_phases)
-            failures.extend(phase_failures)
-            if failures:
-                table_lines += attribute(failures, ranked)
-        else:
-            table_lines = ["per-phase: baseline has no ledger; current phases recorded, not gated"]
-    else:
-        table_lines = ["per-phase: current run carries no ledger (profiling disabled?)"]
+    mem_lines, mem_fails = gate_gentry_mem(cur_doc)
+    all_lines += mem_lines
+    failures += mem_fails
 
-    for line in lines + table_lines:
+    for line in all_lines:
         print(line)
 
     table_out = os.environ.get("FRUGAL_PERF_TABLE_OUT")
     if table_out:
         with open(table_out, "w") as f:
-            f.write("\n".join(lines + table_lines) + "\n")
+            f.write("\n".join(all_lines) + "\n")
         print(f"perf-gate: wrote delta table to {table_out}")
 
     if failures:

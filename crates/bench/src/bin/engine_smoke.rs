@@ -1,8 +1,18 @@
 //! Fixed-seed engine perf smoke: the per-PR perf trajectory tracker.
 //!
-//! Runs the full Frugal engine on a deterministic workload (2 GPUs,
-//! Zipf 0.9, 200 steps by default) and writes `BENCH_engine.json` with the
-//! numbers the perf trajectory tracks:
+//! Runs the full Frugal engine on deterministic workloads and writes
+//! `BENCH_engine.json` with the numbers the perf trajectory tracks. Two
+//! profiles are measured per invocation:
+//!
+//! * `2gpu` — the historical smoke workload (2 GPUs, 10k keys, Zipf 0.9,
+//!   batch 256), keeping the trajectory comparable across the repo's life;
+//! * `8gpu` — the paper's commodity testbed width (8 GPUs, 40k keys,
+//!   batch 1024, 4 flushers), the configuration the scaling work is gated
+//!   on. Its step count defaults to half the 2-GPU count (the cohort is
+//!   4× wider, so wall-clock per step grows on small hosts) and can be
+//!   pinned with `FRUGAL_SMOKE_STEPS_8GPU`.
+//!
+//! Each profile records:
 //!
 //! * `steps_per_sec` — wall-clock engine steps per second (best of
 //!   `FRUGAL_SMOKE_REPEATS` runs, to cut scheduler noise),
@@ -16,8 +26,8 @@
 //! The `fifo_*` fields record the arrival-order flush ablation on the
 //! same workload; the perf gate reports them but never gates on them.
 //!
-//! After the timed repeats, one additional run executes with full
-//! telemetry attached and emits the critical-path **phase ledger**: a
+//! After the timed repeats, one additional run per profile executes with
+//! full telemetry attached and emits the critical-path **phase ledger**: a
 //! `"phases"` object with per-step mean/p50/p95/p99/max nanoseconds for
 //! every engine phase (sample → leader_apply on trainers, dequeue/apply on
 //! flushers). `ci/perf_gate.py` uses it to attribute a throughput or
@@ -25,24 +35,44 @@
 //! records that run's throughput so the profiling overhead itself is
 //! visible (it must stay within a few percent of `steps_per_sec`).
 //!
+//! A `gentry_mem` block records the compact g-entry store's resident
+//! bytes per key at `FRUGAL_SMOKE_MEM_KEYS` keys (default 1M; the
+//! DESIGN.md §14 numbers were produced with 1M/10M/100M) — the CriteoTB
+//! feasibility measurement behind the < 32 bytes/key acceptance bound.
+//!
 //! Environment knobs: `FRUGAL_SMOKE_STEPS` (default 200),
-//! `FRUGAL_SMOKE_REPEATS` (default 3), `FRUGAL_SMOKE_OUT` (default
-//! `BENCH_engine.json`), `FRUGAL_SMOKE_BASELINE` (path to a previous
-//! output whose `current` block is embedded as `baseline` for
-//! side-by-side comparison), `FRUGAL_SMOKE_TRACE` (path to write the
-//! profiled run's Chrome trace — open in `chrome://tracing` or Perfetto
-//! to see the cross-thread unblock arrows).
+//! `FRUGAL_SMOKE_STEPS_8GPU` (default half of `FRUGAL_SMOKE_STEPS`),
+//! `FRUGAL_SMOKE_REPEATS` (default 3), `FRUGAL_SMOKE_MEM_KEYS` (default
+//! 1e6), `FRUGAL_SMOKE_OUT` (default `BENCH_engine.json`),
+//! `FRUGAL_SMOKE_BASELINE` (path to a previous output whose `current`
+//! blocks are embedded as `baseline` for side-by-side comparison; flat
+//! files predating the multi-profile schema are read as a bare `2gpu`
+//! profile), `FRUGAL_SMOKE_TRACE` (path to write the 2-GPU profiled run's
+//! Chrome trace — open in `chrome://tracing` or Perfetto to see the
+//! cross-thread unblock arrows).
 
-use frugal_core::{FrugalConfig, FrugalEngine, PullToTarget};
+use frugal_core::{FrugalConfig, FrugalEngine, GEntryStore, PullToTarget};
 use frugal_data::{KeyDistribution, SyntheticTrace};
+use frugal_pq::TwoLevelPq;
 use frugal_telemetry::{LedgerPhase, Telemetry};
+use std::sync::Arc;
 use std::time::Instant;
 
-const N_KEYS: u64 = 10_000;
-const BATCH: usize = 256;
-const N_GPUS: usize = 2;
 const DIM: usize = 32;
 const SEED: u64 = 7;
+
+/// One smoke workload configuration.
+#[derive(Debug, Clone, Copy)]
+struct Profile {
+    name: &'static str,
+    n_gpus: usize,
+    n_keys: u64,
+    batch: usize,
+    flush_threads: usize,
+    steps: u64,
+    /// Whether this profile's instrumented run exports the Chrome trace.
+    trace: bool,
+}
 
 #[derive(Debug, Clone, Copy)]
 struct SmokeNumbers {
@@ -75,38 +105,48 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn smoke_cfg(steps: u64) -> FrugalConfig {
-    let mut cfg = FrugalConfig::commodity(N_GPUS, steps);
-    cfg.flush_threads = 2;
+fn smoke_cfg(p: &Profile) -> FrugalConfig {
+    let mut cfg = FrugalConfig::commodity(p.n_gpus, p.steps);
+    cfg.flush_threads = p.flush_threads;
     cfg.seed = SEED;
     cfg
 }
 
-fn run_once(steps: u64) -> SmokeNumbers {
-    let trace = SyntheticTrace::new(N_KEYS, KeyDistribution::Zipf(0.9), BATCH, N_GPUS, SEED)
-        .expect("valid trace");
+fn make_trace(p: &Profile) -> SyntheticTrace {
+    SyntheticTrace::new(
+        p.n_keys,
+        KeyDistribution::Zipf(0.9),
+        p.batch,
+        p.n_gpus,
+        SEED,
+    )
+    .expect("valid trace")
+}
+
+fn run_once(p: &Profile) -> SmokeNumbers {
+    let trace = make_trace(p);
     let model = PullToTarget::new(DIM, SEED);
-    let engine = FrugalEngine::new(smoke_cfg(steps), N_KEYS, DIM);
+    let engine = FrugalEngine::new(smoke_cfg(p), p.n_keys, DIM);
     let t0 = Instant::now();
     let report = engine.run(&trace, &model);
     let wall = t0.elapsed().as_secs_f64();
-    assert_eq!(report.stats.len(), steps as usize);
+    assert_eq!(report.stats.len(), p.steps as usize);
     assert_eq!(report.violations, 0);
 
     // The arrival-order ablation on the same workload, timed once per run:
     // informational trajectory numbers (never gated).
-    let fifo_engine = FrugalEngine::new(smoke_cfg(steps).fifo(), N_KEYS, DIM);
+    let fifo_engine = FrugalEngine::new(smoke_cfg(p).fifo(), p.n_keys, DIM);
     let t1 = Instant::now();
     let fifo_report = fifo_engine.run(&trace, &model);
     let fifo_wall = t1.elapsed().as_secs_f64();
-    assert_eq!(fifo_report.stats.len(), steps as usize);
+    assert_eq!(fifo_report.stats.len(), p.steps as usize);
 
     SmokeNumbers {
-        steps_per_sec: steps as f64 / wall.max(1e-9),
+        steps_per_sec: p.steps as f64 / wall.max(1e-9),
         mean_gentry_ns: report.mean_gentry_update.as_nanos(),
         p95_stall_ns: report.stats.stall_percentile(0.95).as_nanos(),
         flush_apply_ns_row: report.mean_flush_apply_ns_row(),
-        fifo_steps_per_sec: steps as f64 / fifo_wall.max(1e-9),
+        fifo_steps_per_sec: p.steps as f64 / fifo_wall.max(1e-9),
         fifo_p95_stall_ns: fifo_report.stats.stall_percentile(0.95).as_nanos(),
     }
 }
@@ -115,18 +155,17 @@ fn run_once(steps: u64) -> SmokeNumbers {
 /// `FRUGAL_SMOKE_TRACE` is set) a Chrome trace with unblock flow arrows.
 /// Kept separate from the timed repeats so profiling cost never taints
 /// the gated `steps_per_sec`.
-fn run_profiled_once(steps: u64) -> (f64, Telemetry) {
+fn run_profiled_once(p: &Profile) -> (f64, Telemetry) {
     let telemetry = Telemetry::new();
-    let trace = SyntheticTrace::new(N_KEYS, KeyDistribution::Zipf(0.9), BATCH, N_GPUS, SEED)
-        .expect("valid trace");
+    let trace = make_trace(p);
     let model = PullToTarget::new(DIM, SEED);
-    let cfg = smoke_cfg(steps).with_telemetry(telemetry.clone());
-    let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
+    let cfg = smoke_cfg(p).with_telemetry(telemetry.clone());
+    let engine = FrugalEngine::new(cfg, p.n_keys, DIM);
     let t0 = Instant::now();
     let report = engine.run(&trace, &model);
     let wall = t0.elapsed().as_secs_f64();
-    assert_eq!(report.stats.len(), steps as usize);
-    (steps as f64 / wall.max(1e-9), telemetry)
+    assert_eq!(report.stats.len(), p.steps as usize);
+    (p.steps as f64 / wall.max(1e-9), telemetry)
 }
 
 /// Best of `repeats` instrumented runs — the *same* sample count as the
@@ -134,22 +173,24 @@ fn run_profiled_once(steps: u64) -> (f64, Telemetry) {
 /// reflects profiling overhead rather than best-of-N sampling bias or
 /// scheduler noise. The kept run's ledger and Chrome trace are the ones
 /// exported.
-fn run_profiled(steps: u64, repeats: u64) -> (f64, Vec<PhaseRow>) {
-    let mut best = run_profiled_once(steps);
+fn run_profiled(p: &Profile, repeats: u64) -> (f64, Vec<PhaseRow>) {
+    let mut best = run_profiled_once(p);
     for _ in 1..repeats {
-        let next = run_profiled_once(steps);
+        let next = run_profiled_once(p);
         if next.0 > best.0 {
             best = next;
         }
     }
     let (sps, telemetry) = best;
 
-    if let Ok(path) = std::env::var("FRUGAL_SMOKE_TRACE") {
-        if !path.is_empty() {
-            match telemetry.write_chrome_trace(&path) {
-                Ok(true) => eprintln!("wrote chrome trace: {path}"),
-                Ok(false) => eprintln!("chrome trace skipped (telemetry off)"),
-                Err(e) => eprintln!("chrome trace write failed: {e}"),
+    if p.trace {
+        if let Ok(path) = std::env::var("FRUGAL_SMOKE_TRACE") {
+            if !path.is_empty() {
+                match telemetry.write_chrome_trace(&path) {
+                    Ok(true) => eprintln!("wrote chrome trace: {path}"),
+                    Ok(false) => eprintln!("chrome trace skipped (telemetry off)"),
+                    Err(e) => eprintln!("chrome trace write failed: {e}"),
+                }
             }
         }
     }
@@ -171,9 +212,45 @@ fn run_profiled(steps: u64, repeats: u64) -> (f64, Vec<PhaseRow>) {
     (sps, rows)
 }
 
+/// The g-entry memory probe: builds a store shaped like a mid-training
+/// lookahead window over `keys` keys — every key carries a registered
+/// read, one in 64 also carries a pending write (sharing one gradient
+/// allocation, so the measurement isolates store metadata) — and reports
+/// the analytic resident bytes plus a best-effort process-RSS delta.
+fn gentry_mem_probe(keys: u64) -> (usize, f64, i64) {
+    let rss_before = proc_rss_bytes();
+    let store = GEntryStore::new();
+    // max_step bounds PQ allocation, not the probe; reads spread over a
+    // lookahead-sized step window like the engine produces.
+    let pq = TwoLevelPq::new(1024);
+    let grad: Arc<[f32]> = vec![0.0f32; DIM].into();
+    for k in 0..keys {
+        store.add_read(k, k % 11, &pq);
+        if k % 64 == 0 {
+            store.add_write(k, k % 11, Arc::clone(&grad), &pq);
+        }
+    }
+    let resident = store.resident_bytes();
+    let rss_delta = proc_rss_bytes() - rss_before;
+    assert_eq!(store.len(), keys as usize);
+    (resident, resident as f64 / keys as f64, rss_delta)
+}
+
+/// Resident set size in bytes from `/proc/self/statm` (0 where absent).
+fn proc_rss_bytes() -> i64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| {
+            let pages: i64 = s.split_whitespace().nth(1)?.parse().ok()?;
+            Some(pages * 4096)
+        })
+        .unwrap_or(0)
+}
+
 /// Extracts `"field": <number>` from the `"current"` object of a previous
 /// smoke output (the files are flat and machine-written; a full JSON parser
-/// is not warranted for a handful of known keys).
+/// is not warranted for a handful of known keys). `json` is one profile's
+/// slice (see [`extract_profile`]).
 fn extract_number(json: &str, field: &str) -> Option<f64> {
     let cur = json.find("\"current\"")?;
     let tail = &json[cur..];
@@ -197,21 +274,47 @@ fn extract_phases(json: &str) -> Option<String> {
     let tail = &json[cur..];
     let pos = tail.find("\"phases\"")?;
     let rest = &tail[pos..];
-    let open = rest.find('{')?;
+    balanced_object(rest)
+}
+
+/// The `{ ... }` object starting at the first `{` of `s`, braces balanced.
+fn balanced_object(s: &str) -> Option<String> {
+    let open = s.find('{')?;
     let mut depth = 0usize;
-    for (i, c) in rest[open..].char_indices() {
+    for (i, c) in s[open..].char_indices() {
         match c {
             '{' => depth += 1,
             '}' => {
                 depth -= 1;
                 if depth == 0 {
-                    return Some(rest[open..=open + i].to_string());
+                    return Some(s[open..=open + i].to_string());
                 }
             }
             _ => {}
         }
     }
     None
+}
+
+/// Slices one profile's object out of a previous smoke output.
+///
+/// Multi-profile files carry `"profiles": {"2gpu": {...}, "8gpu": {...}}`;
+/// the named object is returned verbatim. Files written before the
+/// multi-profile schema are flat — their whole document *is* the 2-GPU
+/// profile, so they are returned whole for `"2gpu"` and absent for any
+/// other name. Either way the result is fed to [`extract_number`] /
+/// [`extract_phases`], which scan for the `"current"` block inside.
+fn extract_profile(json: &str, name: &str) -> Option<String> {
+    match json.find("\"profiles\"") {
+        Some(pos) => {
+            let tail = &json[pos..];
+            let profiles = balanced_object(tail)?;
+            let ppos = profiles.find(&format!("\"{name}\""))?;
+            balanced_object(&profiles[ppos..])
+        }
+        None if name == "2gpu" => Some(json.to_string()),
+        None => None,
+    }
 }
 
 fn phases_json(rows: &[PhaseRow], indent: &str) -> String {
@@ -238,9 +341,9 @@ fn phases_json(rows: &[PhaseRow], indent: &str) -> String {
 /// this run's ledger or copied verbatim from a baseline file); scalar
 /// fields stay first so the flat `extract_number` parser keeps working on
 /// both old and new files.
-fn block(n: &SmokeNumbers, profiled_steps_per_sec: f64, phases: Option<&str>) -> String {
+fn block(n: &SmokeNumbers, profiled_steps_per_sec: f64, phases: Option<&str>, ind: &str) -> String {
     let mut s = format!(
-        "{{\n    \"steps_per_sec\": {:.2},\n    \"mean_gentry_ns\": {},\n    \"p95_stall_ns\": {},\n    \"flush_apply_ns_row\": {:.2},\n    \"fifo_steps_per_sec\": {:.2},\n    \"fifo_p95_stall_ns\": {},\n    \"profiled_steps_per_sec\": {:.2}",
+        "{{\n{ind}  \"steps_per_sec\": {:.2},\n{ind}  \"mean_gentry_ns\": {},\n{ind}  \"p95_stall_ns\": {},\n{ind}  \"flush_apply_ns_row\": {:.2},\n{ind}  \"fifo_steps_per_sec\": {:.2},\n{ind}  \"fifo_p95_stall_ns\": {},\n{ind}  \"profiled_steps_per_sec\": {:.2}",
         n.steps_per_sec,
         n.mean_gentry_ns,
         n.p95_stall_ns,
@@ -250,27 +353,32 @@ fn block(n: &SmokeNumbers, profiled_steps_per_sec: f64, phases: Option<&str>) ->
         profiled_steps_per_sec
     );
     if let Some(p) = phases {
-        s.push_str(",\n    \"phases\": ");
+        s.push_str(&format!(",\n{ind}  \"phases\": "));
         s.push_str(p);
     }
-    s.push_str("\n  }");
+    s.push_str(&format!("\n{ind}}}"));
     s
 }
 
-fn main() {
-    let steps = env_u64("FRUGAL_SMOKE_STEPS", 200);
-    let repeats = env_u64("FRUGAL_SMOKE_REPEATS", 3).max(1);
-    let out_path =
-        std::env::var("FRUGAL_SMOKE_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
-
+/// Measures one profile end to end and renders its JSON object (workload,
+/// optional baseline block sliced from `baseline_json`, current block).
+fn measure_profile(p: &Profile, repeats: u64, baseline_json: Option<&str>) -> String {
+    eprintln!(
+        "profile {}: {} gpus, {} keys, batch {}, {} steps",
+        p.name, p.n_gpus, p.n_keys, p.batch, p.steps
+    );
     // Warmup run (page-faults the store, primes the allocator), then take
     // the best of `repeats` measured runs.
-    let _ = run_once(steps.min(20));
+    let warmup = Profile {
+        steps: p.steps.min(20),
+        ..*p
+    };
+    let _ = run_once(&warmup);
     let mut best: Option<SmokeNumbers> = None;
     for i in 0..repeats {
-        let n = run_once(steps);
+        let n = run_once(p);
         eprintln!(
-            "run {}/{}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, fifo {:.1} steps/s",
+            "  run {}/{}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, fifo {:.1} steps/s",
             i + 1,
             repeats,
             n.steps_per_sec,
@@ -288,23 +396,21 @@ fn main() {
 
     // The instrumented run, after the timed repeats so its overhead cannot
     // taint them.
-    let (profiled_sps, phase_rows) = run_profiled(steps, repeats);
+    let (profiled_sps, phase_rows) = run_profiled(p, repeats);
     eprintln!(
-        "profiled run: {:.1} steps/s ({:+.1}% vs best untimed)",
+        "  profiled run: {:.1} steps/s ({:+.1}% vs best untimed)",
         profiled_sps,
         (profiled_sps / current.steps_per_sec - 1.0) * 100.0
     );
     for r in &phase_rows {
         eprintln!(
-            "  phase {:>14}: mean {:>9} ns  p50 {:>9}  p95 {:>9}  p99 {:>9}  max {:>10}",
+            "    phase {:>14}: mean {:>9} ns  p50 {:>9}  p95 {:>9}  p99 {:>9}  max {:>10}",
             r.name, r.mean_ns, r.p50_ns, r.p95_ns, r.p99_ns, r.max_ns
         );
     }
 
-    let baseline_json = std::env::var("FRUGAL_SMOKE_BASELINE")
-        .ok()
-        .and_then(|p| std::fs::read_to_string(p).ok());
-    let baseline = baseline_json.as_ref().and_then(|json| {
+    let profile_baseline = baseline_json.and_then(|j| extract_profile(j, p.name));
+    let baseline = profile_baseline.as_ref().and_then(|json| {
         Some(SmokeNumbers {
             steps_per_sec: extract_number(json, "steps_per_sec")?,
             mean_gentry_ns: extract_number(json, "mean_gentry_ns")? as u64,
@@ -316,40 +422,93 @@ fn main() {
             fifo_p95_stall_ns: extract_number(json, "fifo_p95_stall_ns").unwrap_or(0.0) as u64,
         })
     });
-    let baseline_profiled = baseline_json
+    let baseline_profiled = profile_baseline
         .as_ref()
         .and_then(|json| extract_number(json, "profiled_steps_per_sec"))
         .unwrap_or(0.0);
-    let baseline_phases = baseline_json.as_ref().and_then(|json| extract_phases(json));
+    let baseline_phases = profile_baseline.as_ref().and_then(|j| extract_phases(j));
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"bench\": \"engine_smoke\",\n  \"workload\": {{\n    \"n_gpus\": {N_GPUS},\n    \"zipf\": 0.9,\n    \"steps\": {steps},\n    \"n_keys\": {N_KEYS},\n    \"batch\": {BATCH},\n    \"seed\": {SEED}\n  }},\n"
-    ));
+    let mut s = format!(
+        "{{\n      \"workload\": {{\n        \"n_gpus\": {},\n        \"zipf\": 0.9,\n        \"steps\": {},\n        \"n_keys\": {},\n        \"batch\": {},\n        \"flush_threads\": {},\n        \"seed\": {SEED}\n      }},\n",
+        p.n_gpus, p.steps, p.n_keys, p.batch, p.flush_threads
+    );
     if let Some(b) = &baseline {
-        json.push_str(&format!(
-            "  \"baseline\": {},\n",
-            block(b, baseline_profiled, baseline_phases.as_deref())
+        s.push_str(&format!(
+            "      \"baseline\": {},\n",
+            block(b, baseline_profiled, baseline_phases.as_deref(), "      ")
         ));
+        println!(
+            "{} baseline: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row",
+            p.name, b.steps_per_sec, b.mean_gentry_ns, b.p95_stall_ns, b.flush_apply_ns_row
+        );
     }
-    let cur_phases = phases_json(&phase_rows, "    ");
-    json.push_str(&format!(
-        "  \"current\": {}\n}}\n",
-        block(&current, profiled_sps, Some(&cur_phases))
+    let cur_phases = phases_json(&phase_rows, "        ");
+    s.push_str(&format!(
+        "      \"current\": {}\n    }}",
+        block(&current, profiled_sps, Some(&cur_phases), "      ")
     ));
-    std::fs::write(&out_path, &json).expect("write smoke output");
     println!(
-        "wrote {out_path}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, fifo {:.1} steps/s",
+        "{} current: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, fifo {:.1} steps/s",
+        p.name,
         current.steps_per_sec,
         current.mean_gentry_ns,
         current.p95_stall_ns,
         current.flush_apply_ns_row,
         current.fifo_steps_per_sec
     );
-    if let Some(b) = baseline {
-        println!(
-            "baseline: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row",
-            b.steps_per_sec, b.mean_gentry_ns, b.p95_stall_ns, b.flush_apply_ns_row
-        );
+    s
+}
+
+fn main() {
+    let steps = env_u64("FRUGAL_SMOKE_STEPS", 200);
+    let repeats = env_u64("FRUGAL_SMOKE_REPEATS", 3).max(1);
+    let mem_keys = env_u64("FRUGAL_SMOKE_MEM_KEYS", 1_000_000).max(1);
+    let out_path =
+        std::env::var("FRUGAL_SMOKE_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+
+    let profiles = [
+        Profile {
+            name: "2gpu",
+            n_gpus: 2,
+            n_keys: 10_000,
+            batch: 256,
+            flush_threads: 2,
+            steps,
+            trace: true,
+        },
+        Profile {
+            name: "8gpu",
+            n_gpus: 8,
+            n_keys: 40_000,
+            batch: 1_024,
+            flush_threads: 4,
+            steps: env_u64("FRUGAL_SMOKE_STEPS_8GPU", (steps / 2).max(20)),
+            trace: false,
+        },
+    ];
+
+    let baseline_json = std::env::var("FRUGAL_SMOKE_BASELINE")
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok());
+
+    let mut json = String::from("{\n  \"bench\": \"engine_smoke\",\n  \"profiles\": {\n");
+    for (i, p) in profiles.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            p.name,
+            measure_profile(p, repeats, baseline_json.as_deref()),
+            if i + 1 < profiles.len() { "," } else { "" }
+        ));
     }
+    json.push_str("  },\n");
+
+    let (resident, bytes_per_key, rss_delta) = gentry_mem_probe(mem_keys);
+    eprintln!(
+        "gentry mem probe: {mem_keys} keys, {resident} resident bytes ({bytes_per_key:.1} B/key), rss delta {rss_delta}"
+    );
+    json.push_str(&format!(
+        "  \"gentry_mem\": {{\n    \"keys\": {mem_keys},\n    \"resident_bytes\": {resident},\n    \"bytes_per_key\": {bytes_per_key:.2},\n    \"rss_delta_bytes\": {rss_delta}\n  }}\n}}\n"
+    ));
+    std::fs::write(&out_path, &json).expect("write smoke output");
+    println!("wrote {out_path}: gentry store {bytes_per_key:.1} bytes/key at {mem_keys} keys");
 }

@@ -38,6 +38,7 @@
 //! Everything strategy-specific is a [`FlushStrategy`] decision consulted
 //! at barrier granularity; the per-key hot paths are strategy-blind.
 
+mod barrier;
 mod counters;
 mod flusher;
 mod stall;
@@ -53,6 +54,7 @@ use crate::gentry::GEntryStore;
 use crate::model::EmbeddingModel;
 use crate::report::TrainReport;
 use crate::workload::Workload;
+use barrier::SpinBarrier;
 use counters::RunMetrics;
 use flusher::FlushCoord;
 use frugal_embed::{HostStore, Sharding, UpdateRule};
@@ -60,7 +62,6 @@ use frugal_pq::{PriorityQueue, TreeHeap, TwoLevelPq};
 use frugal_sim::{Nanos, RunStats};
 use frugal_telemetry::Registry;
 use std::sync::Arc;
-use std::sync::Barrier;
 use strategy::FlushStrategy;
 
 /// Shared state between trainers, the leader, and flushers for one run.
@@ -195,7 +196,9 @@ impl FrugalEngine {
             shared.pq.set_upper_bound(bound);
         }
 
-        let barrier = Barrier::new(n);
+        // Lock-free: three crossings per step make the barrier hot-path
+        // state at 8–16 trainers (see `barrier` module docs).
+        let barrier = SpinBarrier::new(n);
 
         std::thread::scope(|scope| {
             let mut flushers = Vec::new();

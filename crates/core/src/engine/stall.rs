@@ -47,6 +47,23 @@ pub(crate) fn windowed_per_row(
     est
 }
 
+/// How many flushing threads the stall model divides per-row costs by:
+/// the threads the engine actually spawns (`cfg.flush_threads`).
+///
+/// An earlier revision clamped this to `cores - n_gpus - 1` on the theory
+/// that trainers monopolize their cores. That silently priced every flush
+/// as *single-threaded* once `n_gpus + 1` reached the modeled core count —
+/// at 8 trainers on the 8-core commodity topology the model divided by 1
+/// while 4 real flushers drained the queue, quadrupling reported stalls.
+/// Core competition is not this model's job: `leader_finish` already
+/// charges an oversubscription factor of `(n + flush_threads + 2) / cores`
+/// on the whole step, so clamping here double-counted the same pressure.
+/// The count deliberately comes from the config, not the host's actual
+/// parallelism, so modeled numbers stay deterministic across machines.
+pub(crate) fn modeled_flush_threads(cfg: &crate::config::FrugalConfig) -> u64 {
+    (cfg.flush_threads as u64).max(1)
+}
+
 /// Models the stall at step `s`'s wait condition as real hardware would
 /// see it: the flushing threads must push the `blocking` rows to host
 /// memory before training may proceed. Which rows block is the strategy's
@@ -81,9 +98,7 @@ pub(crate) fn virtual_stall(
     let slowdown = crate::calibrate::host_slowdown(cfg.cost.gentry_op_reference_ns(128));
     let deq_ns = (raw_deq_ns / slowdown) as u64;
     let apply_ns = (raw_apply_ns / slowdown) as u64;
-    let cores = cfg.cost.topology().host().cpu_cores.max(1);
-    let n = cfg.n_gpus();
-    let threads = cfg.flush_threads.min(cores.saturating_sub(n + 1).max(1)) as u64;
+    let threads = modeled_flush_threads(cfg);
     let per_row_ns = if shared.pq.dequeue_serializes() {
         // Dequeues funnel through one lock: they do not parallelize.
         deq_ns + apply_ns / threads
@@ -120,5 +135,29 @@ mod tests {
     fn windowed_per_row_empty_run_is_zero() {
         let mut win = FlushWindow::default();
         assert_eq!(windowed_per_row(&mut win, 0, 0, 0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn modeled_flush_threads_survives_high_gpu_counts() {
+        use frugal_sim::{CostModel, HostSpec, Topology};
+        // 8 trainers on a modest 8-core host: the historical clamp
+        // `flush_threads.min(cores - n_gpus - 1)` evaluated to
+        // `min(4, max(8 - 9, 1)) = 1`, silently modeling the 4 real
+        // flushers as a single thread and quadrupling reported stalls.
+        let mut cfg = crate::config::FrugalConfig::commodity(8, 10);
+        let host = HostSpec {
+            cpu_cores: 8,
+            ..HostSpec::default()
+        };
+        cfg.cost = CostModel::new(Topology::commodity(8).with_host(host));
+        cfg.flush_threads = 4;
+        assert_eq!(modeled_flush_threads(&cfg), 4, "model the threads that run");
+        // 16 trainers (past the modeled core count entirely) — same story.
+        let mut cfg = crate::config::FrugalConfig::commodity(16, 10);
+        cfg.flush_threads = 6;
+        assert_eq!(modeled_flush_threads(&cfg), 6);
+        // Degenerate zero-flusher configs (write-through) still divide by 1.
+        cfg.flush_threads = 0;
+        assert_eq!(modeled_flush_threads(&cfg), 1);
     }
 }

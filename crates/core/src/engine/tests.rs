@@ -135,6 +135,37 @@ fn three_gpu_partitions_agree_with_serial() {
 }
 
 #[test]
+fn eight_gpu_partitions_agree_with_serial() {
+    // 8 GPUs — the paper's commodity testbed width, and the first width
+    // where 8 | 64 makes the g-entry shard partition (shard % 8) a strict
+    // coarsening of the cache owner partition (key % 8). Both PQs, FIFO,
+    // and write-through must stay bit-identical to the serial oracle with
+    // every trainer carrying micro-batches (8 | 32).
+    let n_keys = 200u64;
+    let t = trace(n_keys, 32, 8);
+    let model = PullToTarget::new(4, 11);
+    let p2f = FrugalEngine::new(small_cfg(8, 12), n_keys, 4);
+    p2f.run(&t, &model);
+    let mut heap_cfg = small_cfg(8, 12);
+    heap_cfg.pq = PqKind::TreeHeap;
+    let heap = FrugalEngine::new(heap_cfg, n_keys, 4);
+    heap.run(&t, &model);
+    let sync = FrugalEngine::new(small_cfg(8, 12).write_through(), n_keys, 4);
+    sync.run(&t, &model);
+    let fifo = FrugalEngine::new(small_cfg(8, 12).fifo(), n_keys, 4);
+    fifo.run(&t, &model);
+    let cfg = small_cfg(8, 12);
+    let serial = crate::serial::train_serial_with(&t, &model, 12, cfg.lr, cfg.seed, cfg.optimizer);
+    for key in 0..n_keys {
+        let want = serial.store.row_vec(key);
+        assert_eq!(p2f.store().row_vec(key), want, "p2f key {key}");
+        assert_eq!(heap.store().row_vec(key), want, "treeheap key {key}");
+        assert_eq!(sync.store().row_vec(key), want, "write-through key {key}");
+        assert_eq!(fifo.store().row_vec(key), want, "fifo key {key}");
+    }
+}
+
+#[test]
 fn adagrad_multi_flusher_partitions_agree_with_serial() {
     // The dense lock-free Adagrad state under multiple flushers: all
     // five execution strategies (P2F two-level, tree heap, write-through,

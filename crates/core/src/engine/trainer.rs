@@ -13,8 +13,10 @@ use frugal_telemetry::{
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::Instant;
+
+use super::barrier::SpinBarrier;
 
 /// A trainer's reusable hot-loop buffers: batch dedup, row staging, the
 /// gradient aggregator, and the registration-side shard buckets. Everything
@@ -233,7 +235,7 @@ pub(crate) fn register_phase(
 }
 
 /// One training process (paper §3.2): the per-GPU loop.
-pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &Barrier, g: usize) {
+pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usize) {
     let cfg = shared.cfg;
     let rec = cfg.telemetry.recorder(format!("trainer-{g}"));
     let lane = cfg.telemetry.ledger_lane(LaneKind::Trainer);

@@ -7,12 +7,39 @@
 //! * `W set` — pending `(step, Δ)` updates not yet flushed to host memory.
 //! * `priority` — Equation (1): `min(R)` while `W ≠ ∅`, else ∞.
 //!
-//! The store keeps g-entries in sharded hash maps and mirrors every
-//! priority change into the [`PriorityQueue`], preserving the paper's
+//! The store keeps g-entries in sharded open-addressing tables and mirrors
+//! every priority change into the [`PriorityQueue`], preserving the paper's
 //! insert-into-new-before-delete-from-old ordering (delegated to
 //! [`PriorityQueue::adjust`]). Only entries with pending writes live in the
 //! queue — entries with `W = ∅` have nothing to flush and, by Equation (1),
 //! priority ∞, so keeping them out changes no observable behaviour.
+//!
+//! # Compact layout (CriteoTB-scale memory)
+//!
+//! Earlier revisions kept one `BTreeSet<u64>` (R set) plus a `Vec` (W set)
+//! per key inside a `HashMap` — ~150 bytes of resident metadata per live
+//! key, which dominates host RAM at 10⁸-key tables. The store now keeps
+//! three parallel arrays per shard, 24 bytes per slot:
+//!
+//! * `keys: [u64]` — open-addressing slots (linear probing, Fibonacci
+//!   multiply-shift reduction, tombstone deletion);
+//! * `r_bits: [u64]` + `r_base: [u32]` — the R set as a 64-step bitset
+//!   window anchored at `r_base`. Lookahead reads span at most `L + 1`
+//!   consecutive steps (`L` defaults to 10), so the window almost never
+//!   overflows; reads the window cannot hold spill into a per-shard side
+//!   map that stays empty in engine use but keeps the semantics exact.
+//! * `w_idx: [u32]` — `slab index + 1` of the entry's pending-write list
+//!   (0 = none). The lists themselves live in a per-shard slab with a free
+//!   list, so a drained entry keeps its allocation for reuse.
+//!
+//! Two fields of the old layout are gone outright: the cached `priority`
+//! (always recomputable from the R/W sets under the shard lock — every
+//! mutation path kept it in sync, so recomputing is equivalent) and the
+//! `in_pq` flag (an entry is in the queue *iff* it has pending writes:
+//! enqueue happens on the ∅→W transition, dequeue claims drain W whole).
+//! Growth keeps the table load factor in `[25/32, 7/8]`, bounding resident
+//! metadata below 31 bytes per live key at any size — measured by
+//! [`GEntryStore::resident_bytes`] and recorded in DESIGN.md §14.
 
 use frugal_data::Key;
 use frugal_pq::{Priority, PriorityQueue, INFINITE};
@@ -44,35 +71,15 @@ pub enum PriorityPolicy {
     ArrivalOrder,
 }
 
-#[derive(Debug, Default)]
-struct GEntry {
-    r_set: BTreeSet<u64>,
-    w_set: PendingWrites,
-    /// Current priority; meaningful only while `in_pq`.
-    priority: Priority,
-    in_pq: bool,
-}
-
-impl GEntry {
-    fn compute_priority(&self, policy: PriorityPolicy) -> Priority {
-        if self.w_set.is_empty() {
-            INFINITE
-        } else {
-            match policy {
-                PriorityPolicy::EarliestRead => self.r_set.first().copied().unwrap_or(INFINITE),
-                // W sets grow in step order, so the first element is the
-                // earliest pending write.
-                PriorityPolicy::ArrivalOrder => self.w_set[0].0,
-            }
-        }
-    }
-
-    fn is_dead(&self) -> bool {
-        self.r_set.is_empty() && self.w_set.is_empty()
-    }
-}
-
 const SHARDS: usize = 64;
+
+/// Slot sentinel: never a real key.
+const EMPTY: u64 = u64::MAX;
+/// Slot sentinel: a deleted entry (probe chains walk past it).
+const TOMBSTONE: u64 = u64::MAX - 1;
+/// Grow when `(live + tombstones) * 8 >= capacity * 7`.
+const GROW_NUM: usize = 7;
+const GROW_DEN: usize = 8;
 
 /// Reusable scratch for the batch registration paths: the priority-queue
 /// operations one shard's batch generates, staged so the queue sees a
@@ -87,13 +94,362 @@ pub struct PqOpScratch {
     uniform: Vec<Key>,
 }
 
+/// Pending-write lists, slab-allocated per shard so `w_idx` fits in 32
+/// bits and drained lists keep their capacity for the next burst.
+#[derive(Debug, Default)]
+struct WriteSlab {
+    lists: Vec<PendingWrites>,
+    free: Vec<u32>,
+}
+
+impl WriteSlab {
+    /// Index of a fresh (empty) list.
+    fn alloc(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = self.lists.len() as u32;
+                assert!(i < u32::MAX - 1, "write slab full");
+                self.lists.push(PendingWrites::new());
+                i
+            }
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        debug_assert!(self.lists[idx as usize].is_empty());
+        self.free.push(idx);
+    }
+}
+
+/// One shard: the parallel-array table plus the write slab and the read
+/// overflow side map. All access is under the shard's mutex.
+#[derive(Debug)]
+struct Shard {
+    /// Open-addressing slots; `EMPTY` / `TOMBSTONE` sentinels.
+    keys: Box<[u64]>,
+    /// R-set bitset window: bit `i` = read at step `r_base + i`.
+    r_bits: Box<[u64]>,
+    /// Window anchors (steps fit in 32 bits — the PQ enforces it).
+    r_base: Box<[u32]>,
+    /// `slab index + 1` of the pending-write list; 0 = no pending writes.
+    w_idx: Box<[u32]>,
+    /// Live entries.
+    len: usize,
+    tombstones: usize,
+    slab: WriteSlab,
+    /// Read steps the 64-step window cannot hold (span > 64). Empty in
+    /// engine use; exists so arbitrary register/drain sequences (property
+    /// tests) keep exact `BTreeSet` semantics.
+    overflow: HashMap<Key, BTreeSet<u64>>,
+}
+
+/// Fibonacci hash: multiplies the key onto the golden ratio so sequential
+/// keys spread across the high bits the range reduction consumes.
+#[inline]
+fn mix(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            keys: vec![EMPTY; 16].into_boxed_slice(),
+            r_bits: vec![0; 16].into_boxed_slice(),
+            r_base: vec![0; 16].into_boxed_slice(),
+            w_idx: vec![0; 16].into_boxed_slice(),
+            len: 0,
+            tombstones: 0,
+            slab: WriteSlab::default(),
+            overflow: HashMap::new(),
+        }
+    }
+
+    /// Start-of-probe slot for `key` in a table of `cap` slots: multiply-
+    /// shift range reduction, so capacities need not be powers of two (the
+    /// freedom that keeps the load factor — and bytes/key — tightly
+    /// bounded across growth).
+    #[inline]
+    fn home(key: u64, cap: usize) -> usize {
+        ((mix(key) as u128 * cap as u128) >> 64) as usize
+    }
+
+    #[inline]
+    fn find(&self, key: Key) -> Option<usize> {
+        debug_assert!(key < TOMBSTONE, "key collides with slot sentinel");
+        let cap = self.keys.len();
+        let mut i = Self::home(key, cap);
+        loop {
+            match self.keys[i] {
+                EMPTY => return None,
+                k if k == key => return Some(i),
+                _ => {}
+            }
+            i += 1;
+            if i == cap {
+                i = 0;
+            }
+        }
+    }
+
+    /// Slot of `key`, inserting a fresh (empty R/W) entry if absent. May
+    /// rehash, so previously returned slot indices are invalidated.
+    fn ensure(&mut self, key: Key) -> usize {
+        debug_assert!(key < TOMBSTONE, "key collides with slot sentinel");
+        if (self.len + self.tombstones + 1) * GROW_DEN >= self.keys.len() * GROW_NUM {
+            self.grow();
+        }
+        let cap = self.keys.len();
+        let mut i = Self::home(key, cap);
+        let mut first_tomb = None;
+        loop {
+            match self.keys[i] {
+                EMPTY => {
+                    let slot = match first_tomb {
+                        Some(t) => {
+                            self.tombstones -= 1;
+                            t
+                        }
+                        None => i,
+                    };
+                    self.keys[slot] = key;
+                    self.r_bits[slot] = 0;
+                    self.r_base[slot] = 0;
+                    self.w_idx[slot] = 0;
+                    self.len += 1;
+                    return slot;
+                }
+                TOMBSTONE if first_tomb.is_none() => first_tomb = Some(i),
+                k if k == key => return i,
+                _ => {}
+            }
+            i += 1;
+            if i == cap {
+                i = 0;
+            }
+        }
+    }
+
+    /// Rehashes to a capacity targeting load factor 25/32 for the current
+    /// live count (tombstones are dropped). Together with the 7/8 grow
+    /// threshold this keeps the live load in `[25/32, 7/8]` during pure
+    /// growth — 24 bytes/slot lands between 27.4 and 30.7 bytes per key,
+    /// independent of where the key count falls relative to a power of two.
+    fn grow(&mut self) {
+        let target = (self.len + 1).max(8) * 32 / 25;
+        let new_cap = target.max(16);
+        let mut keys = vec![EMPTY; new_cap].into_boxed_slice();
+        let mut r_bits = vec![0u64; new_cap].into_boxed_slice();
+        let mut r_base = vec![0u32; new_cap].into_boxed_slice();
+        let mut w_idx = vec![0u32; new_cap].into_boxed_slice();
+        for old in 0..self.keys.len() {
+            let k = self.keys[old];
+            if k == EMPTY || k == TOMBSTONE {
+                continue;
+            }
+            let mut i = Self::home(k, new_cap);
+            while keys[i] != EMPTY {
+                i += 1;
+                if i == new_cap {
+                    i = 0;
+                }
+            }
+            keys[i] = k;
+            r_bits[i] = self.r_bits[old];
+            r_base[i] = self.r_base[old];
+            w_idx[i] = self.w_idx[old];
+        }
+        self.keys = keys;
+        self.r_bits = r_bits;
+        self.r_base = r_base;
+        self.w_idx = w_idx;
+        self.tombstones = 0;
+    }
+
+    /// Deletes the entry at `slot` (must be dead: R and W both empty).
+    fn remove(&mut self, slot: usize) {
+        debug_assert!(self.r_is_empty(slot) && self.w_idx[slot] == 0);
+        self.keys[slot] = TOMBSTONE;
+        self.len -= 1;
+        self.tombstones += 1;
+    }
+
+    // --- R set ---------------------------------------------------------
+
+    fn r_insert(&mut self, slot: usize, step: u64) {
+        debug_assert!(step < u32::MAX as u64, "step exceeds 32-bit window base");
+        let base = self.r_base[slot] as u64;
+        if self.r_bits[slot] == 0 {
+            // Window is free to re-anchor (overflow steps, if any, remain
+            // valid — membership is the union of window and overflow).
+            self.r_base[slot] = step as u32;
+            self.r_bits[slot] = 1;
+            return;
+        }
+        if step >= base && step < base + 64 {
+            self.r_bits[slot] |= 1u64 << (step - base);
+            return;
+        }
+        if step >= base + 64 {
+            // Advance the window if the steps that would slide out are all
+            // clear (lookahead registration consumes old steps as it goes,
+            // so this is the common path when a span briefly exceeds 64).
+            let shift = step - 63 - base;
+            if shift < 64 && self.r_bits[slot].trailing_zeros() as u64 >= shift {
+                self.r_bits[slot] >>= shift;
+                self.r_base[slot] = (base + shift) as u32;
+                self.r_bits[slot] |= 1u64 << 63;
+                return;
+            }
+        }
+        // Out-of-window (before the base, or blocked by live low bits):
+        // exact semantics via the side map.
+        let key = self.keys[slot];
+        self.overflow.entry(key).or_default().insert(step);
+    }
+
+    fn r_remove(&mut self, slot: usize, step: u64) {
+        let base = self.r_base[slot] as u64;
+        if step >= base && step < base + 64 {
+            self.r_bits[slot] &= !(1u64 << (step - base));
+        }
+        let key = self.keys[slot];
+        if let Some(set) = self.overflow.get_mut(&key) {
+            set.remove(&step);
+            if set.is_empty() {
+                self.overflow.remove(&key);
+            }
+        }
+    }
+
+    fn r_is_empty(&self, slot: usize) -> bool {
+        self.r_bits[slot] == 0 && !self.overflow.contains_key(&self.keys[slot])
+    }
+
+    fn r_contains(&self, slot: usize, step: u64) -> bool {
+        let base = self.r_base[slot] as u64;
+        if step >= base && step < base + 64 && self.r_bits[slot] & (1u64 << (step - base)) != 0 {
+            return true;
+        }
+        self.overflow
+            .get(&self.keys[slot])
+            .is_some_and(|s| s.contains(&step))
+    }
+
+    fn r_min(&self, slot: usize) -> Option<u64> {
+        let window = if self.r_bits[slot] == 0 {
+            None
+        } else {
+            Some(self.r_base[slot] as u64 + self.r_bits[slot].trailing_zeros() as u64)
+        };
+        let over = self
+            .overflow
+            .get(&self.keys[slot])
+            .and_then(|s| s.first().copied());
+        match (window, over) {
+            (Some(w), Some(o)) => Some(w.min(o)),
+            (w, o) => w.or(o),
+        }
+    }
+
+    // --- W set ---------------------------------------------------------
+
+    fn w_push(&mut self, slot: usize, step: u64, grad: Arc<[f32]>) {
+        let idx = match self.w_idx[slot] {
+            0 => {
+                let i = self.slab.alloc();
+                self.w_idx[slot] = i + 1;
+                i
+            }
+            i => i - 1,
+        };
+        let list = &mut self.slab.lists[idx as usize];
+        if list.capacity() == 0 {
+            // Nearly every key holds exactly one pending write between
+            // flushes; Vec's default first allocation (capacity 4, 96 B)
+            // would quadruple the dominant slab cost and push the store
+            // past its 32 bytes/key budget at scale.
+            list.reserve_exact(1);
+        }
+        list.push((step, grad));
+    }
+
+    /// Drains the W set into `out` (step order preserved) and returns how
+    /// many updates were claimed. The slab list keeps its capacity.
+    fn w_take(&mut self, slot: usize, out: &mut PendingWrites) -> usize {
+        match self.w_idx[slot] {
+            0 => 0,
+            i => {
+                let idx = i - 1;
+                let list = &mut self.slab.lists[idx as usize];
+                let n = list.len();
+                out.append(list);
+                self.w_idx[slot] = 0;
+                self.slab.release(idx);
+                n
+            }
+        }
+    }
+
+    /// First pending write's step (arrival-order priority); `None` if W=∅.
+    fn w_first_step(&self, slot: usize) -> Option<u64> {
+        match self.w_idx[slot] {
+            0 => None,
+            i => self.slab.lists[(i - 1) as usize].first().map(|&(s, _)| s),
+        }
+    }
+
+    #[inline]
+    fn has_writes(&self, slot: usize) -> bool {
+        self.w_idx[slot] != 0
+    }
+
+    /// Equation (1) under `policy`. An entry is in the queue iff `W ≠ ∅`,
+    /// and this is its authoritative queue priority while it is.
+    fn priority(&self, slot: usize, policy: PriorityPolicy) -> Priority {
+        if !self.has_writes(slot) {
+            return INFINITE;
+        }
+        match policy {
+            PriorityPolicy::EarliestRead => self.r_min(slot).unwrap_or(INFINITE),
+            // W sets grow in step order, so the first element is the
+            // earliest pending write.
+            PriorityPolicy::ArrivalOrder => self.w_first_step(slot).unwrap_or(INFINITE),
+        }
+    }
+
+    /// Resident bytes of this shard's metadata: the parallel arrays, the
+    /// slab skeleton (entry tuples, not the shared gradient payloads —
+    /// those belong to the training pipeline and are counted by its own
+    /// accounting), and the overflow side map.
+    fn resident_bytes(&self) -> usize {
+        let slots = self.keys.len() * (8 + 8 + 4 + 4);
+        let slab = self.slab.lists.capacity() * std::mem::size_of::<PendingWrites>()
+            + self
+                .slab
+                .lists
+                .iter()
+                .map(|l| l.capacity() * std::mem::size_of::<(u64, Arc<[f32]>)>())
+                .sum::<usize>()
+            + self.slab.free.capacity() * 4;
+        // BTreeSet<u64> nodes amortize to ~12 bytes/element at capacity 11,
+        // plus map entry overhead; 48/element is a conservative ceiling.
+        let overflow = self
+            .overflow
+            .values()
+            .map(|s| 64 + 48 * s.len())
+            .sum::<usize>();
+        slots + slab + overflow
+    }
+}
+
 /// The sharded g-entry store.
 ///
 /// All mutations lock exactly one shard, so the controller, trainers, and
 /// flushing threads proceed mostly independently.
 #[derive(Debug)]
 pub struct GEntryStore {
-    shards: Vec<Mutex<HashMap<Key, GEntry>>>,
+    shards: Vec<Mutex<Shard>>,
     /// Number of keys that currently have pending (unflushed) writes.
     pending_keys: AtomicUsize,
     /// How priorities derive from the R/W sets (fixed per run).
@@ -116,7 +472,7 @@ impl GEntryStore {
     /// Creates an empty store deriving priorities with `policy`.
     pub fn with_policy(policy: PriorityPolicy) -> Self {
         GEntryStore {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
             pending_keys: AtomicUsize::new(0),
             policy,
         }
@@ -127,7 +483,7 @@ impl GEntryStore {
         self.policy
     }
 
-    fn shard(&self, key: Key) -> &Mutex<HashMap<Key, GEntry>> {
+    fn shard(&self, key: Key) -> &Mutex<Shard> {
         &self.shards[Self::shard_of(key)]
     }
 
@@ -150,6 +506,15 @@ impl GEntryStore {
         self.pending_keys.load(Ordering::Acquire)
     }
 
+    /// Resident bytes of g-entry metadata across all shards: slot arrays,
+    /// write-slab skeleton, and overflow side maps. Gradient payloads
+    /// (`Arc<[f32]>` data) are shared with the cache-update path and not
+    /// counted here. This is the bytes-per-key quantity DESIGN.md §14
+    /// tracks at 1M/10M/100M keys.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().resident_bytes()).sum()
+    }
+
     /// Registers that `key` will be read at `step` (sample-queue prefetch).
     ///
     /// If the entry has pending writes and this read tightens its priority,
@@ -157,13 +522,18 @@ impl GEntryStore {
     pub fn add_read(&self, key: Key, step: u64, pq: &dyn PriorityQueue) {
         let adjusted = {
             let mut shard = self.shard(key).lock();
-            let entry = shard.entry(key).or_default();
-            entry.r_set.insert(step);
-            if entry.in_pq {
-                let new_p = entry.compute_priority(self.policy);
-                if new_p != entry.priority {
-                    pq.adjust(key, entry.priority, new_p);
-                    entry.priority = new_p;
+            let slot = shard.ensure(key);
+            let in_pq = shard.has_writes(slot);
+            let old_p = if in_pq {
+                shard.priority(slot, self.policy)
+            } else {
+                INFINITE
+            };
+            shard.r_insert(slot, step);
+            if in_pq {
+                let new_p = shard.priority(slot, self.policy);
+                if new_p != old_p {
+                    pq.adjust(key, old_p, new_p);
                     true
                 } else {
                     false
@@ -186,21 +556,23 @@ impl GEntryStore {
     /// enqueues/adjusts the entry (paper §3.3, step 3).
     pub fn add_write(&self, key: Key, step: u64, grad: Arc<[f32]>, pq: &dyn PriorityQueue) {
         let mut shard = self.shard(key).lock();
-        let entry = shard.entry(key).or_default();
-        entry.r_set.remove(&step);
-        let had_writes = !entry.w_set.is_empty();
-        entry.w_set.push((step, grad));
+        let slot = shard.ensure(key);
+        let had_writes = shard.has_writes(slot);
+        let old_p = if had_writes {
+            shard.priority(slot, self.policy)
+        } else {
+            INFINITE
+        };
+        shard.r_remove(slot, step);
+        shard.w_push(slot, step, grad);
         if !had_writes {
             self.pending_keys.fetch_add(1, Ordering::AcqRel);
         }
-        let new_p = entry.compute_priority(self.policy);
-        if !entry.in_pq {
+        let new_p = shard.priority(slot, self.policy);
+        if !had_writes {
             pq.enqueue(key, new_p);
-            entry.in_pq = true;
-            entry.priority = new_p;
-        } else if new_p != entry.priority {
-            pq.adjust(key, entry.priority, new_p);
-            entry.priority = new_p;
+        } else if new_p != old_p {
+            pq.adjust(key, old_p, new_p);
         }
     }
 
@@ -212,8 +584,8 @@ impl GEntryStore {
     ///
     /// The queue operations execute while the shard lock is still held —
     /// the same envelope the per-key path uses. Releasing the lock first
-    /// would let a concurrent mutator of the same key observe `in_pq =
-    /// true` for an entry not yet physically queued and emit an `adjust`
+    /// would let a concurrent mutator of the same key observe a queued
+    /// entry (`W ≠ ∅`) not yet physically present and emit an `adjust`
     /// whose old position does not exist.
     pub fn add_writes_batch(
         &self,
@@ -231,21 +603,25 @@ impl GEntryStore {
             let mut newly_pending = 0usize;
             while i < items.len() && Self::shard_of(items[i].0) == sid {
                 let (key, grad) = &items[i];
-                let entry = shard.entry(*key).or_default();
-                entry.r_set.remove(&step);
-                let had_writes = !entry.w_set.is_empty();
-                entry.w_set.push((step, Arc::clone(grad)));
+                let slot = shard.ensure(*key);
+                let had_writes = shard.has_writes(slot);
+                let old_p = if had_writes {
+                    shard.priority(slot, self.policy)
+                } else {
+                    INFINITE
+                };
+                shard.r_remove(slot, step);
+                shard.w_push(slot, step, Arc::clone(grad));
                 if !had_writes {
                     newly_pending += 1;
-                }
-                let new_p = entry.compute_priority(self.policy);
-                if !entry.in_pq {
-                    scratch.enqueues.push((*key, new_p));
-                    entry.in_pq = true;
-                    entry.priority = new_p;
-                } else if new_p != entry.priority {
-                    scratch.moves.push((*key, entry.priority, new_p));
-                    entry.priority = new_p;
+                    scratch
+                        .enqueues
+                        .push((*key, shard.priority(slot, self.policy)));
+                } else {
+                    let new_p = shard.priority(slot, self.policy);
+                    if new_p != old_p {
+                        scratch.moves.push((*key, old_p, new_p));
+                    }
                 }
                 i += 1;
             }
@@ -300,14 +676,16 @@ impl GEntryStore {
             scratch.moves.clear();
             while i < keys.len() && Self::shard_of(keys[i]) == sid {
                 let key = keys[i];
-                let entry = shard.entry(key).or_default();
-                entry.r_set.insert(step);
-                if entry.in_pq {
-                    let new_p = entry.compute_priority(self.policy);
-                    if new_p != entry.priority {
-                        scratch.moves.push((key, entry.priority, new_p));
-                        entry.priority = new_p;
+                let slot = shard.ensure(key);
+                if shard.has_writes(slot) {
+                    let old_p = shard.priority(slot, self.policy);
+                    shard.r_insert(slot, step);
+                    let new_p = shard.priority(slot, self.policy);
+                    if new_p != old_p {
+                        scratch.moves.push((key, old_p, new_p));
                     }
+                } else {
+                    shard.r_insert(slot, step);
                 }
                 i += 1;
             }
@@ -329,7 +707,10 @@ impl GEntryStore {
             let sid = Self::shard_of(items[i].0);
             let shard = self.shards[sid].lock();
             while i < items.len() && Self::shard_of(items[i].0) == sid {
-                if shard.get(&items[i].0).is_some_and(|e| !e.w_set.is_empty()) {
+                if shard
+                    .find(items[i].0)
+                    .is_some_and(|slot| shard.has_writes(slot))
+                {
                     blocked += 1;
                 }
                 i += 1;
@@ -351,7 +732,10 @@ impl GEntryStore {
             let sid = Self::shard_of(keys[i]);
             let shard = self.shards[sid].lock();
             while i < keys.len() && Self::shard_of(keys[i]) == sid {
-                if shard.get(&keys[i]).is_some_and(|e| !e.w_set.is_empty()) {
+                if shard
+                    .find(keys[i])
+                    .is_some_and(|slot| shard.has_writes(slot))
+                {
                     blocked += 1;
                 }
                 i += 1;
@@ -382,8 +766,8 @@ impl GEntryStore {
     /// claimed `(step, Δ)` pairs to `out` (step order preserved) and
     /// returns how many were claimed — 0 for a stale dequeue. Flushers
     /// keep one `out` scratch per thread and reuse it batch after batch,
-    /// so the claim path allocates nothing after warm-up; the entry keeps
-    /// its W-set capacity too (unless garbage-collected).
+    /// so the claim path allocates nothing after warm-up; the entry's
+    /// W-list capacity stays in the shard slab for reuse.
     pub fn take_writes_into(
         &self,
         key: Key,
@@ -398,22 +782,21 @@ impl GEntryStore {
         sched_point!("gentry.take_writes.enter");
         let claimed = {
             let mut shard = self.shard(key).lock();
-            match shard.get_mut(&key) {
+            match shard.find(key) {
                 None => 0,
-                Some(entry) => {
-                    if !entry.in_pq || entry.priority != bucket_priority || entry.w_set.is_empty() {
+                Some(slot) => {
+                    if !shard.has_writes(slot)
+                        || shard.priority(slot, self.policy) != bucket_priority
+                    {
                         // Stale dequeue (the paper's inconsistent-g-entry
                         // check): repositioned and live elsewhere in the
                         // queue, or already claimed.
                         0
                     } else {
-                        let n = entry.w_set.len();
-                        out.append(&mut entry.w_set);
-                        entry.in_pq = false;
-                        entry.priority = INFINITE;
+                        let n = shard.w_take(slot, out);
                         self.pending_keys.fetch_sub(1, Ordering::AcqRel);
-                        if entry.is_dead() {
-                            shard.remove(&key);
+                        if shard.r_is_empty(slot) {
+                            shard.remove(slot);
                         }
                         n
                     }
@@ -432,15 +815,15 @@ impl GEntryStore {
     pub fn priority_of(&self, key: Key) -> Option<Priority> {
         let shard = self.shard(key).lock();
         shard
-            .get(&key)
-            .map(|e| if e.in_pq { e.priority } else { INFINITE })
+            .find(key)
+            .map(|slot| shard.priority(slot, self.policy))
     }
 
     /// True if `key` currently has pending writes (tests and invariant
     /// checks).
     pub fn has_pending_writes(&self, key: Key) -> bool {
         let shard = self.shard(key).lock();
-        shard.get(&key).is_some_and(|e| !e.w_set.is_empty())
+        shard.find(key).is_some_and(|slot| shard.has_writes(slot))
     }
 
     /// Checks the paper's invariant (2) for `key` at `step`: it must NOT
@@ -448,15 +831,15 @@ impl GEntryStore {
     /// Returns `true` if the invariant holds.
     pub fn invariant_holds(&self, key: Key, step: u64) -> bool {
         let shard = self.shard(key).lock();
-        match shard.get(&key) {
+        match shard.find(key) {
             None => true,
-            Some(e) => e.w_set.is_empty() || !e.r_set.contains(&step),
+            Some(slot) => !shard.has_writes(slot) || !shard.r_contains(slot, step),
         }
     }
 
     /// Total number of live g-entries (tests).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().len).sum()
     }
 
     /// True if no g-entries exist.
@@ -783,6 +1166,65 @@ mod tests {
         pq.dequeue_batch(1, &mut out);
         store.take_writes(out[0].0, out[0].1).unwrap();
         assert_eq!(store.count_pending(&[3, 67, 5, 9, 99]), 2);
+    }
+
+    #[test]
+    fn read_window_slides_and_overflow_keeps_semantics() {
+        // Span > 64: the bitset window must slide when the low bits are
+        // clear and spill exactly otherwise.
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(10_000);
+        // Window anchored at 0 with a live low bit...
+        store.add_read(7, 0, &pq);
+        store.add_read(7, 63, &pq);
+        // ...so a far read cannot slide the window: it must spill.
+        store.add_read(7, 500, &pq);
+        store.add_write(7, 1, vec![1.0].into(), &pq);
+        assert_eq!(store.priority_of(7), Some(0), "min across window+overflow");
+        // Consuming step 0 frees the low bits; priority falls to 63.
+        store.add_write(7, 0, vec![1.0].into(), &pq);
+        assert_eq!(store.priority_of(7), Some(63));
+        // Consuming 63 leaves only the spilled far read.
+        store.add_write(7, 63, vec![1.0].into(), &pq);
+        assert_eq!(store.priority_of(7), Some(500));
+        // A fresh far read after the window empties re-anchors cleanly.
+        store.add_read(7, 900, &pq);
+        assert_eq!(store.priority_of(7), Some(500));
+        store.add_write(7, 500, vec![1.0].into(), &pq);
+        assert_eq!(store.priority_of(7), Some(900));
+        let p = store.priority_of(7).unwrap();
+        assert_eq!(store.take_writes(7, p).unwrap().len(), 4);
+        // The surviving far read keeps the entry alive.
+        assert_eq!(store.len(), 1);
+        assert!(store.invariant_holds(7, 500));
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn table_growth_preserves_entries_and_bounds_memory() {
+        // Thousands of same-shard keys force many growth rehashes; every
+        // entry must survive with its R/W state, and resident bytes per
+        // live key must stay under the §14 bound.
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(1_000);
+        let n = 4_000u64;
+        for i in 0..n {
+            let key = i * SHARDS as u64; // all shard 0
+            store.add_read(key, 10, &pq);
+        }
+        for i in 0..n {
+            let key = i * SHARDS as u64;
+            assert_eq!(store.priority_of(key), Some(INFINITE), "key {key}");
+            assert!(store.invariant_holds(key, 11));
+            assert!(!store.invariant_holds(key, 10) || !store.has_pending_writes(key));
+        }
+        assert_eq!(store.len(), n as usize);
+        // One shard carries all n entries; its table alone must respect
+        // the per-key byte bound (the other 63 idle shards only add their
+        // fixed 16-slot skeletons).
+        let idle = 63 * (16 * 24);
+        let per_key = (store.resident_bytes() - idle) as f64 / n as f64;
+        assert!(per_key < 32.0, "resident {per_key:.1} bytes/key");
     }
 
     #[test]

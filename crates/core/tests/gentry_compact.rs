@@ -1,0 +1,226 @@
+//! Property test: the compact g-entry representation (bitset read window +
+//! overflow side map + write slab) agrees with plain `BTreeSet`/`Vec`
+//! semantics over arbitrary register/drain sequences.
+//!
+//! The reference model is the layout the store shipped with before the
+//! compact rewrite: one `BTreeSet<u64>` R set and one `Vec<u64>` W set per
+//! key, priorities recomputed from scratch. The compact store must match
+//! it on every observable after every operation — priorities, pending
+//! counts, invariant checks, claim outcomes, and drained step sequences —
+//! including step patterns whose read span exceeds the 64-step window
+//! (forcing window slides and overflow spills the engine never triggers).
+
+use frugal_core::{GEntryStore, PriorityPolicy};
+use frugal_pq::{TwoLevelPq, INFINITE};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+const MAX_STEP: u64 = 2_000;
+
+/// The pre-rewrite semantics, kept deliberately naive.
+#[derive(Default)]
+struct ModelEntry {
+    r: BTreeSet<u64>,
+    /// Steps of pending writes, in arrival (= step) order.
+    w: Vec<u64>,
+}
+
+struct Model {
+    entries: HashMap<u64, ModelEntry>,
+    policy: PriorityPolicy,
+}
+
+impl Model {
+    fn new(policy: PriorityPolicy) -> Self {
+        Model {
+            entries: HashMap::new(),
+            policy,
+        }
+    }
+
+    fn priority(&self, key: u64) -> Option<u64> {
+        let e = self.entries.get(&key)?;
+        Some(if e.w.is_empty() {
+            INFINITE
+        } else {
+            match self.policy {
+                PriorityPolicy::EarliestRead => e.r.first().copied().unwrap_or(INFINITE),
+                PriorityPolicy::ArrivalOrder => e.w[0],
+            }
+        })
+    }
+
+    fn add_read(&mut self, key: u64, step: u64) {
+        self.entries.entry(key).or_default().r.insert(step);
+    }
+
+    fn add_write(&mut self, key: u64, step: u64) {
+        let e = self.entries.entry(key).or_default();
+        e.r.remove(&step);
+        e.w.push(step);
+    }
+
+    /// Claim with the same stale-validation rule as the store; returns the
+    /// drained write steps.
+    fn take_writes(&mut self, key: u64, bucket_priority: u64) -> Option<Vec<u64>> {
+        let p = self.priority(key)?;
+        let e = self.entries.get_mut(&key)?;
+        if e.w.is_empty() || p != bucket_priority {
+            return None;
+        }
+        let drained = std::mem::take(&mut e.w);
+        if e.r.is_empty() {
+            self.entries.remove(&key);
+        }
+        Some(drained)
+    }
+
+    fn pending_keys(&self) -> usize {
+        self.entries.values().filter(|e| !e.w.is_empty()).count()
+    }
+
+    fn invariant_holds(&self, key: u64, step: u64) -> bool {
+        match self.entries.get(&key) {
+            None => true,
+            Some(e) => e.w.is_empty() || !e.r.contains(&step),
+        }
+    }
+}
+
+/// One generated operation: `(kind, key index, step)`. A small key set
+/// (reused indices) and a wide step range maximize collisions of both.
+type Op = (u64, u64, u64);
+
+fn check_agreement(policy: PriorityPolicy, ops: &[Op]) -> Result<(), String> {
+    let store = GEntryStore::with_policy(policy);
+    let pq = TwoLevelPq::new(MAX_STEP);
+    let mut model = Model::new(policy);
+    // Keys straddle several shards and collide within shard 0 (0 and 64).
+    let keys: [u64; 8] = [0, 1, 2, 64, 65, 7, 128, 500];
+    let grad: Arc<[f32]> = vec![1.0].into();
+
+    for &(kind, key_idx, step) in ops {
+        let key = keys[(key_idx % 8) as usize];
+        let step = step % MAX_STEP;
+        match kind % 4 {
+            0 => {
+                store.add_read(key, step, &pq);
+                model.add_read(key, step);
+            }
+            1 => {
+                store.add_write(key, step, Arc::clone(&grad), &pq);
+                model.add_write(key, step);
+            }
+            2 => {
+                // Claim at the entry's current priority (a valid dequeue)
+                // or at a perturbed one (a stale dequeue) — both sides must
+                // agree on acceptance and on the drained steps.
+                let at = match store.priority_of(key) {
+                    Some(p) if !step.is_multiple_of(3) => p,
+                    _ => step,
+                };
+                let got = store.take_writes(key, at);
+                let want = model.take_writes(key, at);
+                let got_steps = got.map(|w| w.iter().map(|&(s, _)| s).collect::<Vec<_>>());
+                if got_steps != want {
+                    return Err(format!(
+                        "take_writes({key}, {at}) diverged: store {got_steps:?}, model {want:?}"
+                    ));
+                }
+            }
+            _ => {
+                if store.invariant_holds(key, step) != model.invariant_holds(key, step) {
+                    return Err(format!("invariant_holds({key}, {step}) diverged"));
+                }
+            }
+        }
+        if store.priority_of(key) != model.priority(key) {
+            return Err(format!(
+                "priority_of({key}) diverged after op ({kind}, {step}): store {:?}, model {:?}",
+                store.priority_of(key),
+                model.priority(key)
+            ));
+        }
+        if store.has_pending_writes(key)
+            != model
+                .priority(key)
+                .is_some_and(|_| model.entries.get(&key).is_some_and(|e| !e.w.is_empty()))
+        {
+            return Err(format!("has_pending_writes({key}) diverged"));
+        }
+    }
+    if store.pending_keys() != model.pending_keys() {
+        return Err(format!(
+            "pending_keys diverged: store {}, model {}",
+            store.pending_keys(),
+            model.pending_keys()
+        ));
+    }
+    if store.len() != model.entries.len() {
+        return Err(format!(
+            "len diverged: store {}, model {}",
+            store.len(),
+            model.entries.len()
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compact_store_matches_btreeset_semantics_earliest_read(
+        ops in proptest::collection::vec((0u64..4, 0u64..8, 0u64..MAX_STEP), 0..200)
+    ) {
+        if let Err(msg) = check_agreement(PriorityPolicy::EarliestRead, &ops) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn compact_store_matches_btreeset_semantics_arrival_order(
+        ops in proptest::collection::vec((0u64..4, 0u64..8, 0u64..MAX_STEP), 0..200)
+    ) {
+        if let Err(msg) = check_agreement(PriorityPolicy::ArrivalOrder, &ops) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn count_pending_matches_model(
+        ops in proptest::collection::vec((0u64..2, 0u64..8, 0u64..MAX_STEP), 0..100)
+    ) {
+        let store = GEntryStore::new();
+        let pq = TwoLevelPq::new(MAX_STEP);
+        let mut model = Model::new(PriorityPolicy::EarliestRead);
+        let keys: [u64; 8] = [0, 1, 2, 64, 65, 7, 128, 500];
+        let grad: Arc<[f32]> = vec![1.0].into();
+        for &(kind, key_idx, step) in &ops {
+            let key = keys[(key_idx % 8) as usize];
+            if kind == 0 {
+                store.add_read(key, step, &pq);
+                model.add_read(key, step);
+            } else {
+                store.add_write(key, step, Arc::clone(&grad), &pq);
+                model.add_write(key, step);
+            }
+        }
+        let probe: Vec<u64> = {
+            // Shard-grouped, as the engine's lookahead list is.
+            let mut v = keys.to_vec();
+            v.push(9_999); // absent key
+            v.sort_by_key(|&k| GEntryStore::shard_of(k));
+            v
+        };
+        let want = probe
+            .iter()
+            .filter(|k| model.entries.get(k).is_some_and(|e| !e.w.is_empty()))
+            .count() as u64;
+        prop_assert_eq!(store.count_pending(&probe), want);
+        let items: Vec<(u64, Arc<[f32]>)> =
+            probe.iter().map(|&k| (k, Arc::clone(&grad))).collect();
+        prop_assert_eq!(store.count_pending_writes(&items), want);
+    }
+}

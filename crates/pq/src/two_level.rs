@@ -18,7 +18,7 @@ use crate::queue::{PqProbes, Priority, PriorityQueue, INFINITE};
 use frugal_telemetry::Telemetry;
 #[cfg(feature = "sched")]
 use std::sync::atomic::AtomicBool;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
 /// The paper's two-level concurrent priority queue.
 ///
@@ -39,19 +39,25 @@ pub struct TwoLevelPq {
     /// `buckets[p]` for p in `0..=max_step`; `buckets[max_step+1]` is ∞.
     buckets: Vec<LockFreeSet>,
     max_step: u64,
-    /// Conservative lower bound of live finite priorities, packed with an
-    /// insert epoch: low 32 bits = bound, high 32 bits = epoch. Every
-    /// finite insert bumps the epoch, so a scanner may only *raise* the
-    /// bound if no insert landed while it was scanning — otherwise a
-    /// freshly inserted low-priority entry could be hidden from the P²F
-    /// wait condition.
-    lower_epoch: AtomicU64,
+    /// Conservative lower bound of live finite priorities.
+    ///
+    /// Inserts at or above the bound — the steady-state common case, since
+    /// the bound trails the flush frontier — validate it with a *pure
+    /// load* and touch nothing, so 8–16 registering trainers do not
+    /// invalidate each other's cache line on every enqueue. (An earlier
+    /// revision packed an insert epoch into the high bits and CAS-bumped
+    /// it on *every* finite insert, making this word a global contention
+    /// point that ledger attribution flagged first at 8 trainers.)
+    /// Inserts below the bound pull it down with a fetch-min CAS loop;
+    /// scan-raises are validated after the fact by a verification rescan
+    /// (see [`Self::raise_lower`]) instead of an optimistic epoch check.
+    lower: AtomicU64,
     /// Upper bound of live finite priorities (`current_step + L`).
     upper: AtomicU64,
     len: AtomicUsize,
     probes: PqProbes,
-    /// Test-only: reverts the scan-raise fix (epoch stamping + verification
-    /// rescan, DESIGN.md §8 race 1) so the schedule explorer can replay the
+    /// Test-only: reverts the scan-raise fix (the verification rescan,
+    /// DESIGN.md §8 race 1) so the schedule explorer can replay the
     /// historical race.
     #[cfg(feature = "sched")]
     bug_scan_raise: AtomicBool,
@@ -62,16 +68,11 @@ impl std::fmt::Debug for TwoLevelPq {
         f.debug_struct("TwoLevelPq")
             .field("max_step", &self.max_step)
             .field("len", &self.len())
-            .field(
-                "lower",
-                &(self.lower_epoch.load(Ordering::Relaxed) & LOWER_MASK),
-            )
+            .field("lower", &self.lower.load(Ordering::Relaxed))
             .field("upper", &self.upper.load(Ordering::Relaxed))
             .finish()
     }
 }
-
-const LOWER_MASK: u64 = 0xFFFF_FFFF;
 
 impl TwoLevelPq {
     /// Creates a queue accepting priorities `0..=max_step` and ∞.
@@ -81,8 +82,9 @@ impl TwoLevelPq {
     ///
     /// # Panics
     ///
-    /// Panics if `max_step >= 2^32 - 2` (the scan bound is packed into 32
-    /// bits; training runs are far shorter).
+    /// Panics if `max_step >= 2^32 - 2` (steps fit in 32 bits throughout
+    /// the engine — the g-entry store's read windows anchor on a `u32` —
+    /// and training runs are far shorter).
     pub fn new(max_step: u64) -> Self {
         assert!(max_step < u32::MAX as u64 - 1, "max_step too large");
         let n = (max_step + 2) as usize;
@@ -91,7 +93,7 @@ impl TwoLevelPq {
         TwoLevelPq {
             buckets,
             max_step,
-            lower_epoch: AtomicU64::new(0),
+            lower: AtomicU64::new(0),
             upper: AtomicU64::new(max_step),
             len: AtomicUsize::new(0),
             probes: PqProbes::default(),
@@ -100,10 +102,9 @@ impl TwoLevelPq {
         }
     }
 
-    /// Test-only: disables the epoch stamp in [`Self::note_insert`] and the
-    /// verification rescan in [`Self::raise_lower`], reproducing the
-    /// pre-fix scan-raise race (DESIGN.md §8 race 1) for replay by the
-    /// schedule explorer.
+    /// Test-only: disables the verification rescan in
+    /// [`Self::raise_lower`], reproducing the pre-fix scan-raise race
+    /// (DESIGN.md §8 race 1) for replay by the schedule explorer.
     #[cfg(feature = "sched")]
     pub fn set_bug_scan_raise(&self, on: bool) {
         self.bug_scan_raise.store(on, Ordering::SeqCst);
@@ -147,69 +148,73 @@ impl TwoLevelPq {
         }
     }
 
-    /// Records a finite insert at priority `p`: lowers the bound if needed
-    /// and always bumps the epoch so in-flight scans cannot raise the bound
-    /// past this entry.
+    /// Records a finite insert at priority `p`: pulls the bound down if the
+    /// insert landed below it, otherwise validates it with a pure load.
+    ///
+    /// The caller has already published the entry into its bucket. The
+    /// `SeqCst` fence pairs with the one in [`Self::raise_lower`]: the
+    /// inserter's order is *publish bucket → fence → load bound*, the
+    /// raiser's is *store bound → fence → rescan buckets*. In the total
+    /// fence order one of the two runs first, so either the rescan sees
+    /// the published entry (and re-lowers the bound), or this load sees
+    /// the raised bound (and, since a hidden entry means `p < to`, takes
+    /// the CAS path and re-lowers it). Without the fences both sides can
+    /// read stale values — the store-buffering anomaly — and a live entry
+    /// ends up below the bound, invisible to the P²F wait condition.
     fn note_insert(&self, p: Priority) {
         if p == INFINITE {
             return;
         }
         sched_point!("pq.note_insert");
-        let buggy = self.bug_scan_raise();
-        let mut cur = self.lower_epoch.load(Ordering::Acquire);
-        loop {
-            let lower = cur & LOWER_MASK;
-            let epoch = cur >> 32;
-            if buggy && p >= lower {
-                // Historical code: only lower the bound, never stamp the
-                // epoch — so an in-flight scan cannot tell that this
-                // insert raced it.
-                return;
-            }
-            let epoch_next = if buggy { epoch } else { epoch.wrapping_add(1) };
-            let next = (epoch_next << 32) | lower.min(p);
-            match self.lower_epoch.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+        fence(Ordering::SeqCst);
+        let mut cur = self.lower.load(Ordering::Acquire);
+        while p < cur {
+            match self
+                .lower
+                .compare_exchange_weak(cur, p, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return,
                 Err(now) => cur = now,
             }
         }
+        // p >= bound: the bound already covers this entry, and the common
+        // steady-state case (inserts land at or ahead of the flush
+        // frontier) writes nothing shared.
     }
 
-    /// Raises the lower bound from the snapshot `seen` (bound + epoch) to
-    /// `to`; gives up if any insert happened since the scan started.
+    /// Raises the lower bound from the scanned snapshot `seen` to `to`,
+    /// then *verifies* the raise with a rescan of the skipped range.
     ///
-    /// A successful raise is followed by a *verification rescan* of the
-    /// skipped range: an entry published after the caller's scan passed its
-    /// bucket but before the raise would otherwise be hidden from the P²F
-    /// wait condition. Any entry the rescan finds lowers the bound again;
-    /// entries published after the rescan are covered by their publisher's
-    /// own [`Self::note_insert`], which by then observes the raised bound.
+    /// An entry published after the caller's scan passed its bucket but
+    /// before the raise would otherwise be hidden from the P²F wait
+    /// condition. Any entry the rescan finds lowers the bound again (via
+    /// [`Self::note_insert`]); entries published after the rescan are
+    /// covered by their publisher's own `note_insert`, which — thanks to
+    /// the paired `SeqCst` fences, see there — must observe the raised
+    /// bound. The value-based CAS skips the raise when the bound moved
+    /// under the scanner (another raiser won, or an insert lowered it).
     fn raise_lower(&self, seen: u64, to: u64) {
-        let seen_lower = seen & LOWER_MASK;
-        if to <= seen_lower {
+        if to <= seen {
             return;
         }
         sched_point!("pq.raise.cas");
-        let next = (seen & !LOWER_MASK) | to.min(LOWER_MASK);
         if self
-            .lower_epoch
-            .compare_exchange(seen, next, Ordering::AcqRel, Ordering::Acquire)
+            .lower
+            .compare_exchange(seen, to, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
         {
             return;
         }
         if self.bug_scan_raise() {
-            // Historical code stopped here: no verification rescan.
+            // Historical code stopped here: no verification rescan, so an
+            // insert that raced the caller's scan stayed hidden below the
+            // freshly raised bound.
             return;
         }
+        fence(Ordering::SeqCst);
         sched_point!("pq.raise.rescan");
         let end = to.min(self.max_step);
-        for p in seen_lower..end {
+        for p in seen..end {
             if !self.buckets[p as usize].is_empty() {
                 self.note_insert(p);
                 return;
@@ -239,11 +244,10 @@ impl TwoLevelPq {
         let _t = self.probes.dequeue.timer();
         let mut taken = 0;
         let mut keys = Vec::new();
-        let seen = self.lower_epoch.load(Ordering::Acquire);
-        let seen_lower = seen & LOWER_MASK;
+        let seen = self.lower.load(Ordering::Acquire);
         let end = self.scan_end();
         let mut first_live: Option<u64> = None;
-        let mut p = seen_lower;
+        let mut p = seen;
         while p <= end && taken < max {
             sched_point!("pq.dequeue.scan");
             let bucket = &self.buckets[p as usize];
@@ -343,10 +347,10 @@ impl PriorityQueue for TwoLevelPq {
                 min = min.min(priority);
             }
             // One bound update for the whole batch: lowering to the batch
-            // minimum covers every inserted priority (bound ≤ min ≤ p), and
-            // the single epoch bump suffices — any scan-raise racing the
-            // inserts either loses the CAS to this bump or is corrected by
-            // the bound this call publishes.
+            // minimum covers every inserted priority (bound ≤ min ≤ p).
+            // A scan-raise racing the inserts is corrected either by its
+            // own verification rescan (which sees the published buckets)
+            // or by this call's fenced bound check — see `note_insert`.
             self.note_insert(min);
         })
     }
@@ -427,9 +431,9 @@ impl PriorityQueue for TwoLevelPq {
     }
 
     fn top_priority(&self) -> Priority {
-        let seen = self.lower_epoch.load(Ordering::Acquire);
+        let seen = self.lower.load(Ordering::Acquire);
         let end = self.scan_end();
-        let mut p = seen & LOWER_MASK;
+        let mut p = seen;
         while p <= end {
             sched_point!("pq.top.scan");
             if !self.buckets[p as usize].is_empty() {
@@ -447,9 +451,9 @@ impl PriorityQueue for TwoLevelPq {
         // Provenance-only read: scan the finite buckets from the lower
         // bound and name one member of the first non-empty bucket,
         // without raising the bound or disturbing entries.
-        let seen = self.lower_epoch.load(Ordering::Acquire);
+        let seen = self.lower.load(Ordering::Acquire);
         let end = self.scan_end();
-        let mut p = seen & LOWER_MASK;
+        let mut p = seen;
         while p <= end {
             if let Some(key) = self.buckets[p as usize].peek_any() {
                 return Some((key, p));

@@ -84,7 +84,9 @@ fn lfs_count_before_publish_survives_sweep() {
 // ---------------------------------------------------------------------------
 // Race: scan-raise (DESIGN.md §8 race 1). A scanner raising the lower
 // bound over a prefix it proved empty can hide an entry inserted into that
-// prefix mid-scan. Fix: epoch-stamped bound + verification rescan.
+// prefix mid-scan. Fix: a fence-paired verification rescan of the skipped
+// range after every successful raise (the insert fast path stays a pure
+// load — see `TwoLevelPq::note_insert`).
 
 fn scan_raise_scenario(buggy: bool) -> impl FnMut(&mut SimBuilder) {
     move |sim: &mut SimBuilder| {
@@ -132,11 +134,11 @@ fn scan_raise_race_is_found_and_replays() {
 }
 
 #[test]
-fn epoch_stamped_raise_survives_sweep() {
+fn rescan_verified_raise_survives_sweep() {
     let outcome = explore(&quiet(0..1024), scan_raise_scenario(false));
     assert!(
         outcome.failure.is_none(),
-        "epoch-stamped raise must be race-free: {:?}",
+        "rescan-verified raise must be race-free: {:?}",
         outcome.failure
     );
     assert_eq!(outcome.runs, 1024);

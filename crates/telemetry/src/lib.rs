@@ -519,6 +519,22 @@ mod tests {
     }
 
     #[test]
+    fn zero_ledger_capacity_is_clamped_and_summarizes() {
+        // Regression: a zero-step ledger window used to underflow in the
+        // summary's window trim (`capacity - 1` on u64, a debug-build
+        // panic). The constructor clamps to one slot and the trim
+        // saturates, so the degenerate config just keeps the newest step.
+        let tel = Telemetry::with_ledger_capacity(16, 16, 0);
+        let lane = tel.ledger_lane(LaneKind::Trainer);
+        for step in 0..5u64 {
+            lane.add(step, LedgerPhase::Compute, 100 + step);
+        }
+        let s = tel.ledger_summary().expect("enabled telemetry summarizes");
+        assert_eq!(s.window, 1);
+        assert_eq!((s.first_step, s.last_step), (4, 4));
+    }
+
+    #[test]
     fn spans_feed_histograms_and_trace() {
         let tel = Telemetry::new();
         let rec = tel.recorder("trainer-0");

@@ -86,6 +86,42 @@ fn all_engines_agree_bitwise() {
     }
 }
 
+/// The full-scale trainer cohort: 8 trainers (the paper's 8-GPU commodity
+/// testbed) over both PQs and the FIFO ablation must stay bit-identical to
+/// the serial oracle. This is the regime the compact g-entry store, the
+/// pure-load PQ bound fast path, and the spin barrier were built for;
+/// batch 48 divides evenly across 8 GPUs, so every trainer carries
+/// micro-batches every step.
+#[test]
+fn eight_trainers_agree_with_serial_bitwise() {
+    let t = trace(8);
+    let model = PullToTarget::new(DIM, 5);
+    let reference = train_serial(&t, &model, STEPS, 0.1, 42);
+    let mut runs: Vec<(String, FrugalConfig)> = Vec::new();
+    for pq in [PqKind::TwoLevel, PqKind::TreeHeap] {
+        let mut cfg = frugal_cfg(8);
+        cfg.pq = pq;
+        runs.push((format!("frugal-{pq:?}-8gpu"), cfg));
+    }
+    runs.push(("frugal-fifo-8gpu".into(), frugal_cfg(8).fifo()));
+    // Checked mode at 8 trainers: the invariant checker and the seqlock
+    // race detector must also stay silent at full width.
+    runs.push(("frugal-checked-8gpu".into(), frugal_cfg(8).checked()));
+    for (name, cfg) in runs {
+        let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
+        let report = engine.run(&t, &model);
+        assert_eq!(report.violations, 0, "{name}: invariant (2) violated");
+        assert_eq!(report.races, 0, "{name}: host-row data race detected");
+        for k in 0..N_KEYS {
+            assert_eq!(
+                engine.store().row_vec(k),
+                reference.store.row_vec(k),
+                "{name} diverged from serial at key {k}"
+            );
+        }
+    }
+}
+
 /// Checked mode observes zero invariant violations and zero seqlock races
 /// across many flush threads and trainers.
 #[test]
