@@ -5,10 +5,11 @@ Compares a freshly measured ``engine_smoke`` output against the committed
 baseline and fails (exit 1) when a gated metric regresses beyond its
 tolerance:
 
-* ``steps_per_sec`` must not drop below ``baseline * (1 - tol)``;
-* ``flush_apply_ns_row``, ``mean_gentry_ns``, and ``p95_stall_ns`` must
-  not rise above ``baseline * (1 + tol)`` (each skipped when the baseline
-  predates the metric or recorded 0).
+* ``steps_per_sec`` and ``cache_hit_ratio`` must not drop below
+  ``baseline * (1 - tol)``;
+* ``flush_apply_ns_row``, ``cache_fill_ns_row``, ``mean_gentry_ns``, and
+  ``p95_stall_ns`` must not rise above ``baseline * (1 + tol)`` (each
+  skipped when the baseline predates the metric or recorded 0).
 
 Both files may carry several workload profiles under ``"profiles"``
 (``2gpu`` — the historical smoke workload — and ``8gpu`` — the paper's
@@ -65,6 +66,12 @@ GATED = [
     ("flush_apply_ns_row", "ceil", 0.35),
     ("mean_gentry_ns", "ceil", 1.00),
     ("p95_stall_ns", "ceil", 1.00),
+    # Hit ratio is deterministic for a fixed seed+policy, so its floor is
+    # tight: a drop means a cache/sharding logic change, not noise.
+    ("cache_hit_ratio", "floor", 0.05),
+    # Fill cost is a short wall-clock measurement (hundreds of rows per
+    # run): gate collapses, not drift.
+    ("cache_fill_ns_row", "ceil", 1.00),
 ]
 
 # fifo_* track the arrival-order flush ablation, profiled_steps_per_sec the

@@ -192,6 +192,8 @@ impl BaselineEngine {
         let mut iters = Vec::with_capacity(cfg.steps as usize);
         let mut total_hits = 0u64;
         let mut total_misses = 0u64;
+        let mut total_fills = 0u64;
+        let mut total_fill_ns = 0u64;
         let mut first_loss = 0.0f32;
         let mut final_loss = 0.0f32;
         let cost = &cfg.cost;
@@ -243,8 +245,13 @@ impl BaselineEngine {
                         } else {
                             owner_misses[o] += 1;
                             if caches[o].admits(k) {
-                                let row = self.store.row_vec(k);
-                                caches[o].insert(k, row);
+                                let t_fill = std::time::Instant::now();
+                                let outcome =
+                                    caches[o].fill_into(k, |dst| self.store.read_row(k, dst));
+                                total_fill_ns += t_fill.elapsed().as_nanos() as u64;
+                                if !matches!(outcome, frugal_embed::InsertOutcome::Rejected) {
+                                    total_fills += 1;
+                                }
                             }
                         }
                     }
@@ -376,10 +383,17 @@ impl BaselineEngine {
         if let Some(reg) = cfg.telemetry.registry() {
             reg.counter("cache.hits").add(total_hits);
             reg.counter("cache.misses").add(total_misses);
+            reg.counter("cache.fills").add(total_fills);
+            reg.counter("cache.fill_ns").add(total_fill_ns);
         }
         TrainReport {
             stats,
             hit_ratio,
+            cache_fills: total_fills,
+            cache_fill_ns: total_fill_ns,
+            // Baselines have no stall to overlap; prefetch is a P²F-only
+            // mechanism.
+            cache_prefetch_fills: 0,
             mean_gentry_update: Nanos::ZERO,
             violations: 0,
             races: self.store.race_count(),

@@ -1,0 +1,67 @@
+//! The cache-policy ablation as a standalone CI artifact: policy × skew ×
+//! ratio hit-ratio grid through the full P²F engine, printed as the table
+//! EXPERIMENTS.md records and CI archives.
+//!
+//! ```sh
+//! cargo run --release --bin cache_ablation               # default scale
+//! FRUGAL_BENCH_QUICK=1 cargo run --release --bin cache_ablation
+//! ```
+//!
+//! Exits non-zero if the grid violates the ordering the policies are
+//! designed around on the skewed cells (Zipf ≥ 0.9): the Belady oracle is
+//! the per-cell upper bound, and frequency-aware admission must not lose
+//! to plain LRU (churn protection is exactly what it buys on skewed
+//! traffic). A wobble on one cell is tolerated via a small epsilon; a
+//! systematic inversion fails the job.
+
+use frugal_bench::experiments::ablation_cache_policy;
+
+/// Column order must match the table built by `ablation_cache_policy`.
+const COL_LRU: usize = 3;
+const COL_FREQ: usize = 4;
+const COL_ORACLE: usize = 5;
+
+fn parse_pct(cell: &str) -> f64 {
+    cell.trim()
+        .trim_end_matches('%')
+        .parse()
+        .expect("hit-ratio cell")
+}
+
+fn main() {
+    let scale = frugal_bench::env_scale();
+    let tables = ablation_cache_policy(&scale);
+    let mut failures = Vec::new();
+    for t in &tables {
+        println!("{t}");
+        for row in 0..t.n_rows() {
+            let dist = t.cell(row, 0).expect("dist cell");
+            let lru = parse_pct(t.cell(row, COL_LRU).expect("lru cell"));
+            let freq = parse_pct(t.cell(row, COL_FREQ).expect("freq cell"));
+            let oracle = parse_pct(t.cell(row, COL_ORACLE).expect("oracle cell"));
+            // Oracle is the upper bound everywhere; freq >= lru on the
+            // skews its admission filter targets. 0.5pp epsilon absorbs
+            // run-to-run wobble from prefetch timing.
+            let eps = 0.5;
+            if oracle + eps < lru || oracle + eps < freq {
+                failures.push(format!(
+                    "{dist} row {row}: oracle {oracle:.1}% below online policies (lru {lru:.1}%, freq {freq:.1}%)"
+                ));
+            }
+            let skewed = dist.contains("0.9");
+            if skewed && freq + eps < lru {
+                failures.push(format!(
+                    "{dist} row {row}: freq {freq:.1}% lost to lru {lru:.1}% on a skewed trace"
+                ));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("cache ablation ordering violations:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("cache ablation: policy ordering holds on all rows");
+}

@@ -21,7 +21,12 @@
 //! * `p95_stall_ns` — 95th-percentile modeled training stall,
 //! * `flush_apply_ns_row` — mean flush-apply cost per row (claim +
 //!   optimizer step + host-store write), the flush-path efficiency
-//!   metric (taken from the same best-throughput run).
+//!   metric (taken from the same best-throughput run),
+//! * `cache_hit_ratio` — aggregate GPU-cache hit ratio (gated as a floor:
+//!   a policy or sharding regression that silently craters cache locality
+//!   shows up here before it shows up in throughput),
+//! * `cache_fill_ns_row` — mean host→arena copy cost per accepted cache
+//!   fill (the zero-alloc flat-arena fill path).
 //!
 //! The `fifo_*` fields record the arrival-order flush ablation on the
 //! same workload; the perf gate reports them but never gates on them.
@@ -42,6 +47,8 @@
 //!
 //! Environment knobs: `FRUGAL_SMOKE_STEPS` (default 200),
 //! `FRUGAL_SMOKE_STEPS_8GPU` (default half of `FRUGAL_SMOKE_STEPS`),
+//! `FRUGAL_SMOKE_WARMUP` (warmup steps before the timed repeats; default
+//! full profile length — see `measure_profile`),
 //! `FRUGAL_SMOKE_REPEATS` (default 3), `FRUGAL_SMOKE_MEM_KEYS` (default
 //! 1e6), `FRUGAL_SMOKE_OUT` (default `BENCH_engine.json`),
 //! `FRUGAL_SMOKE_BASELINE` (path to a previous output whose `current`
@@ -80,6 +87,8 @@ struct SmokeNumbers {
     mean_gentry_ns: u64,
     p95_stall_ns: u64,
     flush_apply_ns_row: f64,
+    cache_hit_ratio: f64,
+    cache_fill_ns_row: f64,
     /// Arrival-order flush ablation on the same workload — recorded for
     /// the trajectory (the perf gate reports it but does not gate on it).
     fifo_steps_per_sec: f64,
@@ -146,6 +155,8 @@ fn run_once(p: &Profile) -> SmokeNumbers {
         mean_gentry_ns: report.mean_gentry_update.as_nanos(),
         p95_stall_ns: report.stats.stall_percentile(0.95).as_nanos(),
         flush_apply_ns_row: report.mean_flush_apply_ns_row(),
+        cache_hit_ratio: report.hit_ratio,
+        cache_fill_ns_row: report.mean_cache_fill_ns_row(),
         fifo_steps_per_sec: p.steps as f64 / fifo_wall.max(1e-9),
         fifo_p95_stall_ns: fifo_report.stats.stall_percentile(0.95).as_nanos(),
     }
@@ -343,11 +354,13 @@ fn phases_json(rows: &[PhaseRow], indent: &str) -> String {
 /// both old and new files.
 fn block(n: &SmokeNumbers, profiled_steps_per_sec: f64, phases: Option<&str>, ind: &str) -> String {
     let mut s = format!(
-        "{{\n{ind}  \"steps_per_sec\": {:.2},\n{ind}  \"mean_gentry_ns\": {},\n{ind}  \"p95_stall_ns\": {},\n{ind}  \"flush_apply_ns_row\": {:.2},\n{ind}  \"fifo_steps_per_sec\": {:.2},\n{ind}  \"fifo_p95_stall_ns\": {},\n{ind}  \"profiled_steps_per_sec\": {:.2}",
+        "{{\n{ind}  \"steps_per_sec\": {:.2},\n{ind}  \"mean_gentry_ns\": {},\n{ind}  \"p95_stall_ns\": {},\n{ind}  \"flush_apply_ns_row\": {:.2},\n{ind}  \"cache_hit_ratio\": {:.4},\n{ind}  \"cache_fill_ns_row\": {:.2},\n{ind}  \"fifo_steps_per_sec\": {:.2},\n{ind}  \"fifo_p95_stall_ns\": {},\n{ind}  \"profiled_steps_per_sec\": {:.2}",
         n.steps_per_sec,
         n.mean_gentry_ns,
         n.p95_stall_ns,
         n.flush_apply_ns_row,
+        n.cache_hit_ratio,
+        n.cache_fill_ns_row,
         n.fifo_steps_per_sec,
         n.fifo_p95_stall_ns,
         profiled_steps_per_sec
@@ -367,10 +380,15 @@ fn measure_profile(p: &Profile, repeats: u64, baseline_json: Option<&str>) -> St
         "profile {}: {} gpus, {} keys, batch {}, {} steps",
         p.name, p.n_gpus, p.n_keys, p.batch, p.steps
     );
-    // Warmup run (page-faults the store, primes the allocator), then take
-    // the best of `repeats` measured runs.
+    // Warmup run (page-faults the store, primes the allocator, and lets
+    // the OS scheduler settle thread placement), then take the best of
+    // `repeats` measured runs. Full-length by default: the truncated
+    // 20-step warmup left the wider profiles under-warmed, so the
+    // *profiled* run — which executes after all the timed repeats — beat
+    // the timed best by >20% (warmup bias, not profiling speedup).
+    // `FRUGAL_SMOKE_WARMUP` overrides the warmup step count.
     let warmup = Profile {
-        steps: p.steps.min(20),
+        steps: env_u64("FRUGAL_SMOKE_WARMUP", p.steps).max(1),
         ..*p
     };
     let _ = run_once(&warmup);
@@ -378,13 +396,15 @@ fn measure_profile(p: &Profile, repeats: u64, baseline_json: Option<&str>) -> St
     for i in 0..repeats {
         let n = run_once(p);
         eprintln!(
-            "  run {}/{}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, fifo {:.1} steps/s",
+            "  run {}/{}: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, hit {:.1}%, fill {:.1} ns/row, fifo {:.1} steps/s",
             i + 1,
             repeats,
             n.steps_per_sec,
             n.mean_gentry_ns,
             n.p95_stall_ns,
             n.flush_apply_ns_row,
+            n.cache_hit_ratio * 100.0,
+            n.cache_fill_ns_row,
             n.fifo_steps_per_sec
         );
         best = Some(match best {
@@ -418,6 +438,8 @@ fn measure_profile(p: &Profile, repeats: u64, baseline_json: Option<&str>) -> St
             // Optional: baselines written before these fields existed
             // compare as 0 (the perf gate skips a zero baseline).
             flush_apply_ns_row: extract_number(json, "flush_apply_ns_row").unwrap_or(0.0),
+            cache_hit_ratio: extract_number(json, "cache_hit_ratio").unwrap_or(0.0),
+            cache_fill_ns_row: extract_number(json, "cache_fill_ns_row").unwrap_or(0.0),
             fifo_steps_per_sec: extract_number(json, "fifo_steps_per_sec").unwrap_or(0.0),
             fifo_p95_stall_ns: extract_number(json, "fifo_p95_stall_ns").unwrap_or(0.0) as u64,
         })
@@ -448,12 +470,14 @@ fn measure_profile(p: &Profile, repeats: u64, baseline_json: Option<&str>) -> St
         block(&current, profiled_sps, Some(&cur_phases), "      ")
     ));
     println!(
-        "{} current: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, fifo {:.1} steps/s",
+        "{} current: {:.1} steps/s, gentry {} ns, p95 stall {} ns, flush {:.1} ns/row, hit {:.1}%, fill {:.1} ns/row, fifo {:.1} steps/s",
         p.name,
         current.steps_per_sec,
         current.mean_gentry_ns,
         current.p95_stall_ns,
         current.flush_apply_ns_row,
+        current.cache_hit_ratio * 100.0,
+        current.cache_fill_ns_row,
         current.fifo_steps_per_sec
     );
     s

@@ -5,24 +5,32 @@
 use super::Scale;
 use crate::systems::{run_system, RunOptions, System};
 use crate::table::{fmt_throughput, ExpTable};
-use frugal_baselines::{BaselineConfig, BaselineEngine};
 use frugal_core::{FrugalConfig, FrugalEngine, PullToTarget};
 use frugal_data::{KeyDistribution, SyntheticTrace};
 use frugal_embed::CachePolicy;
-use frugal_sim::Topology;
 
-/// StaticHot vs LRU cache policy: hit ratio and throughput across key
-/// skews. The paper fixes HugeCTR's (static) policy for all systems; this
-/// ablation shows what an adaptive policy changes.
+/// Cache eviction policy × key skew × cache ratio, through the full P²F
+/// engine: per-policy hit ratios for every cell of the grid. The paper
+/// fixes HugeCTR's static policy for all systems; this ablation shows how
+/// much headroom adaptive policies leave on the table, with the Belady
+/// oracle (fed perfect next-use knowledge from the lookahead ring) as the
+/// upper bound no online policy can beat.
 pub fn ablation_cache_policy(scale: &Scale) -> Vec<ExpTable> {
     let dim = 32usize;
     let model = PullToTarget::new(dim, 7);
     let mut t = ExpTable::new(
-        "Ablation: cache policy (hit ratio % / throughput)",
-        &["distribution", "StaticHot", "LRU"],
+        "Ablation: cache policy x skew x ratio (hit ratio %)",
+        &[
+            "distribution",
+            "ratio",
+            "static-hot",
+            "lru",
+            "freq",
+            "oracle",
+        ],
     );
     for dist in [
-        KeyDistribution::Uniform,
+        KeyDistribution::Zipf(0.8),
         KeyDistribution::Zipf(0.9),
         KeyDistribution::Zipf(0.99),
     ] {
@@ -34,21 +42,23 @@ pub fn ablation_cache_policy(scale: &Scale) -> Vec<ExpTable> {
             67,
         )
         .expect("valid trace");
-        let mut cells = vec![dist.label()];
-        for policy in [CachePolicy::StaticHot, CachePolicy::Lru] {
-            let mut cfg = BaselineConfig::hugectr(Topology::commodity(scale.gpus), scale.steps);
-            cfg.cache_policy = policy;
-            let engine = BaselineEngine::new(cfg, scale.micro_keys, dim);
-            let r = engine.run(&trace, &model);
-            cells.push(format!(
-                "{:.0}% / {}",
-                r.hit_ratio * 100.0,
-                fmt_throughput(r.throughput())
-            ));
+        for ratio in [0.01, 0.05, 0.10] {
+            let mut cells = vec![dist.label(), format!("{ratio:.2}")];
+            for policy in CachePolicy::ALL {
+                let mut opts = RunOptions::commodity(scale.gpus, scale.steps * 5);
+                opts.flush_threads = 4;
+                opts.cache_ratio = ratio;
+                opts.cache_policy = policy;
+                let r = run_system(System::Frugal, &opts, &trace, &model);
+                cells.push(format!("{:.1}%", r.hit_ratio * 100.0));
+            }
+            t.row(cells);
         }
-        t.row(cells);
     }
-    t.note("LRU adapts to any skew; StaticHot is deterministic and matches the paper's setup");
+    t.note(
+        "full P2F engine; oracle = Belady fed from the lookahead window (upper bound), \
+         freq = frequency-aware admission+eviction, static-hot = paper setup",
+    );
     vec![t]
 }
 
@@ -198,7 +208,7 @@ mod tests {
 
     #[test]
     fn ablations_run_at_quick_scale() {
-        assert_eq!(ablation_cache_policy(&Scale::quick())[0].n_rows(), 3);
+        assert_eq!(ablation_cache_policy(&Scale::quick())[0].n_rows(), 9);
         assert_eq!(ablation_flush_batch(&Scale::quick())[0].n_rows(), 4);
         assert_eq!(ablation_lookahead(&Scale::quick())[0].n_rows(), 5);
         assert_eq!(ablation_optimizer(&Scale::quick())[0].n_rows(), 2);

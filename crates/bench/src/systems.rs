@@ -2,6 +2,7 @@
 
 use frugal_baselines::{BaselineConfig, BaselineEngine, BaselineKind};
 use frugal_core::{EmbeddingModel, FrugalConfig, FrugalEngine, PqKind, TrainReport, Workload};
+use frugal_embed::CachePolicy;
 use frugal_sim::Topology;
 use frugal_telemetry::Telemetry;
 
@@ -73,6 +74,9 @@ pub struct RunOptions {
     pub flush_threads: usize,
     /// Priority queue implementation for Frugal.
     pub pq: PqKind,
+    /// Cache eviction policy for cache-enabled systems (Frugal variants
+    /// and the HugeCTR-style baseline).
+    pub cache_policy: CachePolicy,
     /// Sample-queue lookahead.
     pub lookahead: u64,
     /// Telemetry handle threaded into the engine; off by default so bench
@@ -91,6 +95,7 @@ impl RunOptions {
             cache_ratio: 0.05,
             flush_threads: 8,
             pq: PqKind::TwoLevel,
+            cache_policy: CachePolicy::StaticHot,
             lookahead: 10,
             telemetry: Telemetry::off(),
         }
@@ -125,6 +130,7 @@ pub fn run_system(
             cfg.flush_threads = opts.flush_threads;
             cfg.pq = opts.pq;
             cfg.lookahead = opts.lookahead;
+            cfg.cache_policy = opts.cache_policy;
             cfg.telemetry = opts.telemetry.clone();
             match system {
                 System::FrugalSync => cfg = cfg.write_through(),
@@ -143,6 +149,7 @@ pub fn run_system(
             let mut cfg = BaselineConfig::pytorch(opts.topology.clone(), opts.steps);
             cfg.kind = kind;
             cfg.cache_ratio = opts.cache_ratio;
+            cfg.cache_policy = opts.cache_policy;
             cfg.telemetry = opts.telemetry.clone();
             let engine = BaselineEngine::new(cfg, n_keys, dim);
             engine.run(workload, model)

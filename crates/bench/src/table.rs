@@ -53,6 +53,11 @@ impl ExpTable {
         self.rows.len()
     }
 
+    /// Raw cell accessor: `(row, col)` as the rendered string.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
     /// Cell accessor for tests: `(row, col)` as parsed f64 if numeric.
     pub fn cell_f64(&self, row: usize, col: usize) -> Option<f64> {
         self.rows.get(row)?.get(col)?.trim().parse().ok()

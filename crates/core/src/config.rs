@@ -216,6 +216,17 @@ impl FrugalConfig {
         self
     }
 
+    /// Selects the GPU-cache admission/eviction policy.
+    ///
+    /// [`CachePolicy::OracleBelady`] is fed by the read-registration
+    /// lookahead, so it only sees future batches under
+    /// [`FlushMode::P2f`]; under the other modes it degrades to a
+    /// never-evicting cache (safe, but pointless).
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
     /// Checks the configuration's structural invariants, returning the
     /// first violation. [`FrugalEngine::new`](crate::FrugalEngine::new)
     /// calls this and panics on `Err`; binaries call it directly to report
@@ -273,6 +284,13 @@ mod tests {
         let mut row = vec![1.0f32];
         local.update_row(0, &mut row, &[1.0]);
         assert_eq!(row, vec![0.5]);
+    }
+
+    #[test]
+    fn cache_policy_builder_sets_policy() {
+        let c = FrugalConfig::commodity(2, 10).with_cache_policy(CachePolicy::OracleBelady);
+        assert_eq!(c.cache_policy, CachePolicy::OracleBelady);
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

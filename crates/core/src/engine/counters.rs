@@ -20,6 +20,17 @@ pub(crate) struct RunMetrics {
     pub(crate) hits: Arc<Counter>,
     /// Counter `cache.misses`: unique keys read from host DRAM.
     pub(crate) misses: Arc<Counter>,
+    /// Counter `cache.fills`: rows copied host→cache on the miss path
+    /// (accepted inserts only — admission rejects don't count).
+    pub(crate) cache_fills: Arc<Counter>,
+    /// Counter `cache.fill_ns`: wall time trainers spent copying miss rows
+    /// into the cache arena (the fill-cost side of the hit-ratio coin).
+    pub(crate) cache_fill_ns: Arc<Counter>,
+    /// Counter `cache.prefetch_fills`: fills performed during the P²F
+    /// stall wait from the oracle policy's next-step plan — stall time
+    /// converted into fill time, charged to neither the modeled cache
+    /// phase nor `cache.fills`.
+    pub(crate) cache_prefetch_fills: Arc<Counter>,
     /// Counters `flusher.dequeue_total_ns` / `flusher.apply_total_ns` /
     /// `flush.rows`: measured flusher costs, split into the PQ-dequeue
     /// part (which serializes on a tree heap) and the host-apply part.
@@ -60,6 +71,9 @@ impl RunMetrics {
             violations: registry.counter("p2f.violations"),
             hits: registry.counter("cache.hits"),
             misses: registry.counter("cache.misses"),
+            cache_fills: registry.counter("cache.fills"),
+            cache_fill_ns: registry.counter("cache.fill_ns"),
+            cache_prefetch_fills: registry.counter("cache.prefetch_fills"),
             flush_dequeue_ns: registry.counter("flusher.dequeue_total_ns"),
             flush_apply_ns: registry.counter("flusher.apply_total_ns"),
             flush_rows: registry.counter("flush.rows"),

@@ -254,6 +254,9 @@ impl FrugalEngine {
         TrainReport {
             stats,
             hit_ratio,
+            cache_fills: shared.metrics.cache_fills.get(),
+            cache_fill_ns: shared.metrics.cache_fill_ns.get(),
+            cache_prefetch_fills: shared.metrics.cache_prefetch_fills.get(),
             mean_gentry_update: mean_gentry,
             violations: shared.metrics.violations.get() as usize,
             races: self.store.race_count() + shared.rule.race_count(),

@@ -47,6 +47,15 @@ pub(crate) struct StepScratch {
     /// at registration time and read back for the blocking-rows count —
     /// the cache that replaces the old re-query of `workload.keys(s + 1, g)`.
     ring: Vec<Vec<Key>>,
+    /// Owner-local keys of the lookahead step, fed to the cache policy.
+    /// Distinct from the ring: the ring partitions by *g-entry shard*
+    /// (`shard_of(key) % n`), the cache by *owner* (`key % n`) — different
+    /// partitions of the same key space.
+    cache_ahead: Vec<Key>,
+    /// Prefetch candidates for the stall-overlap fill loop.
+    prefetch: Vec<Key>,
+    /// Per-flusher "observed idle" flags for the prefetch safety protocol.
+    flusher_idle: Vec<bool>,
 }
 
 impl StepScratch {
@@ -68,6 +77,9 @@ impl StepScratch {
             // Slots for steps s..=s+L plus one of slack so a slot is never
             // rewritten before the blocking count for its step has run.
             ring: (0..lookahead + 2).map(|_| Vec::new()).collect(),
+            cache_ahead: Vec::new(),
+            prefetch: Vec::new(),
+            flusher_idle: Vec::new(),
         }
     }
 }
@@ -107,6 +119,30 @@ pub(crate) fn register_own_reads(
             scratch.ring[slot].extend_from_slice(buf);
         }
     }
+}
+
+/// Feeds the cache policy the owner-local keys of `read_step`'s batch for
+/// GPU `g` — the cache-side view of the lookahead window (skipped when the
+/// policy ignores it). Only GPU `g`'s *own* key list matters: forward pass
+/// 1 queries the local cache for `g`'s batch keys filtered to owner-local,
+/// so that is exactly the access stream the oracle must predict. (The
+/// lookahead ring is the wrong feed: it partitions by g-entry shard and
+/// mixes in other GPUs' keys.)
+pub(crate) fn feed_cache_lookahead(
+    shared: &RunShared<'_>,
+    g: usize,
+    read_step: u64,
+    own_list: &[Key],
+    scratch: &mut StepScratch,
+    cache: &mut GpuCache,
+) {
+    scratch.cache_ahead.clear();
+    for &key in own_list {
+        if shared.sharding.is_local(key, g) {
+            scratch.cache_ahead.push(key);
+        }
+    }
+    cache.prepare_step(read_step, &scratch.cache_ahead);
 }
 
 /// Every trainer's work between barriers B and C: apply the owner-routed
@@ -183,6 +219,9 @@ pub(crate) fn register_phase(
             // only.
             if work.read_step < cfg.steps {
                 register_own_reads(shared, g, work.read_step, &work.reads, scratch);
+                if cache.uses_lookahead() {
+                    feed_cache_lookahead(shared, g, work.read_step, &work.reads[g], scratch, cache);
+                }
             }
         }
         // Fresh entries (and tightened priorities) may unblock flushers'
@@ -234,6 +273,96 @@ pub(crate) fn register_phase(
     }
 }
 
+/// Converts P²F stall time into fill time (prefetch-capable policies
+/// only): while the step-`s` wait condition holds, fill the cache with the
+/// policy's step-`s+1` nominations, read *safely* from the host store.
+///
+/// Safety protocol — a host row may be read while flushers are applying
+/// other rows, but never while any flusher could still write *this* row:
+///
+/// 1. **Per-key clean check.** `priority_of(key)` must show no pending
+///    writes (`None` or `INFINITE`). During the wait no trainer is in its
+///    registration phase (every trainer sits between barrier C of `s-1`
+///    and barrier A of `s`), so no *new* writes for any key can appear
+///    until this trainer leaves the wait — the check cannot go stale.
+/// 2. **Flusher drain point.** A claim of the key's former writes
+///    published its in-flight marker before extracting them from the
+///    queue and holds it until the batch is durably applied; such claims
+///    all started before check 1 passed. Observing every flusher slot
+///    idle *at least once after* check 1 therefore proves those claims
+///    finished, and batches claimed after the observation cannot contain
+///    the key (check 1 + no new registration).
+///
+/// After both checks the key's host row — and its optimizer state, which
+/// is only updated inside the same flush apply — is stable until
+/// registration resumes, so the fill seeds the cache copy exactly like a
+/// miss-path fill would, and bit-equality with the serial oracle is
+/// preserved.
+fn prefetch_during_stall(
+    shared: &RunShared<'_>,
+    s: u64,
+    th: u64,
+    cache: &mut GpuCache,
+    cache_opt: &mut dyn frugal_tensor::RowOptimizer,
+    scratch: &mut StepScratch,
+    prefetch_fills: &mut u64,
+) {
+    use frugal_pq::INFINITE;
+    let still_blocked = || wait::blocked_at(shared.pq.as_ref(), &shared.flush.inflight, th);
+    // Nominations for the next step, minus already-cached keys (the feed
+    // is owner-local by construction — see `feed_cache_lookahead`).
+    scratch.prefetch.clear();
+    cache.prefetch_plan(s + 1, &mut scratch.prefetch);
+    let gstore = &shared.gstore;
+    scratch
+        .prefetch
+        .retain(|&k| gstore.priority_of(k).is_none_or(|p| p == INFINITE));
+    if scratch.prefetch.is_empty() {
+        return;
+    }
+    // Check 2: observe every flusher idle at least once. Flushers pass
+    // through idle between batches, so this resolves within a few batch
+    // applies; bounded so a pathological schedule cannot pin us here.
+    let inflight = &shared.flush.inflight;
+    scratch.flusher_idle.clear();
+    scratch.flusher_idle.resize(inflight.n_slots(), false);
+    let mut remaining = inflight.n_slots();
+    let mut polls = 0u32;
+    loop {
+        for (slot, seen) in scratch.flusher_idle.iter_mut().enumerate() {
+            if !*seen && inflight.is_idle(slot) {
+                *seen = true;
+                remaining -= 1;
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        polls += 1;
+        if polls > 100_000 || !still_blocked() {
+            // Stall over (or flushers mid-batch implausibly long):
+            // abandon — prefetch is purely opportunistic.
+            return;
+        }
+        std::hint::spin_loop();
+    }
+    // Both checks passed for every surviving key: fill until the wait
+    // would end, then hand the CPU back to the real step.
+    for &key in &scratch.prefetch {
+        if !still_blocked() {
+            break;
+        }
+        let store = shared.store;
+        let outcome = cache.fill_into(key, |dst| store.read_row(key, dst));
+        if !matches!(outcome, frugal_embed::InsertOutcome::Rejected) {
+            if let Some(state) = shared.rule.state_snapshot(key) {
+                cache_opt.seed_state(key, state);
+            }
+            *prefetch_fills += 1;
+        }
+    }
+}
+
 /// One training process (paper §3.2): the per-GPU loop.
 pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usize) {
     let cfg = shared.cfg;
@@ -251,6 +380,9 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
     let mut cache_opt = cfg.optimizer.build_local(cfg.lr);
     let mut hits = 0u64;
     let mut misses = 0u64;
+    let mut total_fills = 0u64;
+    let mut fill_ns = 0u64;
+    let mut prefetch_fills = 0u64;
     let batch_per_gpu = shared.workload.samples_per_step() / n as u64;
     let mut scratch = StepScratch::new(dim, cfg.lookahead, n, g);
     // Strategy decisions hoisted out of the hot loop: one virtual call
@@ -263,13 +395,20 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
     // cross-trainer ordering; each trainer only requires its *own*
     // prefetch done before its own first wait, which program order gives.
     if registers_reads {
+        let feed_cache = cache.uses_lookahead();
         for s0 in 0..cfg.lookahead.min(cfg.steps) {
             let lists: Vec<Vec<Key>> = (0..n).map(|gg| shared.workload.keys(s0, gg)).collect();
             register_own_reads(shared, g, s0, &lists, &mut scratch);
+            if feed_cache {
+                feed_cache_lookahead(shared, g, s0, &lists[g], &mut scratch, &mut cache);
+            }
         }
     }
 
     for s in 0..cfg.steps {
+        // Advance the cache policy's clock before anything observes step
+        // `s` (the oracle prunes spent plan entries here).
+        cache.begin_step(s);
         // The strategy's wait condition — P²F's `PQ.top() > s` (§3.3), or
         // FIFO's "all writes < s flushed". The physical wait enforces
         // consistency; the *reported* stall is modeled by
@@ -296,6 +435,20 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
                         Phase::P2fWait,
                         SpanArgs::two("blocking_priority", floor, "pending_keys", pending),
                     );
+                    if cache.wants_prefetch() {
+                        // Convert stall time into next-step fills (oracle
+                        // policy); falls through to the parked wait for
+                        // whatever stall remains.
+                        prefetch_during_stall(
+                            shared,
+                            s,
+                            th,
+                            &mut cache,
+                            cache_opt.as_mut(),
+                            &mut scratch,
+                            &mut prefetch_fills,
+                        );
+                    }
                     shared.flush.wait_until(|| !blocked(shared));
                     let wait_ns = span.finish();
                     if wait_ns > 0 {
@@ -368,17 +521,25 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
             }
             shared.store.read_row(key, slot);
             misses += 1;
+            // `admits` pre-gate keeps statically-rejected keys (static-hot
+            // policy, cold tail) out of the fill timing entirely.
             if shared.sharding.is_local(key, g) && cache.admits(key) {
-                cache.insert(key, slot.to_vec());
-                // Synchronize the cache-side optimizer with the host path's
-                // per-row state (safe: the wait condition guarantees this
-                // key has no in-flight updates while it is being read).
-                if let Some(state) = shared.rule.state_snapshot(key) {
-                    cache_opt.seed_state(key, state);
+                let t_fill = Instant::now();
+                let outcome = cache.insert_from_slice(key, slot);
+                fill_ns += t_fill.elapsed().as_nanos() as u64;
+                if !matches!(outcome, frugal_embed::InsertOutcome::Rejected) {
+                    // Synchronize the cache-side optimizer with the host
+                    // path's per-row state (safe: the wait condition
+                    // guarantees this key has no in-flight updates while
+                    // it is being read).
+                    if let Some(state) = shared.rule.state_snapshot(key) {
+                        cache_opt.seed_state(key, state);
+                    }
+                    fills += 1;
                 }
-                fills += 1;
             }
         }
+        total_fills += fills;
         lane.add(s, LedgerPhase::HostRead, hr_span.finish());
 
         // Scatter unique rows to per-instance rows for the model.
@@ -465,4 +626,7 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
 
     shared.metrics.hits.add(hits);
     shared.metrics.misses.add(misses);
+    shared.metrics.cache_fills.add(total_fills);
+    shared.metrics.cache_fill_ns.add(fill_ns);
+    shared.metrics.cache_prefetch_fills.add(prefetch_fills);
 }

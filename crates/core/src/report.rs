@@ -12,6 +12,17 @@ pub struct TrainReport {
     /// Aggregate GPU-cache hit ratio over all trainers. Its denominator is
     /// the `cache.hits` + `cache.misses` telemetry counters.
     pub hit_ratio: f64,
+    /// Rows copied host→cache on the miss path (accepted inserts only) —
+    /// the `cache.fills` telemetry counter.
+    pub cache_fills: u64,
+    /// Total nanoseconds trainers spent copying miss rows into the cache
+    /// arena — the `cache.fill_ns` telemetry counter.
+    pub cache_fill_ns: u64,
+    /// Fills performed during the P²F stall wait from the oracle policy's
+    /// next-step plan (stall time converted into fill time) — the
+    /// `cache.prefetch_fills` telemetry counter. Zero for policies without
+    /// prefetch.
+    pub cache_prefetch_fills: u64,
     /// Mean per-step time to register a batch's g-entry updates — the
     /// paper's Exp #4a metric, the mean of the `leader.gentry_update_ns`
     /// telemetry histogram. Zero for engines without g-entries.
@@ -67,6 +78,17 @@ impl TrainReport {
             0.0
         } else {
             self.flush_apply_ns as f64 / self.flush_rows as f64
+        }
+    }
+
+    /// Mean host→cache fill cost per row in nanoseconds — the arena-copy
+    /// efficiency metric the perf-smoke gate tracks. Zero when nothing was
+    /// filled.
+    pub fn mean_cache_fill_ns_row(&self) -> f64 {
+        if self.cache_fills == 0 {
+            0.0
+        } else {
+            self.cache_fill_ns as f64 / self.cache_fills as f64
         }
     }
 }

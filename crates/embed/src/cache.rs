@@ -2,27 +2,40 @@
 //!
 //! Every multi-GPU system in the paper "maintains multi-GPU embedding cache
 //! by caching hot entries to reduce host memory fetching" (§1). Each GPU
-//! owns one cache instance holding rows of its shard. Two admission
-//! policies:
+//! owns one cache instance holding rows of its shard.
 //!
-//! * [`CachePolicy::StaticHot`] — admit only the statically hottest keys.
-//!   The paper keeps HugeCTR's cache strategy across all systems so hit
-//!   ratios match; with Zipf-ranked key spaces the hottest keys are the
-//!   numerically smallest, which this policy encodes. Deterministic, which
-//!   the equivalence tests rely on.
-//! * [`CachePolicy::Lru`] — classic least-recently-used, as an ablation
-//!   (see the `ablation_cache_policy` bench target).
+//! The cache is split along the engine's `FlushStrategy` seam: this module
+//! owns the *mechanism* — a flat arena of `slots × dim` floats plus the
+//! key→slot map — while all *strategy* lives behind the
+//! [`EvictionPolicy`](crate::EvictionPolicy) trait in [`crate::policy`].
+//! Four policies ship ([`CachePolicy`]):
 //!
-//! Caches are owned by a single trainer thread (one per GPU), so they are
-//! plain `&mut` structures — no locking on the fast path, like a real GPU
-//! cache kernel operating on device-local memory. Recency is an intrusive
-//! doubly-linked list over a slab, so every operation (including eviction)
-//! is O(1).
+//! * [`CachePolicy::StaticHot`] — admit only the statically hottest keys,
+//!   never evict (HugeCTR's strategy, the paper's default across systems).
+//! * [`CachePolicy::Lru`] — classic least-recently-used.
+//! * [`CachePolicy::FrequencyAware`] — LRU recency + decayed per-key
+//!   frequencies; admission under pressure requires beating the victim's
+//!   frequency (Fang et al.).
+//! * [`CachePolicy::OracleBelady`] — Belady's MIN driven by the engine's
+//!   s+L lookahead feed, with admission bypass and prefetch nomination.
+//!
+//! Rows live in one contiguous `Vec<f32>` arena indexed by slot — no
+//! per-slot `Vec`, no pointer chase, and **no allocation on the
+//! fill/evict/replace paths**: [`GpuCache::fill_into`] and
+//! [`GpuCache::insert_from_slice`] copy straight into the arena (the arena
+//! itself grows amortized until the cache first reaches capacity, then
+//! never again). Caches are owned by a single trainer thread (one per
+//! GPU), so they are plain `&mut` structures — no locking on the fast
+//! path, like a real GPU cache kernel operating on device-local memory.
 
+use crate::policy::{
+    EvictionPolicy, FrequencyAwarePolicy, LruPolicy, OracleBeladyPolicy, StaticHotPolicy,
+};
 use frugal_data::Key;
 use std::collections::HashMap;
 
-/// Cache admission/eviction policy.
+/// Cache admission/eviction policy selector (see [`crate::policy`] for the
+/// behavior behind each variant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CachePolicy {
     /// Admit a key iff its *global hotness rank* is below the admission
@@ -31,19 +44,65 @@ pub enum CachePolicy {
     StaticHot,
     /// Admit everything; evict the least recently used row when full.
     Lru,
+    /// LRU victim selection gated by decayed per-key access frequencies:
+    /// a missing key displaces the LRU victim only when seen strictly more
+    /// often.
+    FrequencyAware,
+    /// Belady's MIN over the engine's lookahead window: evict the
+    /// farthest-next-use resident, bypass farthest-next-use inserts, and
+    /// nominate next-step keys for stall-overlap prefetch.
+    OracleBelady,
 }
 
-const NIL: usize = usize::MAX;
+impl CachePolicy {
+    /// All selectable policies, in ablation/display order.
+    pub const ALL: [CachePolicy; 4] = [
+        CachePolicy::StaticHot,
+        CachePolicy::Lru,
+        CachePolicy::FrequencyAware,
+        CachePolicy::OracleBelady,
+    ];
 
-#[derive(Debug, Clone)]
-struct Slot {
-    key: Key,
-    row: Vec<f32>,
-    prev: usize,
-    next: usize,
+    /// Stable command-line / report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CachePolicy::StaticHot => "static-hot",
+            CachePolicy::Lru => "lru",
+            CachePolicy::FrequencyAware => "freq",
+            CachePolicy::OracleBelady => "oracle",
+        }
+    }
+
+    fn build(&self, capacity: usize) -> Box<dyn EvictionPolicy> {
+        match self {
+            CachePolicy::StaticHot => Box::new(StaticHotPolicy::new(capacity)),
+            CachePolicy::Lru => Box::new(LruPolicy::new(capacity)),
+            CachePolicy::FrequencyAware => Box::new(FrequencyAwarePolicy::new(capacity)),
+            CachePolicy::OracleBelady => Box::new(OracleBeladyPolicy::new(capacity)),
+        }
+    }
 }
 
-/// A single GPU's embedding cache.
+impl std::str::FromStr for CachePolicy {
+    type Err = String;
+
+    /// Parses the [`CachePolicy::label`] names (plus a few aliases).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "static-hot" | "static" | "statichot" => Ok(CachePolicy::StaticHot),
+            "lru" => Ok(CachePolicy::Lru),
+            "freq" | "frequency" | "frequency-aware" => Ok(CachePolicy::FrequencyAware),
+            "oracle" | "belady" | "oracle-belady" => Ok(CachePolicy::OracleBelady),
+            other => Err(format!(
+                "unknown cache policy {other} (expected static-hot|lru|freq|oracle)"
+            )),
+        }
+    }
+}
+
+/// A single GPU's embedding cache: flat row arena + key→slot map, with the
+/// admission/eviction strategy behind an
+/// [`EvictionPolicy`](crate::EvictionPolicy).
 ///
 /// # Examples
 ///
@@ -51,29 +110,26 @@ struct Slot {
 /// use frugal_embed::{CachePolicy, GpuCache};
 ///
 /// let mut cache = GpuCache::new(2, 4, CachePolicy::Lru);
-/// cache.insert(10, vec![1.0; 4]);
-/// cache.insert(20, vec![2.0; 4]);
+/// cache.insert_from_slice(10, &[1.0; 4]);
+/// cache.insert_from_slice(20, &[2.0; 4]);
 /// cache.get(&10); // refresh 10
-/// cache.insert(30, vec![3.0; 4]); // evicts 20
+/// cache.insert_from_slice(30, &[3.0; 4]); // evicts 20
 /// assert!(cache.contains(&10) && !cache.contains(&20));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GpuCache {
     capacity: usize,
     dim: usize,
-    policy: CachePolicy,
+    kind: CachePolicy,
+    policy: Box<dyn EvictionPolicy>,
     map: HashMap<Key, usize>,
-    slots: Vec<Slot>,
-    free: Vec<usize>,
-    /// Most recently used slot (NIL when empty).
-    head: usize,
-    /// Least recently used slot (NIL when empty).
-    tail: usize,
+    /// Occupying key per slot; `keys.len() <= capacity` always (slots are
+    /// only created while below capacity, evictions reuse the victim slot).
+    keys: Vec<Key>,
+    /// The row arena: `keys.len() × dim` floats, slot-indexed.
+    rows: Vec<f32>,
     hits: u64,
     misses: u64,
-    /// For StaticHot: admit keys `< hot_threshold` (hotness = rank = key in
-    /// the Zipf-ranked traces).
-    hot_threshold: u64,
 }
 
 impl GpuCache {
@@ -88,25 +144,32 @@ impl GpuCache {
     /// Panics if `dim == 0`.
     pub fn new(capacity: usize, dim: usize, policy: CachePolicy) -> Self {
         assert!(dim > 0, "dim must be positive");
+        // Reserve a bounded prefix of the arena upfront; beyond it the
+        // arena doubles amortized until capacity, then never grows again.
+        let reserve = capacity.min(1 << 16);
         GpuCache {
             capacity,
             dim,
-            policy,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
-            slots: Vec::with_capacity(capacity.min(1 << 20)),
-            free: Vec::new(),
-            head: NIL,
-            tail: NIL,
+            kind: policy,
+            policy: policy.build(capacity),
+            // 2× so a full map stays at or below half the table's usable
+            // capacity: hashbrown then resolves evict/insert tombstone
+            // pressure by rehashing in place instead of deferring a single
+            // seed-timed resize into the steady-state fill loop (the
+            // zero-alloc guarantee cache_alloc.rs pins). Cost is 16 B per
+            // extra slot, noise next to the `dim`-float rows.
+            map: HashMap::with_capacity(capacity.saturating_mul(2).min(1 << 21)),
+            keys: Vec::with_capacity(reserve),
+            rows: Vec::with_capacity(reserve * dim),
             hits: 0,
             misses: 0,
-            hot_threshold: capacity as u64,
         }
     }
 
     /// Sets the StaticHot admission threshold: keys `< threshold` are
-    /// cacheable.
+    /// cacheable. No-op for the other policies.
     pub fn set_hot_threshold(&mut self, threshold: u64) {
-        self.hot_threshold = threshold;
+        self.policy.set_hot_threshold(threshold);
     }
 
     /// Maximum number of rows.
@@ -126,7 +189,7 @@ impl GpuCache {
 
     /// The policy in effect.
     pub fn policy(&self) -> CachePolicy {
-        self.policy
+        self.kind
     }
 
     /// `(hits, misses)` counted by [`GpuCache::get`] and
@@ -146,160 +209,162 @@ impl GpuCache {
         }
     }
 
-    fn unlink(&mut self, idx: usize) {
-        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
-        if prev != NIL {
-            self.slots[prev].next = next;
-        } else {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slots[next].prev = prev;
-        } else {
-            self.tail = prev;
-        }
-    }
-
-    fn push_front(&mut self, idx: usize) {
-        self.slots[idx].prev = NIL;
-        self.slots[idx].next = self.head;
-        if self.head != NIL {
-            self.slots[self.head].prev = idx;
-        }
-        self.head = idx;
-        if self.tail == NIL {
-            self.tail = idx;
-        }
-    }
-
-    fn touch(&mut self, idx: usize) {
-        if self.head != idx {
-            self.unlink(idx);
-            self.push_front(idx);
-        }
-    }
-
-    /// Looks up `key`, refreshing recency. Returns the cached row.
+    /// Looks up `key`, refreshing policy state. Returns the cached row.
     pub fn get(&mut self, key: &Key) -> Option<&[f32]> {
         match self.map.get(key).copied() {
-            Some(idx) => {
-                self.touch(idx);
+            Some(slot) => {
+                self.policy.on_hit(*key, slot);
                 self.hits += 1;
-                Some(self.slots[idx].row.as_slice())
+                Some(&self.rows[slot * self.dim..(slot + 1) * self.dim])
             }
             None => {
+                self.policy.on_miss(*key);
                 self.misses += 1;
                 None
             }
         }
     }
 
-    /// Looks up `key` mutably (for in-cache updates), refreshing recency.
-    /// Counts toward [`Self::stats`] exactly like [`Self::get`].
+    /// Looks up `key` mutably (for in-cache updates), refreshing policy
+    /// state. Counts toward [`Self::stats`] exactly like [`Self::get`].
     pub fn get_mut(&mut self, key: &Key) -> Option<&mut [f32]> {
         match self.map.get(key).copied() {
-            Some(idx) => {
-                self.touch(idx);
+            Some(slot) => {
+                self.policy.on_hit(*key, slot);
                 self.hits += 1;
-                Some(self.slots[idx].row.as_mut_slice())
+                Some(&mut self.rows[slot * self.dim..(slot + 1) * self.dim])
             }
             None => {
+                self.policy.on_miss(*key);
                 self.misses += 1;
                 None
             }
         }
     }
 
-    /// True if `key` is cached (does not affect recency or stats).
+    /// True if `key` is cached (does not affect policy state or stats).
     pub fn contains(&self, key: &Key) -> bool {
         self.map.contains_key(key)
     }
 
-    /// Whether this cache would admit `key` at all.
+    /// Whether this cache would admit `key` at all (occupancy aside).
     pub fn admits(&self, key: Key) -> bool {
-        match self.policy {
-            CachePolicy::StaticHot => key < self.hot_threshold,
-            CachePolicy::Lru => self.capacity > 0,
+        self.policy.admits(key)
+    }
+
+    /// Fills `key`'s row in place: allocates/steals a slot per the policy,
+    /// then hands the slot's arena storage to `fill`. The closure is *not*
+    /// called when the insert is rejected, and nothing on this path
+    /// allocates once the cache has reached capacity.
+    pub fn fill_into<F: FnOnce(&mut [f32])>(&mut self, key: Key, fill: F) -> InsertOutcome {
+        if !self.policy.admits(key) {
+            return InsertOutcome::Rejected;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            fill(&mut self.rows[slot * self.dim..(slot + 1) * self.dim]);
+            self.policy.on_replace(key, slot);
+            return InsertOutcome::Replaced;
+        }
+        let (slot, evicted) = if self.map.len() >= self.capacity {
+            let Some(victim) = self.policy.evict_candidate(key, &self.keys) else {
+                return InsertOutcome::Rejected;
+            };
+            let old_key = self.keys[victim];
+            self.map.remove(&old_key);
+            self.policy.on_evict(old_key, victim);
+            self.keys[victim] = key;
+            (victim, Some(old_key))
+        } else {
+            // Below capacity: mint a fresh slot (the only growth path).
+            let slot = self.keys.len();
+            self.keys.push(key);
+            self.rows.resize((slot + 1) * self.dim, 0.0);
+            (slot, None)
+        };
+        fill(&mut self.rows[slot * self.dim..(slot + 1) * self.dim]);
+        self.map.insert(key, slot);
+        self.policy.on_insert(key, slot);
+        match evicted {
+            Some(k) => InsertOutcome::Evicted(k),
+            None => InsertOutcome::Inserted,
         }
     }
 
-    /// Inserts `row` for `key`. See [`InsertOutcome`] for the possible
-    /// results; eviction is O(1).
+    /// Inserts `row` for `key` by copying it into the arena (no
+    /// intermediate allocation). See [`InsertOutcome`] for the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim`.
+    pub fn insert_from_slice(&mut self, key: Key, row: &[f32]) -> InsertOutcome {
+        assert_eq!(row.len(), self.dim, "row length != dim");
+        self.fill_into(key, |dst| dst.copy_from_slice(row))
+    }
+
+    /// Legacy owned-row insert; prefer [`GpuCache::insert_from_slice`]
+    /// (this simply borrows and copies, the `Vec` is dropped).
     ///
     /// # Panics
     ///
     /// Panics if `row.len() != dim`.
     pub fn insert(&mut self, key: Key, row: Vec<f32>) -> InsertOutcome {
-        assert_eq!(row.len(), self.dim, "row length != dim");
-        if !self.admits(key) {
-            return InsertOutcome::Rejected(row);
-        }
-        if let Some(&idx) = self.map.get(&key) {
-            self.slots[idx].row = row;
-            self.touch(idx);
-            return InsertOutcome::Replaced;
-        }
-        let mut evicted = None;
-        if self.map.len() >= self.capacity {
-            match self.policy {
-                CachePolicy::StaticHot => {
-                    // Static caches never exceed their admission set; if the
-                    // threshold admits more keys than capacity, reject.
-                    return InsertOutcome::Rejected(row);
-                }
-                CachePolicy::Lru => {
-                    let victim = self.tail;
-                    debug_assert_ne!(victim, NIL, "full cache must have a tail");
-                    self.unlink(victim);
-                    let slot = &mut self.slots[victim];
-                    let old_key = slot.key;
-                    let old_row = std::mem::take(&mut slot.row);
-                    self.map.remove(&old_key);
-                    self.free.push(victim);
-                    evicted = Some((old_key, old_row));
-                }
+        self.insert_from_slice(key, &row)
+    }
+
+    /// Announces the training clock to the policy (oracle next-use
+    /// bookkeeping; no-op for history-driven policies).
+    pub fn begin_step(&mut self, step: u64) {
+        self.policy.begin_step(step);
+    }
+
+    /// Feeds a future step's (owner-local) batch keys to the policy.
+    /// Callers can skip building the feed when
+    /// [`GpuCache::uses_lookahead`] is false.
+    pub fn prepare_step(&mut self, step: u64, keys: &[Key]) {
+        self.policy.prepare_step(step, keys);
+    }
+
+    /// Whether the policy consumes [`GpuCache::prepare_step`] feeds.
+    pub fn uses_lookahead(&self) -> bool {
+        self.policy.uses_lookahead()
+    }
+
+    /// Whether the policy nominates stall-overlap prefetch fills.
+    pub fn wants_prefetch(&self) -> bool {
+        self.policy.wants_prefetch()
+    }
+
+    /// Appends the policy's prefetch nominations for `step` that are not
+    /// already cached. Each step's nominations are handed out once.
+    pub fn prefetch_plan(&mut self, step: u64, out: &mut Vec<Key>) {
+        let start = out.len();
+        self.policy.prefetch_into(step, out);
+        let map = &self.map;
+        let mut keep = start;
+        for i in start..out.len() {
+            let key = out[i];
+            if !map.contains_key(&key) {
+                out[keep] = key;
+                keep += 1;
             }
         }
-        let idx = match self.free.pop() {
-            Some(idx) => {
-                self.slots[idx] = Slot {
-                    key,
-                    row,
-                    prev: NIL,
-                    next: NIL,
-                };
-                idx
-            }
-            None => {
-                self.slots.push(Slot {
-                    key,
-                    row,
-                    prev: NIL,
-                    next: NIL,
-                });
-                self.slots.len() - 1
-            }
-        };
-        self.map.insert(key, idx);
-        self.push_front(idx);
-        match evicted {
-            Some((k, r)) => InsertOutcome::Evicted(k, r),
-            None => InsertOutcome::Inserted,
-        }
+        out.truncate(keep);
     }
 }
 
-/// Result of a cache insertion.
-#[derive(Debug, Clone, PartialEq)]
+/// Result of a cache insertion. No variant carries row payloads: rows live
+/// in the arena and evicted data is simply overwritten (the host store is
+/// always authoritative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertOutcome {
     /// Inserted without eviction.
     Inserted,
     /// Replaced an existing row for the same key.
     Replaced,
-    /// Inserted; the returned victim row was evicted.
-    Evicted(Key, Vec<f32>),
-    /// The admission policy rejected the key; the row is handed back.
-    Rejected(Vec<f32>),
+    /// Inserted; the returned key was evicted to make room.
+    Evicted(Key),
+    /// The policy rejected the key (admission or eviction bypass).
+    Rejected,
 }
 
 #[cfg(test)]
@@ -310,11 +375,11 @@ mod tests {
     fn static_hot_admits_only_hot_keys() {
         let mut c = GpuCache::new(4, 2, CachePolicy::StaticHot);
         c.set_hot_threshold(100);
-        assert_eq!(c.insert(5, vec![1.0, 1.0]), InsertOutcome::Inserted);
-        assert!(matches!(
-            c.insert(500, vec![2.0, 2.0]),
-            InsertOutcome::Rejected(_)
-        ));
+        assert_eq!(c.insert_from_slice(5, &[1.0, 1.0]), InsertOutcome::Inserted);
+        assert_eq!(
+            c.insert_from_slice(500, &[2.0, 2.0]),
+            InsertOutcome::Rejected
+        );
         assert!(c.contains(&5) && !c.contains(&500));
     }
 
@@ -322,26 +387,20 @@ mod tests {
     fn static_hot_never_evicts() {
         let mut c = GpuCache::new(2, 1, CachePolicy::StaticHot);
         c.set_hot_threshold(u64::MAX - 2);
-        assert_eq!(c.insert(1, vec![1.0]), InsertOutcome::Inserted);
-        assert_eq!(c.insert(2, vec![2.0]), InsertOutcome::Inserted);
+        assert_eq!(c.insert_from_slice(1, &[1.0]), InsertOutcome::Inserted);
+        assert_eq!(c.insert_from_slice(2, &[2.0]), InsertOutcome::Inserted);
         // Full: further inserts rejected, existing entries untouched.
-        assert!(matches!(c.insert(3, vec![3.0]), InsertOutcome::Rejected(_)));
+        assert_eq!(c.insert_from_slice(3, &[3.0]), InsertOutcome::Rejected);
         assert!(c.contains(&1) && c.contains(&2));
     }
 
     #[test]
     fn lru_evicts_least_recent() {
         let mut c = GpuCache::new(2, 1, CachePolicy::Lru);
-        c.insert(1, vec![1.0]);
-        c.insert(2, vec![2.0]);
+        c.insert_from_slice(1, &[1.0]);
+        c.insert_from_slice(2, &[2.0]);
         assert!(c.get(&1).is_some()); // 2 is now LRU
-        match c.insert(3, vec![3.0]) {
-            InsertOutcome::Evicted(k, row) => {
-                assert_eq!(k, 2);
-                assert_eq!(row, vec![2.0]);
-            }
-            other => panic!("expected eviction, got {other:?}"),
-        }
+        assert_eq!(c.insert_from_slice(3, &[3.0]), InsertOutcome::Evicted(2));
         assert!(c.contains(&1) && c.contains(&3) && !c.contains(&2));
     }
 
@@ -349,7 +408,7 @@ mod tests {
     fn lru_never_exceeds_capacity() {
         let mut c = GpuCache::new(8, 1, CachePolicy::Lru);
         for k in 0..100 {
-            c.insert(k, vec![k as f32]);
+            c.insert_from_slice(k, &[k as f32]);
             assert!(c.len() <= 8);
         }
         // The eight most recent survive.
@@ -361,17 +420,14 @@ mod tests {
     #[test]
     fn lru_eviction_order_follows_recency_chain() {
         let mut c = GpuCache::new(3, 1, CachePolicy::Lru);
-        c.insert(1, vec![1.0]);
-        c.insert(2, vec![2.0]);
-        c.insert(3, vec![3.0]);
+        c.insert_from_slice(1, &[1.0]);
+        c.insert_from_slice(2, &[2.0]);
+        c.insert_from_slice(3, &[3.0]);
         // Recency now 3 > 2 > 1. Touch 1 and 2 via get_mut/get.
         c.get_mut(&1).unwrap()[0] = 1.5;
         let _ = c.get(&2);
         // Recency 2 > 1 > 3: inserting evicts 3.
-        match c.insert(4, vec![4.0]) {
-            InsertOutcome::Evicted(k, _) => assert_eq!(k, 3),
-            other => panic!("expected eviction, got {other:?}"),
-        }
+        assert_eq!(c.insert_from_slice(4, &[4.0]), InsertOutcome::Evicted(3));
         // And the freed slot is reused without leaking.
         assert_eq!(c.len(), 3);
     }
@@ -379,7 +435,7 @@ mod tests {
     #[test]
     fn get_mut_allows_in_cache_update() {
         let mut c = GpuCache::new(2, 2, CachePolicy::Lru);
-        c.insert(1, vec![1.0, 1.0]);
+        c.insert_from_slice(1, &[1.0, 1.0]);
         c.get_mut(&1).expect("cached")[0] = 9.0;
         assert_eq!(c.get(&1).unwrap(), &[9.0, 1.0]);
     }
@@ -387,7 +443,7 @@ mod tests {
     #[test]
     fn stats_track_hits_and_misses() {
         let mut c = GpuCache::new(2, 1, CachePolicy::Lru);
-        c.insert(1, vec![1.0]);
+        c.insert_from_slice(1, &[1.0]);
         let _ = c.get(&1);
         let _ = c.get(&2);
         let _ = c.get(&1);
@@ -398,7 +454,7 @@ mod tests {
     #[test]
     fn get_mut_counts_hits_and_misses_like_get() {
         let mut c = GpuCache::new(2, 1, CachePolicy::Lru);
-        c.insert(1, vec![1.0]);
+        c.insert_from_slice(1, &[1.0]);
         assert!(c.get_mut(&1).is_some());
         assert!(c.get_mut(&2).is_none());
         assert!(c.get_mut(&1).is_some());
@@ -409,8 +465,8 @@ mod tests {
     #[test]
     fn replace_same_key() {
         let mut c = GpuCache::new(2, 1, CachePolicy::Lru);
-        c.insert(1, vec![1.0]);
-        assert_eq!(c.insert(1, vec![5.0]), InsertOutcome::Replaced);
+        c.insert_from_slice(1, &[1.0]);
+        assert_eq!(c.insert_from_slice(1, &[5.0]), InsertOutcome::Replaced);
         assert_eq!(c.get(&1).unwrap(), &[5.0]);
         assert_eq!(c.len(), 1);
     }
@@ -419,14 +475,14 @@ mod tests {
     #[should_panic(expected = "row length != dim")]
     fn insert_rejects_bad_dim() {
         let mut c = GpuCache::new(2, 3, CachePolicy::Lru);
-        c.insert(1, vec![1.0]);
+        c.insert_from_slice(1, &[1.0]);
     }
 
     #[test]
     fn zero_capacity_lru_rejects() {
         let mut c = GpuCache::new(0, 1, CachePolicy::Lru);
         assert!(!c.admits(1));
-        assert!(matches!(c.insert(1, vec![1.0]), InsertOutcome::Rejected(_)));
+        assert_eq!(c.insert_from_slice(1, &[1.0]), InsertOutcome::Rejected);
         assert!(c.is_empty());
     }
 
@@ -440,18 +496,102 @@ mod tests {
 
     #[test]
     fn heavy_churn_is_consistent() {
-        // Slab + free-list reuse under sustained churn: every lookup must
-        // still return the right row.
+        // Arena slot reuse under sustained churn: every lookup must still
+        // return the right row.
         let mut c = GpuCache::new(16, 1, CachePolicy::Lru);
         for round in 0..2_000u64 {
             let k = round % 40;
             match c.get(&k) {
                 Some(row) => assert_eq!(row[0], k as f32, "round {round}"),
                 None => {
-                    c.insert(k, vec![k as f32]);
+                    c.insert_from_slice(k, &[k as f32]);
                 }
             }
             assert!(c.len() <= 16);
         }
+    }
+
+    #[test]
+    fn fill_into_writes_arena_directly_and_skips_rejects() {
+        let mut c = GpuCache::new(1, 2, CachePolicy::StaticHot);
+        c.set_hot_threshold(10);
+        let outcome = c.fill_into(3, |dst| dst.copy_from_slice(&[7.0, 8.0]));
+        assert_eq!(outcome, InsertOutcome::Inserted);
+        assert_eq!(c.get(&3).unwrap(), &[7.0, 8.0]);
+        // Rejected fill: the closure must never run.
+        let mut ran = false;
+        assert_eq!(
+            c.fill_into(99, |_| ran = true),
+            InsertOutcome::Rejected,
+            "cold key must be rejected"
+        );
+        assert!(!ran, "rejected fill must not invoke the closure");
+    }
+
+    #[test]
+    fn frequency_aware_protects_hot_residents_from_cold_churn() {
+        let mut c = GpuCache::new(2, 1, CachePolicy::FrequencyAware);
+        // Build frequency for 1 and 2 (misses count), then cache them.
+        for _ in 0..3 {
+            let _ = c.get(&1);
+            let _ = c.get(&2);
+        }
+        c.insert_from_slice(1, &[1.0]);
+        c.insert_from_slice(2, &[2.0]);
+        // A one-hit wonder cannot displace either resident...
+        let _ = c.get(&9);
+        assert_eq!(c.insert_from_slice(9, &[9.0]), InsertOutcome::Rejected);
+        assert!(c.contains(&1) && c.contains(&2));
+        // ...but a key seen more often than the LRU victim can.
+        for _ in 0..5 {
+            let _ = c.get(&7);
+        }
+        assert_eq!(c.insert_from_slice(7, &[7.0]), InsertOutcome::Evicted(1));
+    }
+
+    #[test]
+    fn oracle_belady_follows_the_feed() {
+        let mut c = GpuCache::new(2, 1, CachePolicy::OracleBelady);
+        // Future: 1 used at steps 1 and 3; 2 at 2; 4 at 4; 9 never.
+        c.prepare_step(1, &[1]);
+        c.prepare_step(2, &[2]);
+        c.prepare_step(3, &[1]);
+        c.prepare_step(4, &[4]);
+        c.begin_step(0);
+        c.insert_from_slice(1, &[1.0]);
+        c.insert_from_slice(2, &[2.0]);
+        // A key with no known future never displaces residents.
+        assert_eq!(c.insert_from_slice(9, &[9.0]), InsertOutcome::Rejected);
+        c.begin_step(1);
+        let _ = c.get(&1); // consumes 1's step-1 use; next use 3
+                           // 4 (next use 4) is farther than both residents (3 and 2): bypass.
+        assert_eq!(c.insert_from_slice(4, &[4.0]), InsertOutcome::Rejected);
+        c.begin_step(2);
+        let _ = c.get(&2); // consumes 2's last use → 2 has no future
+                           // Now 4 displaces 2 (no future), not 1 (next use 3).
+        assert_eq!(c.insert_from_slice(4, &[4.0]), InsertOutcome::Evicted(2));
+        assert!(c.contains(&1) && c.contains(&4));
+    }
+
+    #[test]
+    fn prefetch_plan_filters_cached_keys() {
+        let mut c = GpuCache::new(4, 1, CachePolicy::OracleBelady);
+        assert!(c.uses_lookahead() && c.wants_prefetch());
+        c.prepare_step(5, &[1, 2, 3]);
+        c.insert_from_slice(2, &[2.0]);
+        let mut out = Vec::new();
+        c.prefetch_plan(5, &mut out);
+        assert_eq!(out, vec![1, 3], "cached key 2 must be filtered out");
+        // History-driven policies neither feed nor prefetch.
+        let l = GpuCache::new(4, 1, CachePolicy::Lru);
+        assert!(!l.uses_lookahead() && !l.wants_prefetch());
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for p in CachePolicy::ALL {
+            assert_eq!(p.label().parse::<CachePolicy>().unwrap(), p);
+        }
+        assert!("bogus".parse::<CachePolicy>().is_err());
     }
 }

@@ -6,8 +6,9 @@
 //! * [`HostStore`] — the complete parameter set in host memory, shared by
 //!   all training processes and the flushing threads, with an optional
 //!   seqlock *checked mode* that detects consistency violations.
-//! * [`GpuCache`] — a per-GPU hot-row cache with StaticHot (HugeCTR-style)
-//!   and LRU policies.
+//! * [`GpuCache`] — a per-GPU hot-row cache: a flat row arena with the
+//!   admission/eviction strategy behind the [`EvictionPolicy`] trait
+//!   (StaticHot, LRU, frequency-aware, and a lookahead-fed Belady oracle).
 //! * [`Sharding`] — the key → owner-GPU map and cache-capacity math.
 //! * [`UpdateRule`] ([`SgdRule`], [`AdagradRule`]) — thread-safe optimizer
 //!   rules the flushing threads apply to the host store, with dense
@@ -31,6 +32,7 @@ mod cache;
 mod checkpoint;
 mod flush;
 pub mod kernels;
+pub mod policy;
 mod rule;
 mod shard;
 mod state;
@@ -40,6 +42,7 @@ pub use agg::GradAggregator;
 pub use cache::{CachePolicy, GpuCache, InsertOutcome};
 pub use checkpoint::{load_checkpoint, save_checkpoint, CheckpointError};
 pub use flush::{apply_claims, apply_updates, FlushClaim};
+pub use policy::EvictionPolicy;
 pub use rule::{AdagradRule, SgdRule, UpdateRule};
 pub use shard::Sharding;
 pub use state::DenseStateTable;

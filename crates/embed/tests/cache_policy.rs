@@ -1,0 +1,349 @@
+//! Model-agreement property tests for the pluggable cache policies.
+//!
+//! Each policy is checked against an independently-coded naive reference
+//! that replays the engine's access discipline (lookup, then fill on
+//! miss) over arbitrary key traces:
+//!
+//! * StaticHot / LRU / FrequencyAware — exact agreement on every hit/miss
+//!   decision, final membership, and the hit/miss counters, plus the
+//!   capacity invariant `len ≤ capacity` at every step.
+//! * OracleBelady — exact hit-count agreement with a from-scratch
+//!   Belady-MIN simulator (with admission bypass) that recomputes next
+//!   uses by scanning the raw trace, and the optimality property: on any
+//!   fully-known trace the oracle's hits are an upper bound on what LRU
+//!   and FrequencyAware achieve.
+//!
+//! The reference models here are deliberately naive (`Vec` scans,
+//! recompute-from-trace next uses) so they share no code — and no bugs —
+//! with the intrusive-list/queue implementations in `policy.rs`.
+
+use frugal_embed::{CachePolicy, GpuCache};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+type Key = u64;
+
+const DIM: usize = 4;
+
+fn row_for(key: Key) -> [f32; DIM] {
+    [key as f32; DIM]
+}
+
+/// Drive one engine-style access: lookup, then fill on miss. Returns
+/// whether the lookup hit.
+fn access(cache: &mut GpuCache, key: Key) -> bool {
+    if cache.get(&key).is_some() {
+        return true;
+    }
+    if cache.admits(key) {
+        let _ = cache.insert_from_slice(key, &row_for(key));
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// StaticHot reference: admit below threshold, never evict.
+// ---------------------------------------------------------------------------
+
+fn check_static_hot(cap: usize, threshold: u64, trace: &[Key]) -> Result<(), String> {
+    let mut cache = GpuCache::new(cap, DIM, CachePolicy::StaticHot);
+    cache.set_hot_threshold(threshold);
+    let mut resident: Vec<Key> = Vec::new();
+    for (i, &key) in trace.iter().enumerate() {
+        let got = access(&mut cache, key);
+        let want = resident.contains(&key);
+        if !want && key < threshold && resident.len() < cap {
+            resident.push(key);
+        }
+        if got != want {
+            return Err(format!("op {i}: key {key} hit={got}, model says {want}"));
+        }
+        if cache.len() > cap {
+            return Err(format!("op {i}: len {} > capacity {cap}", cache.len()));
+        }
+    }
+    verify_membership(&cache, &resident, trace)
+}
+
+// ---------------------------------------------------------------------------
+// LRU reference: Vec ordered front = most recent.
+// ---------------------------------------------------------------------------
+
+fn check_lru(cap: usize, trace: &[Key]) -> Result<(), String> {
+    let mut cache = GpuCache::new(cap, DIM, CachePolicy::Lru);
+    let mut order: Vec<Key> = Vec::new(); // front = MRU
+    for (i, &key) in trace.iter().enumerate() {
+        let got = access(&mut cache, key);
+        let want = order.contains(&key);
+        if want {
+            order.retain(|&k| k != key);
+            order.insert(0, key);
+        } else {
+            if order.len() == cap {
+                order.pop();
+            }
+            order.insert(0, key);
+        }
+        if got != want {
+            return Err(format!("op {i}: key {key} hit={got}, model says {want}"));
+        }
+        if cache.len() > cap {
+            return Err(format!("op {i}: len {} > capacity {cap}", cache.len()));
+        }
+    }
+    verify_membership(&cache, &order, trace)
+}
+
+// ---------------------------------------------------------------------------
+// FrequencyAware reference: LRU order + decayed counters, admission only
+// when the incoming frequency strictly beats the LRU victim's.
+// ---------------------------------------------------------------------------
+
+struct FreqModel {
+    cap: usize,
+    order: Vec<Key>, // front = MRU
+    freq: HashMap<Key, u32>,
+    accesses: u64,
+    decay_every: u64,
+}
+
+impl FreqModel {
+    fn new(cap: usize) -> Self {
+        FreqModel {
+            cap,
+            order: Vec::new(),
+            freq: HashMap::new(),
+            accesses: 0,
+            // Must mirror FrequencyAwarePolicy::new.
+            decay_every: 10 * cap.max(8) as u64,
+        }
+    }
+
+    fn bump(&mut self, key: Key) {
+        let c = self.freq.entry(key).or_insert(0);
+        *c = c.saturating_add(1);
+        self.accesses += 1;
+        if self.accesses % self.decay_every == 0 {
+            self.freq.retain(|_, c| {
+                *c >>= 1;
+                *c > 0
+            });
+        }
+    }
+
+    fn f(&self, key: Key) -> u32 {
+        self.freq.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Lookup + fill-on-miss, mirroring the engine discipline.
+    fn access(&mut self, key: Key) -> bool {
+        let hit = self.order.contains(&key);
+        self.bump(key);
+        if hit {
+            self.order.retain(|&k| k != key);
+            self.order.insert(0, key);
+            return true;
+        }
+        if self.order.len() < self.cap {
+            self.order.insert(0, key);
+        } else {
+            let victim = *self.order.last().expect("full cache has a tail");
+            if self.f(key) > self.f(victim) {
+                self.order.pop();
+                self.order.insert(0, key);
+            }
+        }
+        false
+    }
+}
+
+fn check_freq(cap: usize, trace: &[Key]) -> Result<(), String> {
+    let mut cache = GpuCache::new(cap, DIM, CachePolicy::FrequencyAware);
+    let mut model = FreqModel::new(cap);
+    for (i, &key) in trace.iter().enumerate() {
+        let got = access(&mut cache, key);
+        let want = model.access(key);
+        if got != want {
+            return Err(format!("op {i}: key {key} hit={got}, model says {want}"));
+        }
+        if cache.len() > cap {
+            return Err(format!("op {i}: len {} > capacity {cap}", cache.len()));
+        }
+    }
+    verify_membership(&cache, &model.order, trace)
+}
+
+// ---------------------------------------------------------------------------
+// Belady-MIN reference: recompute next uses by scanning the raw trace.
+// ---------------------------------------------------------------------------
+
+/// From-scratch OPT-with-bypass simulator: on a miss with the cache full,
+/// evict the farthest-next-use member of `residents ∪ {incoming}` — which
+/// bypasses the insert when the incoming key itself is farthest. Next uses
+/// are recomputed from the trace at every decision; no queues, no clock.
+fn opt_hits(cap: usize, trace: &[Key]) -> u64 {
+    let next_use = |from: usize, key: Key| -> usize {
+        trace[from..]
+            .iter()
+            .position(|&t| t == key)
+            .map(|d| from + d)
+            .unwrap_or(usize::MAX)
+    };
+    let mut resident: Vec<Key> = Vec::new();
+    let mut hits = 0u64;
+    for (s, &key) in trace.iter().enumerate() {
+        if resident.contains(&key) {
+            hits += 1;
+            continue;
+        }
+        if resident.len() < cap {
+            resident.push(key);
+            continue;
+        }
+        if cap == 0 {
+            continue;
+        }
+        let incoming = next_use(s + 1, key);
+        let (slot, farthest) = resident
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i, next_use(s + 1, r)))
+            .max_by_key(|&(_, d)| d)
+            .expect("nonempty residents");
+        if incoming < farthest {
+            resident[slot] = key;
+        }
+    }
+    hits
+}
+
+/// Replay `trace` (one key per step) through a cache whose oracle was fed
+/// the whole trace up front, the way the engine's lookahead registration
+/// feeds it. Returns the hit count.
+fn oracle_hits(cap: usize, trace: &[Key]) -> u64 {
+    let mut cache = GpuCache::new(cap, DIM, CachePolicy::OracleBelady);
+    for (s, &key) in trace.iter().enumerate() {
+        cache.prepare_step(s as u64, &[key]);
+    }
+    for (s, &key) in trace.iter().enumerate() {
+        cache.begin_step(s as u64);
+        access(&mut cache, key);
+    }
+    cache.stats().0
+}
+
+fn online_hits(policy: CachePolicy, cap: usize, trace: &[Key]) -> u64 {
+    let mut cache = GpuCache::new(cap, DIM, policy);
+    for &key in trace {
+        access(&mut cache, key);
+    }
+    cache.stats().0
+}
+
+// ---------------------------------------------------------------------------
+// Shared final-state check: membership parity and row integrity.
+// ---------------------------------------------------------------------------
+
+fn verify_membership(cache: &GpuCache, resident: &[Key], trace: &[Key]) -> Result<(), String> {
+    for &key in trace {
+        let want = resident.contains(&key);
+        if cache.contains(&key) != want {
+            return Err(format!(
+                "final membership of key {key}: cache {}, model {want}",
+                cache.contains(&key)
+            ));
+        }
+    }
+    if cache.len() != resident.len() {
+        return Err(format!(
+            "final len {} != model len {}",
+            cache.len(),
+            resident.len()
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Properties.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn static_hot_matches_model(
+        cap in 1usize..6,
+        threshold in 0u64..12,
+        trace in proptest::collection::vec(0u64..12, 0..200),
+    ) {
+        if let Err(e) = check_static_hot(cap, threshold, &trace) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    #[test]
+    fn lru_matches_model(
+        cap in 1usize..6,
+        trace in proptest::collection::vec(0u64..12, 0..200),
+    ) {
+        if let Err(e) = check_lru(cap, &trace) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    #[test]
+    fn frequency_aware_matches_model(
+        cap in 1usize..6,
+        trace in proptest::collection::vec(0u64..12, 0..200),
+    ) {
+        if let Err(e) = check_freq(cap, &trace) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    #[test]
+    fn oracle_matches_belady_min(
+        cap in 1usize..6,
+        trace in proptest::collection::vec(0u64..10, 0..120),
+    ) {
+        // Hit-for-hit agreement with the from-scratch OPT simulator. Tie
+        // breaks between never-used-again residents may differ, but dead
+        // keys can't contribute future hits, so the counts must match.
+        let got = oracle_hits(cap, &trace);
+        let want = opt_hits(cap, &trace);
+        prop_assert_eq!(got, want, "oracle {} vs OPT {} on {:?}", got, want, trace);
+    }
+
+    #[test]
+    fn oracle_is_an_upper_bound_on_online_policies(
+        cap in 1usize..6,
+        trace in proptest::collection::vec(0u64..10, 0..120),
+    ) {
+        // Belady-MIN with bypass is optimal over the whole class of
+        // admission/eviction policies, so on a fully-known trace neither
+        // online policy may beat it.
+        let oracle = oracle_hits(cap, &trace);
+        let lru = online_hits(CachePolicy::Lru, cap, &trace);
+        let freq = online_hits(CachePolicy::FrequencyAware, cap, &trace);
+        prop_assert!(oracle >= lru, "lru {} > oracle {} on {:?}", lru, oracle, trace);
+        prop_assert!(oracle >= freq, "freq {} > oracle {} on {:?}", freq, oracle, trace);
+    }
+}
+
+/// The counters the policies report must match the model-visible
+/// hit/miss stream (spot check on a fixed skewed trace).
+#[test]
+fn stats_count_every_lookup() {
+    let trace: Vec<Key> = (0..100).map(|i| (i * i) % 7).collect();
+    let mut cache = GpuCache::new(3, DIM, CachePolicy::Lru);
+    let mut hits = 0u64;
+    for &key in &trace {
+        if access(&mut cache, key) {
+            hits += 1;
+        }
+    }
+    let (h, m) = cache.stats();
+    assert_eq!(h, hits);
+    assert_eq!(h + m, trace.len() as u64);
+}

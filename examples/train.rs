@@ -24,6 +24,7 @@ use frugal::core::{
 use frugal::data::{
     KeyDistribution, KgDatasetSpec, KgTrace, RecDatasetSpec, RecTrace, SyntheticTrace,
 };
+use frugal::embed::CachePolicy;
 use frugal::models::{Dlrm, KgModel, KgScorer};
 use frugal::sim::Topology;
 use frugal::telemetry::Telemetry;
@@ -36,6 +37,7 @@ struct Args {
     batch: usize,
     steps: u64,
     cache_ratio: f64,
+    cache_policy: CachePolicy,
     flush_threads: usize,
     keys: u64,
     datacenter: bool,
@@ -50,6 +52,7 @@ impl Args {
             batch: 512,
             steps: 20,
             cache_ratio: 0.05,
+            cache_policy: CachePolicy::StaticHot,
             flush_threads: 8,
             keys: 1_000_000,
             datacenter: false,
@@ -85,6 +88,11 @@ impl Args {
                         .parse()
                         .map_err(|e| format!("--cache-ratio: {e}"))?
                 }
+                "--cache-policy" => {
+                    args.cache_policy = take(&argv, i, "--cache-policy")?
+                        .parse()
+                        .map_err(|e| format!("--cache-policy: {e}"))?
+                }
                 "--flush-threads" => {
                     args.flush_threads = take(&argv, i, "--flush-threads")?
                         .parse()
@@ -104,6 +112,7 @@ impl Args {
                     println!(
                         "usage: train [--workload micro|rec|kg] [--system frugal|frugal-sync|frugal-fifo|pytorch|hugectr|uvm]\n\
                          \x20            [--gpus N] [--batch N] [--steps N] [--cache-ratio F]\n\
+                         \x20            [--cache-policy static-hot|lru|freq|oracle]\n\
                          \x20            [--flush-threads N] [--keys N] [--datacenter]"
                     );
                     std::process::exit(0);
@@ -132,6 +141,7 @@ fn run(
             let mut cfg = FrugalConfig::commodity(args.gpus, args.steps);
             cfg.cost = frugal::sim::CostModel::new(topology);
             cfg.cache_ratio = args.cache_ratio;
+            cfg.cache_policy = args.cache_policy;
             cfg.flush_threads = args.flush_threads;
             cfg.telemetry = telemetry.clone();
             match args.system.as_str() {
@@ -153,6 +163,7 @@ fn run(
                 _ => BaselineKind::Uvm,
             };
             cfg.cache_ratio = args.cache_ratio;
+            cfg.cache_policy = args.cache_policy;
             cfg.telemetry = telemetry.clone();
             let engine = BaselineEngine::new(cfg, workload.n_keys(), model.dim());
             Ok(engine.run(workload, model))
@@ -206,6 +217,19 @@ fn main() -> Result<(), String> {
     let m = report.mean_iter();
     println!("throughput       {:>12.0} samples/s", report.throughput());
     println!("cache hit ratio  {:>11.1}%", report.hit_ratio * 100.0);
+    if report.cache_fills > 0 {
+        println!(
+            "cache fills      {:>12} rows ({:.0} ns/row)",
+            report.cache_fills,
+            report.mean_cache_fill_ns_row()
+        );
+    }
+    if report.cache_prefetch_fills > 0 {
+        println!(
+            "prefetch fills   {:>12} rows (overlapped with stall)",
+            report.cache_prefetch_fills
+        );
+    }
     println!("per-iteration breakdown:");
     println!("  comm      {}", m.comm);
     println!("  host DRAM {}", m.host_dram);

@@ -207,6 +207,35 @@ fn flush_thread_count_does_not_affect_parameters() {
     assert_eq!(results[1], results[2]);
 }
 
+/// The cache policy is a performance knob, never a semantics knob: every
+/// eviction policy — including the Belady oracle, whose prefetch fills run
+/// *during* the P²F stall wait — must leave the host store bit-identical
+/// to the serial oracle. Caches only ever hold copies that see the same
+/// per-key gradient sequence as the host rows, so which keys happen to be
+/// resident (or prefetched) cannot change the parameters.
+#[test]
+fn every_cache_policy_agrees_with_serial_bitwise() {
+    use frugal::embed::CachePolicy;
+    for n_gpus in [2usize, 4] {
+        let t = trace(n_gpus);
+        let model = PullToTarget::new(DIM, 5);
+        let reference = train_serial(&t, &model, STEPS, 0.1, 42);
+        for policy in CachePolicy::ALL {
+            let cfg = frugal_cfg(n_gpus).with_cache_policy(policy);
+            let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
+            engine.run(&t, &model);
+            for k in 0..N_KEYS {
+                assert_eq!(
+                    engine.store().row_vec(k),
+                    reference.store.row_vec(k),
+                    "{}-{n_gpus}gpu diverged from serial at key {k}",
+                    policy.label()
+                );
+            }
+        }
+    }
+}
+
 /// Adagrad keeps per-row state on both the host path (flushing threads) and
 /// the owner-cache path; both see the same per-key gradient sequence, so
 /// the concurrent engine must still match the serial reference bitwise.

@@ -109,7 +109,7 @@ proptest! {
         let mut cache = GpuCache::new(cap, 1, CachePolicy::Lru);
         for &k in &ops {
             if cache.get(&k).is_none() {
-                cache.insert(k, vec![k as f32]);
+                cache.insert_from_slice(k, &[k as f32]);
             }
             prop_assert!(cache.len() <= cap);
         }
