@@ -44,6 +44,16 @@ past ``baseline * (1 + phase_tol)`` where ``phase_tol`` resolves via
 ``FRUGAL_PERF_TOL_PHASE_<NAME>`` > ``FRUGAL_PERF_TOL_PHASE`` (default
 2.0). Baselines without phases skip all of this gracefully.
 
+On top of the relative soft gates, the decentralized-reduce phases carry
+**hard absolute ceilings** on the 8gpu profile (``HARD_PHASE_CEILINGS``):
+``barrier_a`` and ``leader_apply`` mean ns/step each have an absolute
+bound, and their sum must stay at or under 3 ms — the leader-serial merge
+and apply used to cost 5.67 + 4.11 ms/step there, and a regression that
+re-serializes either phase must fail CI even if a new committed baseline
+would otherwise ratchet the relative gates. Ceilings are independent of
+the baseline file (like ``gentry_mem``) and override via the env var
+named per bound (e.g. ``FRUGAL_PERF_MAX_8GPU_BARRIER_A_PLUS_LEADER_APPLY_NS``).
+
 The delta table is additionally written to the path in
 ``FRUGAL_PERF_TABLE_OUT`` (when set) so CI can upload it as an artifact.
 
@@ -80,6 +90,25 @@ INFORMATIONAL = ["fifo_steps_per_sec", "fifo_p95_stall_ns", "profiled_steps_per_
 
 PHASE_TOL_DEFAULT = 2.0
 PHASE_MIN_NS = 1000.0
+
+# Hard absolute ceilings on phase means (ns/step), per profile — the
+# decentralization contract. Unlike the relative soft gates these cannot be
+# ratcheted by committing a regressed baseline: the serial-leader merge the
+# sharded reduce replaced cost 5.67 ms/step of barrier_a and 4.11 ms/step
+# of leader_apply at 8 trainers, and the combined bound pins both phases to
+# the post-decentralization regime (≤ 3 ms together). Each bound's env var
+# overrides it for unusually slow CI hosts.
+HARD_PHASE_CEILINGS = {
+    "8gpu": [
+        (("barrier_a",), 3_000_000.0, "FRUGAL_PERF_MAX_8GPU_BARRIER_A_NS"),
+        (("leader_apply",), 1_000_000.0, "FRUGAL_PERF_MAX_8GPU_LEADER_APPLY_NS"),
+        (
+            ("barrier_a", "leader_apply"),
+            3_000_000.0,
+            "FRUGAL_PERF_MAX_8GPU_BARRIER_A_PLUS_LEADER_APPLY_NS",
+        ),
+    ],
+}
 
 
 def load_doc(path):
@@ -217,7 +246,9 @@ def gate_profile(name, base_profile, cur_profile):
         lines.append(f"profile {name}: baseline has no such profile; recorded, not gated")
         for metric, _, _ in GATED:
             lines.append(f"{metric + ':':<20} current {float(cur.get(metric, 0.0)):10.1f} (recorded)")
-        return lines, []
+        # Absolute ceilings hold even without a baseline profile.
+        hard_lines, hard_failures = gate_hard_phases(name, cur.get("phases") or {})
+        return lines + hard_lines, [f"[{name}] {f}" for f in hard_failures]
 
     metric_lines, failures = gate_metrics(base, cur, name)
     failures = [f"[{name}] {f}" for f in failures]
@@ -234,8 +265,45 @@ def gate_profile(name, base_profile, cur_profile):
             lines += table_lines
         else:
             lines.append("per-phase: baseline has no ledger; current phases recorded, not gated")
+        hard_lines, hard_failures = gate_hard_phases(name, cur_phases)
+        lines += hard_lines
+        failures.extend(f"[{name}] {f}" for f in hard_failures)
+    elif HARD_PHASE_CEILINGS.get(name):
+        # A profile with hard ceilings must carry a ledger: skipping it
+        # silently would turn the absolute bounds off.
+        lines.append("per-phase: current run carries no ledger (profiling disabled?)")
+        failures.append(f"[{name}] hard phase ceilings configured but run carries no ledger")
     else:
         lines.append("per-phase: current run carries no ledger (profiling disabled?)")
+    return lines, failures
+
+
+def gate_hard_phases(name, cur_phases):
+    """Absolute phase-mean ceilings for one profile (baseline-independent).
+
+    Returns (lines, failures). A profile with no configured ceilings, or a
+    run that carries no ledger, records nothing — the soft relative gates
+    still cover it."""
+    lines, failures = [], []
+    for phases, default_bound, env in HARD_PHASE_CEILINGS.get(name, []):
+        bound = float(os.environ.get(env, default_bound))
+        total = sum(float(cur_phases.get(p, {}).get("mean_ns", 0.0)) for p in phases)
+        label = "+".join(phases)
+        missing = [p for p in phases if p not in cur_phases]
+        if missing:
+            failures.append(
+                f"hard ceiling {label}: phase(s) {', '.join(missing)} absent from ledger "
+                "(renamed or dropped?)"
+            )
+            continue
+        lines.append(
+            f"hard ceiling {label + ':':<28} mean {total:>10.0f} ns/step  ceil {bound:>10.0f} (absolute)"
+        )
+        if total > bound:
+            failures.append(
+                f"hard ceiling {label} mean {total:.0f} ns/step > {bound:.0f} "
+                f"(override: {env})"
+            )
     return lines, failures
 
 

@@ -183,7 +183,11 @@ impl FrugalConfig {
             cache_policy: CachePolicy::StaticHot,
             lookahead: 10,
             flush_threads: 8,
-            flush_batch: 64,
+            // Larger dequeue batches amortize the guarded-dequeue and wake
+            // overhead per applied row; on time-sliced hosts 256 measured
+            // consistently faster than the paper-era 64 with no stall cost
+            // (the in-flight marker covers the whole batch either way).
+            flush_batch: 256,
             lr: 0.1,
             optimizer: OptimizerKind::Sgd,
             steps,

@@ -1,4 +1,4 @@
-//! A spin-then-yield step barrier.
+//! A spin-then-yield-then-park step barrier.
 //!
 //! The three-barrier step protocol crosses a barrier three times per step,
 //! so at 8–16 trainers the barrier itself is hot-path state. The ledger's
@@ -8,21 +8,35 @@
 //! (kernel wakes waiters one by one, each re-acquiring the mutex) grows
 //! linearly with the trainer count.
 //!
-//! [`SpinBarrier`] replaces it with two atomics and no locks: arrivals
-//! `fetch_add` a counter; the last arriver resets the counter and bumps a
-//! generation word, releasing the whole cohort with a single store that
-//! every spinner observes in parallel. Trainers wait out the short
-//! inter-arrival gap with `spin_loop` hints, falling back to
-//! `yield_now` so oversubscribed hosts (more trainers than cores — the CI
-//! runner, or 16 trainers on an 8-core commodity box) never burn a full
-//! scheduling quantum spinning against a preempted straggler.
+//! [`SpinBarrier`] replaces it with two atomics and no locks on the fast
+//! path: arrivals `fetch_add` a counter; the last arriver resets the
+//! counter and bumps a generation word, releasing the whole cohort with a
+//! single store that every spinner observes in parallel. Trainers wait out
+//! the short inter-arrival gap with `spin_loop` hints, then a handful of
+//! `yield_now` calls.
+//!
+//! On oversubscribed hosts (more trainers than cores — the CI runner, or
+//! 16 trainers on an 8-core commodity box) even yielding is too expensive:
+//! seven trainers cycling through `yield_now` against one preempted
+//! straggler turns the run queue into a yield storm that starves the very
+//! thread everyone is waiting for. After the yield budget, waiters
+//! therefore *park* on a mutex + condvar slow path and the releaser wakes
+//! them only when someone actually sleeps — the condvar is touched on the
+//! slow path only, so a healthy cohort never pays for it.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// How many `spin_loop` iterations to wait before conceding the core.
 /// Long enough to cover the same-quantum arrival spread of a healthy
 /// cohort, short enough that a preempted straggler costs yields, not ms.
 const SPIN_BUDGET: u32 = 64;
+
+/// How many `yield_now` calls to attempt after the spin budget before
+/// parking on the condvar. A couple of reschedules is enough to let a
+/// same-core straggler run; beyond that, yielding just churns the
+/// scheduler while the straggler is doing real (multi-ms) work.
+const YIELD_BUDGET: u32 = 16;
 
 /// Result of one barrier crossing; mirrors `std::sync::BarrierWaitResult`
 /// so call sites read identically.
@@ -38,7 +52,7 @@ impl WaitOutcome {
     }
 }
 
-/// A reusable lock-free barrier for `n` threads (see module docs).
+/// A reusable step barrier for `n` threads (see module docs).
 #[derive(Debug)]
 pub struct SpinBarrier {
     /// Threads that have arrived at the current crossing.
@@ -46,6 +60,12 @@ pub struct SpinBarrier {
     /// Completed crossings. Bumped by the releasing thread; spinners wait
     /// for it to move past the value they read on arrival.
     generation: AtomicU64,
+    /// Threads currently parked (or committing to park) on `cv`.
+    sleepers: AtomicUsize,
+    /// Park slow path. The mutex guards nothing but the condvar protocol;
+    /// the barrier state itself stays in the atomics above.
+    park: Mutex<()>,
+    cv: Condvar,
     n: usize,
 }
 
@@ -56,6 +76,9 @@ impl SpinBarrier {
         SpinBarrier {
             arrived: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
             n,
         }
     }
@@ -75,7 +98,18 @@ impl SpinBarrier {
             // Release/Acquire pair on `generation` is what makes the
             // reset visible to the cohort before anyone re-arrives.
             self.arrived.store(0, Ordering::Relaxed);
-            self.generation.store(gen + 1, Ordering::Release);
+            // SeqCst pairs with the SeqCst sleepers increment in the
+            // waiter: either the waiter's increment is ordered before this
+            // store (then we observe sleepers > 0 below and notify), or it
+            // is ordered after (then the waiter's generation re-check
+            // under the mutex sees the new value and it never sleeps).
+            self.generation.store(gen + 1, Ordering::SeqCst);
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                // Taking the mutex orders the notify after any waiter that
+                // is past its re-check but not yet inside `cv.wait`.
+                drop(self.park.lock().unwrap());
+                self.cv.notify_all();
+            }
             return WaitOutcome { leader: true };
         }
         let mut spins = 0u32;
@@ -83,11 +117,30 @@ impl SpinBarrier {
             if spins < SPIN_BUDGET {
                 spins += 1;
                 std::hint::spin_loop();
-            } else {
+            } else if spins < SPIN_BUDGET + YIELD_BUDGET {
+                spins += 1;
                 std::thread::yield_now();
+            } else {
+                self.park_until_released(gen);
+                break;
             }
         }
         WaitOutcome { leader: false }
+    }
+
+    /// Condvar slow path: sleep until the generation moves past `gen`.
+    #[cold]
+    fn park_until_released(&self, gen: u64) {
+        let mut guard = self.park.lock().unwrap();
+        // SeqCst increment pairs with the releaser's SeqCst generation
+        // store + sleepers load (see `wait`); the generation re-check
+        // under the mutex closes the window between our last spin and the
+        // increment becoming visible.
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        while self.generation.load(Ordering::SeqCst) == gen {
+            guard = self.cv.wait(guard).unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -135,7 +188,7 @@ mod tests {
         // Each round, every thread increments a shared counter before the
         // barrier; after the crossing the counter must show the full
         // cohort. 8 threads on any host (including 1-core CI) exercises
-        // the yield fallback.
+        // the yield and park fallbacks.
         let n = 8;
         let rounds = 100;
         let barrier = Arc::new(SpinBarrier::new(n));
@@ -163,5 +216,24 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), n * rounds);
+    }
+
+    #[test]
+    fn parked_waiters_are_woken() {
+        // Force the park path deterministically: one thread arrives early
+        // and must sleep through the straggler's multi-ms delay; the
+        // crossing still completes and releases it.
+        let barrier = Arc::new(SpinBarrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let early = std::thread::spawn(move || {
+            for _ in 0..20 {
+                b2.wait();
+            }
+        });
+        for _ in 0..20 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            barrier.wait();
+        }
+        early.join().unwrap();
     }
 }

@@ -31,12 +31,25 @@ pub(crate) struct RunMetrics {
     /// converted into fill time, charged to neither the modeled cache
     /// phase nor `cache.fills`.
     pub(crate) cache_prefetch_fills: Arc<Counter>,
-    /// Counters `flusher.dequeue_total_ns` / `flusher.apply_total_ns` /
-    /// `flush.rows`: measured flusher costs, split into the PQ-dequeue
-    /// part (which serializes on a tree heap) and the host-apply part.
+    /// Counters `flusher.dequeue_total_ns` / `flusher.claim_total_ns` /
+    /// `flusher.apply_total_ns` / `flush.rows`: measured flusher costs,
+    /// split into the PQ-dequeue part (which serializes on a tree heap),
+    /// the claim part (batch sort + g-entry extraction, which contends
+    /// with registering trainers on the shard locks), and the pure
+    /// host-apply part (optimizer step + store write only).
     pub(crate) flush_dequeue_ns: Arc<Counter>,
+    pub(crate) flush_claim_ns: Arc<Counter>,
     pub(crate) flush_apply_ns: Arc<Counter>,
     pub(crate) flush_rows: Arc<Counter>,
+    /// Counter `flusher.apply_interference_ns`: the slice of apply wall
+    /// time attributable to scheduler interference rather than the apply
+    /// itself — whenever a batch's per-row cost exceeds 4× the flusher's
+    /// observed per-row floor, the excess over the floor is booked here.
+    /// On oversubscribed hosts (8 trainers + flushers on few cores) a
+    /// flusher preempted mid-batch inflates `flush_apply_ns_row` without
+    /// the kernels being any slower; this counter isolates that
+    /// inflation.
+    pub(crate) flush_apply_interference_ns: Arc<Counter>,
     /// Counter `flusher.parked_ns`: time idle flushers spent parked on the
     /// flush condvar instead of spinning (the Fig 17 "flushers divert CPU"
     /// effect, avoided).
@@ -75,8 +88,10 @@ impl RunMetrics {
             cache_fill_ns: registry.counter("cache.fill_ns"),
             cache_prefetch_fills: registry.counter("cache.prefetch_fills"),
             flush_dequeue_ns: registry.counter("flusher.dequeue_total_ns"),
+            flush_claim_ns: registry.counter("flusher.claim_total_ns"),
             flush_apply_ns: registry.counter("flusher.apply_total_ns"),
             flush_rows: registry.counter("flush.rows"),
+            flush_apply_interference_ns: registry.counter("flusher.apply_interference_ns"),
             flusher_parked_ns: registry.counter("flusher.parked_ns"),
             flush_batch_rows: registry.histogram("flush.batch_rows"),
             flush_apply_row_ns: registry.histogram("flush.apply_row_ns"),

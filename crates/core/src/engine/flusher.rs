@@ -12,8 +12,13 @@ use std::time::{Duration, Instant};
 
 /// How long an idle flusher parks on the flush condvar before re-polling.
 /// Bounded so shutdown and missed notifications (a registration that lands
-/// between the empty dequeue and the park) cannot stall the drain.
-const FLUSHER_PARK: Duration = Duration::from_micros(100);
+/// between the empty dequeue and the park) cannot stall the drain. Wakes
+/// are notify-driven (registration and raised scan bounds both signal the
+/// condvar), so this timeout is a safety net, not the drain cadence — at
+/// 100 µs the idle re-poll churn of a several-flusher pool was itself a
+/// measurable CPU tax on oversubscribed hosts (hundreds of wake-poll
+/// cycles per step), so the net is deliberately loose.
+const FLUSHER_PARK: Duration = Duration::from_millis(1);
 
 /// How long a blocked trainer parks between wait-condition re-checks.
 const TRAINER_PARK: Duration = Duration::from_micros(50);
@@ -128,8 +133,8 @@ impl FlushCoord {
 /// [`crate::gentry::GEntryStore::take_writes_into`], and the batch is
 /// key-sorted before claiming so both the g-entry shards and the dense
 /// host/state tables are walked in address order. The claimed ranges then
-/// replay through [`frugal_embed::apply_claims`] — the same entry point the
-/// write-through leader's list apply uses.
+/// replay through [`frugal_embed::apply_claims`] — the same optimizer/store
+/// path the write-through trainers' sharded apply uses.
 ///
 /// Claim-all-then-apply-all is safe under the in-flight marker: the guarded
 /// dequeue publishes the batch's minimum priority *before* extraction and
@@ -145,6 +150,9 @@ pub(crate) fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
     // plus each claimed key's range into them.
     let mut writes: PendingWrites = Vec::new();
     let mut claims: Vec<FlushClaim> = Vec::with_capacity(shared.cfg.flush_batch);
+    // Cheapest per-row apply cost this flusher has observed — the
+    // interference floor (see below).
+    let mut floor_row_ns = u64::MAX;
     loop {
         out.clear();
         let t_deq = Instant::now();
@@ -177,9 +185,12 @@ pub(crate) fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
             t_deq,
             SpanArgs::one("batch", out.len() as u64),
         );
-        let t_apply = Instant::now();
-        // Key-sorted batch apply: claims then walk the g-entry shards and
-        // the dense host/state rows in ascending key (address) order.
+        // Claim phase, timed apart from the apply: the batch sort and the
+        // g-entry extraction contend with registering trainers on the
+        // shard locks, so folding them into the apply window made
+        // `flush_apply_ns_row` look like the kernels slowed down at 8
+        // trainers when it was really lock/queue bookkeeping.
+        let t_claim = Instant::now();
         out.sort_unstable();
         writes.clear();
         claims.clear();
@@ -190,6 +201,11 @@ pub(crate) fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
                 claims.push((key, start, start + n));
             }
         }
+        let claim_ns = t_claim.elapsed().as_nanos() as u64;
+        shared.metrics.flush_claim_ns.add(claim_ns);
+        // Pure apply: optimizer step + host-store write, walking the
+        // dense host/state rows in ascending key (address) order.
+        let t_apply = Instant::now();
         let applied =
             frugal_embed::apply_claims(shared.store, shared.rule.as_ref(), &claims, &writes);
         if applied > 0 {
@@ -197,7 +213,23 @@ pub(crate) fn flusher_loop(shared: &RunShared<'_>, slot: usize) {
             shared.metrics.flush_apply_ns.add(apply_ns);
             shared.metrics.flush_rows.add(applied);
             shared.metrics.flush_batch_rows.record(applied);
-            shared.metrics.flush_apply_row_ns.record(apply_ns / applied);
+            let row_ns = apply_ns / applied;
+            shared.metrics.flush_apply_row_ns.record(row_ns);
+            // Interference isolation: per-row cost is flat when this
+            // thread runs undisturbed, so track the cheapest batch seen
+            // as the floor and attribute any ≥ 4× blow-up's excess to
+            // preemption mid-batch (wall time, not work). On a host with
+            // fewer cores than threads this is the dominant source of
+            // per-row "inflation" at high trainer counts.
+            if row_ns > 0 && row_ns < floor_row_ns {
+                floor_row_ns = row_ns;
+            }
+            if floor_row_ns < u64::MAX && row_ns > 4 * floor_row_ns {
+                shared
+                    .metrics
+                    .flush_apply_interference_ns
+                    .add(apply_ns - applied * floor_row_ns);
+            }
             lane.add_current(LedgerPhase::FlushApply, apply_ns);
             rec.record_completed(Phase::FlushApply, t_apply, SpanArgs::one("rows", applied));
             // Stall provenance: stamp this batch and emit the producing

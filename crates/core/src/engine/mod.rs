@@ -8,12 +8,13 @@
 //!   with UVA-style zero-copy reads, which are safe because the wait
 //!   condition guarantees no key read at step `s` has unflushed updates.
 //! * **Backward** — per-GPU gradients are aggregated per key in canonical
-//!   order at a step barrier; the barrier leader merges them and publishes
-//!   the step's update list, then **every trainer registers the g-entry
+//!   order at a step barrier; **every trainer then reduces the key shards
+//!   it owns across all per-GPU aggregators in GPU index order**
+//!   (decentralized all-to-all — no leader-serial merge), applies its
+//!   shard synchronously under write-through, and registers the g-entry
 //!   writes (and, under P²F, the step `s + L` reads) for the
-//!   [`GEntryStore`] shards it owns** using the batch APIs — the
-//!   registration work the paper puts on the critical path (Exp #4a) is
-//!   sharded across trainers instead of serialized on the leader.
+//!   [`GEntryStore`] shards it owns using the batch APIs — none of the
+//!   per-key step work (Exp #4a) is serialized on a leader thread.
 //! * **Flushing threads** — dequeue the highest-priority g-entries and apply
 //!   their pending updates to the host store in step order; idle flushers
 //!   park on the flush condvar (bounded wait) instead of burning a core.
@@ -27,8 +28,9 @@
 //! * [`strategy`] — the [`FlushStrategy`] trait and its three impls: `P2f`
 //!   (the paper's system), `WriteThrough` (the Frugal-Sync baseline), and
 //!   `Fifo` (the arrival-order priority ablation).
-//! * [`step`] — the three-barrier step protocol (A: merge + publish,
-//!   B→C: sharded registration, C: bookkeeping) and its shared state.
+//! * [`step`] — the three-barrier step protocol (A→B: decentralized
+//!   sharded reduce + sharded apply, B→C: sharded registration,
+//!   C: bookkeeping), the sample ring, and their shared state.
 //! * [`trainer`] — the per-GPU loop and the registration phase.
 //! * [`flusher`] — the flusher pool: coordination ([`FlushCoord`]) and the
 //!   per-thread drain loop.
@@ -187,7 +189,7 @@ impl FrugalEngine {
             gstore: GEntryStore::with_policy(strategy.priority_policy()),
             pq,
             sharding: Sharding::new(n),
-            step: step::StepState::new(n, model.dim(), cfg.steps),
+            step: step::StepState::new(n, model.dim(), cfg.steps, cfg.lookahead),
             flush: FlushCoord::new(cfg.flush_threads),
             metrics: RunMetrics::new(&registry, strategy.stall_counter()),
         };

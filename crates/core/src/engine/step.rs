@@ -1,29 +1,52 @@
-//! The three-barrier step protocol: what leaders do between barriers A, B,
-//! and C, and the shared state that carries a step across them.
+//! The three-barrier step protocol: the decentralized reduce between
+//! barriers A and B, and the shared state that carries a step across them.
 //!
 //! Each step crosses three barriers. The thread the barrier elects can
 //! differ at each crossing, so leader state lives in [`StepState`], not
 //! thread-locals:
 //!
 //! 1. trainers deposit per-GPU aggregates and phase times → **A** →
-//! 2. the A-leader merges aggregates (GPU index order — canonical),
-//!    publishes the step's [`StepWork`] (update list + `s + L` read lists),
-//!    and runs the strategy's synchronous leader apply (write-through's
-//!    whole-list flush; a no-op under P²F/FIFO) → **B** →
-//! 3. *every* trainer runs its registration phase (see
-//!    [`super::trainer::register_phase`]); the B-leader then composes the
-//!    iteration's phase maxima (before C, so slow trainers cannot race slot
-//!    reuse) → **C** →
+//! 2. *every* trainer reduces the key shards it owns across all per-GPU
+//!    aggregator slots in GPU index order ([`reduce_own_shard`]) and
+//!    publishes the result in its own update slot; under write-through it
+//!    then applies its slot to the host store (the sharded form of the old
+//!    leader apply). The A-leader only advances the ledger cursor, ends
+//!    the model step, and resets the per-step atomics → **B** →
+//! 3. every trainer runs its registration phase (see
+//!    [`super::trainer::register_phase`]) over all owners' update slots;
+//!    the B-leader then composes the iteration's phase maxima (before C,
+//!    so slow trainers cannot race slot reuse) → **C** →
 //! 4. the C-leader finalizes bookkeeping (`set_upper_bound`, stall model,
 //!    iteration record) while other trainers already enter step `s + 1` —
 //!    nothing it does gates their wait condition.
+//!
+//! # Why the reduce stays bit-identical to the serial leader merge
+//!
+//! Bit-equality needs every key's gradients summed in the canonical order
+//! (sample order within a GPU — already inside each deposited aggregator —
+//! then GPU index order across GPUs). The *across-key* order is free:
+//! rows are independent. [`reduce_own_shard`] scans `agg_slots[0..n]` in
+//! index order and folds only the keys trainer `g` owns
+//! ([`GEntryStore::owner_of`]), so each key sees exactly the serial
+//! leader's addition sequence, just on a different thread. Ownership
+//! partitions the key space, so every key is reduced exactly once.
+//!
+//! # The sample ring
+//!
+//! [`SampleRing`] double-buffers sampling: at the top of step `s`, trainer
+//! `g` draws step `s + L`'s batch for its own GPU and publishes it; the
+//! batch consumed at step `s` was published `L` steps ago. Registration
+//! (the `s + L` read prefetch) reads all GPUs' lists straight from the
+//! ring, so the workload is sampled exactly once per (step, GPU) — the old
+//! leader gathered every trainer's list a second time each step.
 
 use super::stall::{self, FlushWindow};
 use super::RunShared;
+use crate::gentry::GEntryStore;
 use frugal_data::Key;
 use frugal_embed::GradAggregator;
 use frugal_sim::{IterBreakdown, Nanos};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -37,22 +60,48 @@ pub(crate) struct PhaseTimes {
     pub(crate) loss: f32,
 }
 
-/// The step's shared work product, written by the A-leader between
-/// barriers A and B, read by every trainer between B and C. The barriers
-/// serialize the write against the reads, so the lock is never contended —
-/// it exists to keep the hand-off safe without `unsafe`.
-#[derive(Debug, Default)]
-pub(crate) struct StepWork {
-    /// This step's merged updates in canonical arrival order, each row
-    /// shared between the g-entry W set and the owner GPU's cache.
-    pub(crate) updates: Vec<(Key, Arc<[f32]>)>,
-    /// Raw per-GPU key lists of step `s + L` (the sample-queue prefetch);
-    /// empty when `s + L` is past the end of training or when the strategy
-    /// does not register reads. Gathered once by the leader so trainers do
-    /// not re-query the workload `n` times each.
-    pub(crate) reads: Vec<Vec<Key>>,
-    /// The step the `reads` lists belong to.
-    pub(crate) read_step: u64,
+/// Per-GPU ring of published sample batches, indexed `[gpu][step % len]`.
+///
+/// Trainer `g` is the only writer of row `g`: it publishes step
+/// `s + lookahead`'s keys at the top of step `s` (and steps
+/// `0..lookahead` before the loop). Readers are trainer `g` itself (its
+/// own batch at step `s`) and, under read-registering strategies, every
+/// trainer's registration phase (the `s + lookahead` lists of all GPUs,
+/// after barrier B of step `s` — barrier A orders the publish before
+/// those reads).
+///
+/// The ring holds `lookahead + 2` slots: values `s..=s+L` must stay live
+/// while step `s` runs, plus one slot of slack so publishing `s + L` at
+/// the *top* of step `s` never overwrites a slot whose batch read is
+/// still pending.
+#[derive(Debug)]
+pub(crate) struct SampleRing {
+    slots: Vec<Vec<RwLock<Vec<Key>>>>,
+    len: u64,
+}
+
+impl SampleRing {
+    fn new(n_gpus: usize, lookahead: u64) -> Self {
+        let len = lookahead + 2;
+        SampleRing {
+            slots: (0..n_gpus)
+                .map(|_| (0..len).map(|_| RwLock::new(Vec::new())).collect())
+                .collect(),
+            len,
+        }
+    }
+
+    /// Publishes `keys` as GPU `gpu`'s batch of `step`.
+    pub(crate) fn publish(&self, gpu: usize, step: u64, keys: Vec<Key>) {
+        *self.slots[gpu][(step % self.len) as usize].write() = keys;
+    }
+
+    /// Reads GPU `gpu`'s batch of `step`. The caller must only ask for
+    /// steps inside the live window (see type docs); the barriers provide
+    /// the publish → read ordering.
+    pub(crate) fn read(&self, gpu: usize, step: u64) -> RwLockReadGuard<'_, Vec<Key>> {
+        self.slots[gpu][(step % self.len) as usize].read()
+    }
 }
 
 /// Rotating-leader state: the barrier can elect a different thread at each
@@ -60,11 +109,6 @@ pub(crate) struct StepWork {
 /// later crossing lives here.
 #[derive(Debug)]
 pub(crate) struct LeaderState {
-    /// Cross-GPU merged aggregates (reused arena; drained every step).
-    pub(crate) merged: GradAggregator,
-    /// The strategy's synchronous leader-apply stall for this step
-    /// (write-through's modeled flush; zero for background strategies).
-    pub(crate) sync_stall: Nanos,
     /// Phase maxima composed by the B-leader, finalized by the C-leader.
     pub(crate) it: IterBreakdown,
     pub(crate) loss_sum: f32,
@@ -72,18 +116,25 @@ pub(crate) struct LeaderState {
     pub(crate) window: FlushWindow,
 }
 
-/// The step protocol's shared state: deposit slots, the published step
-/// work, rotating-leader state, and the per-run iteration records.
+/// The step protocol's shared state: deposit slots, the per-owner reduced
+/// update slots, the sample ring, rotating-leader state, and the per-run
+/// iteration records.
 #[derive(Debug)]
 pub(crate) struct StepState {
     /// Per-GPU aggregators: trainers swap their full scratch aggregator in
-    /// before barrier A; the A-leader drains them in GPU index order. Kept
-    /// warm (arena reuse) across steps.
-    pub(crate) agg_slots: Vec<Mutex<GradAggregator>>,
+    /// before barrier A; after A every trainer read-scans all of them in
+    /// GPU index order. Kept warm (arena reuse) across steps.
+    pub(crate) agg_slots: Vec<RwLock<GradAggregator>>,
+    /// Per-owner reduced updates: slot `g` holds the merged
+    /// `(key, grad)` rows trainer `g` owns this step, in canonical
+    /// arrival order. Written by the owner between A and B, read by every
+    /// trainer between B and C (and by the C-leader for the write-through
+    /// stall row count).
+    pub(crate) update_slots: Vec<RwLock<Vec<(Key, Arc<[f32]>)>>>,
     /// Per-GPU phase instrumentation for the current step.
     pub(crate) phase_slots: Vec<Mutex<PhaseTimes>>,
-    /// The step's published work (see [`StepWork`]).
-    pub(crate) work: RwLock<StepWork>,
+    /// The double-buffered sample pipeline (see [`SampleRing`]).
+    pub(crate) ring: SampleRing,
     /// Rotating-leader state (see [`LeaderState`]).
     pub(crate) leader: Mutex<LeaderState>,
     /// Keys of step `s + 1` with pending writes after registration, summed
@@ -98,18 +149,17 @@ pub(crate) struct StepState {
 }
 
 impl StepState {
-    pub(crate) fn new(n_gpus: usize, dim: usize, steps: u64) -> Self {
+    pub(crate) fn new(n_gpus: usize, dim: usize, steps: u64, lookahead: u64) -> Self {
         StepState {
             agg_slots: (0..n_gpus)
-                .map(|_| Mutex::new(GradAggregator::new(dim)))
+                .map(|_| RwLock::new(GradAggregator::new(dim)))
                 .collect(),
+            update_slots: (0..n_gpus).map(|_| RwLock::new(Vec::new())).collect(),
             phase_slots: (0..n_gpus)
                 .map(|_| Mutex::new(PhaseTimes::default()))
                 .collect(),
-            work: RwLock::new(StepWork::default()),
+            ring: SampleRing::new(n_gpus, lookahead),
             leader: Mutex::new(LeaderState {
-                merged: GradAggregator::new(dim),
-                sync_stall: Nanos::ZERO,
                 it: IterBreakdown::default(),
                 loss_sum: 0.0,
                 window: FlushWindow::default(),
@@ -122,45 +172,46 @@ impl StepState {
     }
 }
 
-/// The A-leader's work between barriers A and B: merge the per-GPU
-/// aggregates in GPU index order (canonical), publish the step's update
-/// list and `s + L` read lists as [`StepWork`], and run the strategy's
-/// synchronous leader apply (the Frugal-Sync stall under write-through).
+/// The decentralized reduce, run by *every* trainer between barriers A
+/// and B: fold the keys trainer `g` owns across all per-GPU aggregator
+/// slots in GPU index order into `merged` (a per-trainer scratch arena),
+/// then publish the drained rows in `update_slots[g]`.
+///
+/// See the module docs for the bit-equality argument. Visibility: the
+/// deposits into `agg_slots` happen before barrier A; the slots are next
+/// written before barrier A of step `s + 1`, which cannot complete until
+/// every reducer is long past B — the read locks here never observe a
+/// mid-swap aggregator.
+pub(crate) fn reduce_own_shard(shared: &RunShared<'_>, g: usize, merged: &mut GradAggregator) {
+    let n = shared.cfg.n_gpus();
+    merged.clear();
+    for slot in &shared.step.agg_slots {
+        let agg = slot.read();
+        for (key, grad) in agg.entries() {
+            if GEntryStore::owner_of(key, n) == g {
+                merged.add(key, grad);
+            }
+        }
+    }
+    let mut out = shared.step.update_slots[g].write();
+    out.clear();
+    merged.drain_arcs(&mut out);
+}
+
+/// The A-leader's (now O(1)) work between barriers A and B: route flusher
+/// ledger attribution to this step, end the model's step, and reset the
+/// per-step atomics. The heavy lifting the A-leader used to do — merge,
+/// publish, synchronous apply, lookahead re-sampling — is decentralized
+/// into [`reduce_own_shard`], the per-owner write-through apply, and the
+/// [`SampleRing`].
 pub(crate) fn leader_prepare(shared: &RunShared<'_>, s: u64) {
-    let cfg = shared.cfg;
     // Route flusher-lane ledger attribution to this step (±1-step
     // approximation: background work between barrier A of step s and
     // barrier A of step s + 1 books to step s).
-    cfg.telemetry.ledger_advance(s);
-    let leader = &mut *shared.step.leader.lock();
-    for slot in &shared.step.agg_slots {
-        leader.merged.merge_from(&mut slot.lock());
-    }
+    shared.cfg.telemetry.ledger_advance(s);
     shared.model.end_step(s);
-
-    let mut work = shared.step.work.write();
-    work.updates.clear();
-    leader.merged.drain_arcs(&mut work.updates);
-
-    // Sample queue: gather the raw reads of step s + L once for all
-    // trainers (they filter to their own shards between B and C). Only
-    // read-driven strategies consume them.
-    work.reads.clear();
-    let rs = s + cfg.lookahead;
-    work.read_step = rs;
-    if shared.strategy.registers_reads() && rs < cfg.steps {
-        for g in 0..cfg.n_gpus() {
-            let keys = shared.workload.keys(rs, g);
-            work.reads.push(keys);
-        }
-    }
-
-    leader.sync_stall =
-        shared
-            .strategy
-            .leader_apply(cfg, shared.store, shared.rule.as_ref(), &work.updates);
-    drop(work);
-
+    // Safe to reset while other trainers reduce: they only touch these
+    // counters after barrier B.
     shared.step.blocking_next.store(0, Ordering::Release);
     shared.step.reg_ns_max.store(0, Ordering::Release);
 }
@@ -190,7 +241,8 @@ pub(crate) fn compose_phases(shared: &RunShared<'_>) {
 /// model the stall, and push the iteration record. Nothing here gates the
 /// other trainers' next step — they are already past C — and the next
 /// barrier A cannot complete before this thread arrives, so the next
-/// [`leader_prepare`] never races these reads.
+/// [`leader_prepare`] (and the owners' update-slot rewrites, which happen
+/// after that barrier) never race these reads.
 pub(crate) fn leader_finish(shared: &RunShared<'_>, s: u64) {
     let cfg = shared.cfg;
     let n = cfg.n_gpus();
@@ -227,10 +279,14 @@ pub(crate) fn leader_finish(shared: &RunShared<'_>, s: u64) {
     it.other += gentry_time * oversub + cfg.cost.framework_frugal();
     it.stall = if shared.strategy.uses_flushers() {
         // Advance the flusher-cost window every step so the per-row
-        // estimate tracks *current* flusher behaviour.
+        // estimate tracks *current* flusher behaviour. The claim phase
+        // (sorting + g-entry extraction) counts on the dequeue side: like
+        // the PQ dequeue it is queue bookkeeping, not host-apply work, and
+        // keeping it out of the apply rate keeps the modeled per-row apply
+        // comparable across trainer counts.
         let (deq_ns, apply_ns) = stall::windowed_per_row(
             &mut leader.window,
-            shared.metrics.flush_dequeue_ns.get(),
+            shared.metrics.flush_dequeue_ns.get() + shared.metrics.flush_claim_ns.get(),
             shared.metrics.flush_apply_ns.get(),
             shared.metrics.flush_rows.get(),
         );
@@ -243,7 +299,16 @@ pub(crate) fn leader_finish(shared: &RunShared<'_>, s: u64) {
         shared.metrics.blocking_rows_next.set(blocking as i64);
         stall::virtual_stall(shared, s, blocking, deq_ns, apply_ns)
     } else {
-        leader.sync_stall
+        // Write-through: the modeled synchronous flush of this step's
+        // whole update list. The owners' slots are stable until after the
+        // next barrier A, which waits on this thread.
+        let rows: u64 = shared
+            .step
+            .update_slots
+            .iter()
+            .map(|slot| slot.read().len() as u64)
+            .sum();
+        shared.strategy.sync_stall(cfg, rows)
     };
     shared.metrics.stall_modeled_ns.add(it.stall.as_nanos());
     shared.step.iters.lock().push((it, loss_sum / n as f32));

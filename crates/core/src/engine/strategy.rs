@@ -12,7 +12,7 @@
 //! | lookahead read registration | yes                    | no                | no                  |
 //! | enqueue priority            | earliest future read   | —                 | write step          |
 //! | step `s` waits while        | pending floor ≤ `s`    | never             | pending floor ≤ `s−1` |
-//! | leader-side apply           | —                      | whole update list | —                   |
+//! | sharded synchronous apply   | —                      | owner's update slot | —                 |
 //! | modeled stall rows          | blocking next-step keys| all rows (sync)   | own written keys    |
 //!
 //! All three preserve synchronous consistency (bit-equality with the
@@ -84,16 +84,25 @@ pub(crate) trait FlushStrategy: Sync + std::fmt::Debug {
     /// (a raised bound can unblock their scan range).
     fn upper_bound_after(&self, s: u64, lookahead: u64) -> Option<u64>;
 
-    /// The leader's synchronous apply between barriers A and B. Returns
-    /// the modeled stall of that apply ([`Nanos::ZERO`] for strategies
-    /// that defer to background flushers).
-    fn leader_apply(
+    /// The synchronous apply between barriers A and B, run by *every*
+    /// trainer over the update slot it owns (the sharded successor of the
+    /// old whole-list leader apply). Ownership partitions the key space,
+    /// so the write-through applies touch disjoint host rows and need no
+    /// coordination — the same discipline the background flushers already
+    /// rely on. A no-op for strategies that defer to flushers.
+    fn shard_apply(
         &self,
-        cfg: &FrugalConfig,
         store: &HostStore,
         rule: &dyn UpdateRule,
-        updates: &[(Key, Arc<[f32]>)],
-    ) -> Nanos;
+        own_updates: &[(Key, Arc<[f32]>)],
+    );
+
+    /// The modeled stall of this step's synchronous flush of `rows` rows
+    /// ([`Nanos::ZERO`] for strategies that defer to background
+    /// flushers). Consulted by the C-leader, which sums the owners'
+    /// update-slot sizes — the modeled cost covers the *whole* step's
+    /// list, exactly as the serial leader apply did.
+    fn sync_stall(&self, cfg: &FrugalConfig, rows: u64) -> Nanos;
 
     /// How many rows the modeled stall must cover after step `s`:
     /// `blocking_next` is the registration-time count of gating keys with
@@ -157,13 +166,9 @@ impl FlushStrategy for P2f {
         Some(s + 1 + lookahead)
     }
 
-    fn leader_apply(
-        &self,
-        _cfg: &FrugalConfig,
-        _store: &HostStore,
-        _rule: &dyn UpdateRule,
-        _updates: &[(Key, Arc<[f32]>)],
-    ) -> Nanos {
+    fn shard_apply(&self, _store: &HostStore, _rule: &dyn UpdateRule, _own: &[(Key, Arc<[f32]>)]) {}
+
+    fn sync_stall(&self, _cfg: &FrugalConfig, _rows: u64) -> Nanos {
         Nanos::ZERO
     }
 
@@ -172,8 +177,9 @@ impl FlushStrategy for P2f {
     }
 }
 
-/// The Frugal-Sync baseline: the leader applies every update inside the
-/// barrier; the time it would take on real hardware is the stall (§3.1).
+/// The Frugal-Sync baseline: every trainer applies the updates it owns
+/// inside the barrier; the time the whole list would take on real
+/// hardware is the stall (§3.1).
 #[derive(Debug)]
 struct WriteThrough;
 
@@ -211,22 +217,22 @@ impl FlushStrategy for WriteThrough {
         None
     }
 
-    fn leader_apply(
-        &self,
-        cfg: &FrugalConfig,
-        store: &HostStore,
-        rule: &dyn UpdateRule,
-        updates: &[(Key, Arc<[f32]>)],
-    ) -> Nanos {
-        // The write-through flush the paper describes: every update
-        // crosses PCIe to host memory synchronously, with no background
-        // overlap (the real apply runs at host-memcpy speed and is not
-        // representative; the cost model supplies the stall). Applied
-        // through the shared rule — the same host-path state the flushers
-        // would use — so stateful optimizers expose correct
-        // `state_snapshot`s to cache fills in this mode too.
-        frugal_embed::apply_updates(store, rule, updates);
-        cfg.cost.sync_flush(updates.len() as u64, cfg.n_gpus())
+    fn shard_apply(&self, store: &HostStore, rule: &dyn UpdateRule, own: &[(Key, Arc<[f32]>)]) {
+        // The write-through flush the paper describes, sharded by key
+        // ownership: each trainer pushes its owned rows to host memory
+        // inside the barrier (the real apply runs at host-memcpy speed
+        // and is not representative; the cost model supplies the stall).
+        // Applied through the shared rule — the same host-path state the
+        // flushers would use — so stateful optimizers expose correct
+        // `state_snapshot`s to cache fills in this mode too. Owners touch
+        // disjoint rows, so the concurrent applies are race-free.
+        frugal_embed::apply_updates(store, rule, own);
+    }
+
+    fn sync_stall(&self, cfg: &FrugalConfig, rows: u64) -> Nanos {
+        // Every update crosses PCIe synchronously with no background
+        // overlap; the modeled stall covers the full step list.
+        cfg.cost.sync_flush(rows, cfg.n_gpus())
     }
 
     fn stall_rows(&self, _blocking_next: u64, _pending_keys: u64) -> u64 {
@@ -283,13 +289,9 @@ impl FlushStrategy for Fifo {
         Some(s + 1)
     }
 
-    fn leader_apply(
-        &self,
-        _cfg: &FrugalConfig,
-        _store: &HostStore,
-        _rule: &dyn UpdateRule,
-        _updates: &[(Key, Arc<[f32]>)],
-    ) -> Nanos {
+    fn shard_apply(&self, _store: &HostStore, _rule: &dyn UpdateRule, _own: &[(Key, Arc<[f32]>)]) {}
+
+    fn sync_stall(&self, _cfg: &FrugalConfig, _rows: u64) -> Nanos {
         Nanos::ZERO
     }
 
@@ -333,6 +335,15 @@ mod tests {
         assert!(!s.uses_flushers() && !s.registers_reads());
         assert_eq!(s.wait_threshold(5), None, "never waits");
         assert_eq!(s.upper_bound_after(5, 10), None);
+    }
+
+    #[test]
+    fn sync_stall_charges_only_write_through() {
+        let cfg = FrugalConfig::commodity(2, 10);
+        assert_eq!(for_mode(FlushMode::P2f).sync_stall(&cfg, 100), Nanos::ZERO);
+        assert_eq!(for_mode(FlushMode::Fifo).sync_stall(&cfg, 100), Nanos::ZERO);
+        let wt = for_mode(FlushMode::WriteThrough).sync_stall(&cfg, 100);
+        assert!(wt > Nanos::ZERO, "write-through models the sync flush");
     }
 
     #[test]

@@ -5,13 +5,12 @@ use super::step::{self, PhaseTimes};
 use super::RunShared;
 use crate::gentry::{GEntryStore, PqOpScratch};
 use crate::wait;
-use frugal_data::Key;
+use frugal_data::{Key, KeyHashMap, KeyHashSet};
 use frugal_embed::{GpuCache, GradAggregator};
 use frugal_sim::{HostPath, Nanos};
 use frugal_telemetry::{
     LaneKind, LedgerLane, LedgerPhase, Phase, SpanArgs, StallRecord, ThreadRecorder,
 };
-use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,7 +24,7 @@ use super::barrier::SpinBarrier;
 /// (the per-row `Arc` gradients and the workload's sampled key lists).
 pub(crate) struct StepScratch {
     /// Batch dedup: key → slot in `unique`.
-    index_of: HashMap<Key, usize>,
+    index_of: KeyHashMap<usize>,
     unique: Vec<Key>,
     /// Unique rows, `unique.len() × dim`.
     urows: Vec<f32>,
@@ -35,12 +34,16 @@ pub(crate) struct StepScratch {
     missing: Vec<(usize, Key)>,
     /// Per-GPU gradient aggregator (swapped with the deposit slot).
     agg: GradAggregator,
+    /// Reduce arena: this trainer's owned-key merge across all deposit
+    /// slots (see [`step::reduce_own_shard`]). Drained into the trainer's
+    /// update slot every step; allocations kept warm.
+    merged: GradAggregator,
     /// Own-shard write batches, one bucket per owned g-entry shard.
     write_bufs: Vec<Vec<(Key, Arc<[f32]>)>>,
     /// Own-shard read batches, one bucket per owned g-entry shard.
     read_bufs: Vec<Vec<Key>>,
     /// Per-step dedup of own-shard lookahead reads.
-    read_seen: HashSet<Key>,
+    read_seen: KeyHashSet,
     /// Staged PQ operations for the g-entry batch calls.
     pq_ops: PqOpScratch,
     /// Own-shard deduped lookahead key lists by `step % ring len`, written
@@ -64,15 +67,16 @@ impl StepScratch {
             .filter(|sid| sid % n_gpus == gpu)
             .count();
         StepScratch {
-            index_of: HashMap::new(),
+            index_of: KeyHashMap::default(),
             unique: Vec::new(),
             urows: Vec::new(),
             rows: Vec::new(),
             missing: Vec::new(),
             agg: GradAggregator::new(dim),
+            merged: GradAggregator::new(dim),
             write_bufs: (0..owned).map(|_| Vec::new()).collect(),
             read_bufs: (0..owned).map(|_| Vec::new()).collect(),
-            read_seen: HashSet::new(),
+            read_seen: KeyHashSet::default(),
             pq_ops: PqOpScratch::default(),
             // Slots for steps s..=s+L plus one of slack so a slot is never
             // rewritten before the blocking count for its step has run.
@@ -85,15 +89,15 @@ impl StepScratch {
 }
 
 /// Registers trainer `g`'s owned-shard reads of step `read_step`, drawing
-/// the per-GPU key lists from `lists`: filters to owned shards, dedups into
-/// the shard buckets, registers each bucket with one batch call, and files
-/// the deduped (shard-grouped) keys in the lookahead ring for the later
-/// blocking-rows count.
+/// every GPU's key list of that step from the sample ring (published at
+/// the top of step `read_step - L`, ordered before these reads by barrier
+/// A): filters to owned shards, dedups into the shard buckets, registers
+/// each bucket with one batch call, and files the deduped (shard-grouped)
+/// keys in the lookahead ring for the later blocking-rows count.
 pub(crate) fn register_own_reads(
     shared: &RunShared<'_>,
     g: usize,
     read_step: u64,
-    lists: &[Vec<Key>],
     scratch: &mut StepScratch,
 ) {
     let n = shared.cfg.n_gpus();
@@ -101,8 +105,9 @@ pub(crate) fn register_own_reads(
         buf.clear();
     }
     scratch.read_seen.clear();
-    for list in lists {
-        for &key in list {
+    for gg in 0..n {
+        let list = shared.step.ring.read(gg, read_step);
+        for &key in list.iter() {
             let sid = GEntryStore::shard_of(key);
             if sid % n == g && scratch.read_seen.insert(key) {
                 scratch.read_bufs[sid / n].push(key);
@@ -169,25 +174,32 @@ pub(crate) fn register_phase(
     let cfg = shared.cfg;
     let n = cfg.n_gpus();
     let proactive = shared.strategy.uses_flushers();
-    let work = shared.step.work.read();
     let t0 = Instant::now();
 
-    // Single pass over the step's updates: fold owner-routed rows into the
-    // local cache (the cache sees the same per-key gradient sequence as
-    // the host path, keeping both bit-identical) and bucket own-shard rows
-    // for batch registration.
+    // Single pass over the step's updates — the per-owner reduced slots,
+    // scanned in owner index order: fold owner-routed rows into the local
+    // cache (the cache sees the same per-key gradient sequence as the
+    // host path, keeping both bit-identical) and bucket own-shard rows
+    // for batch registration. The slots were written between A and B by
+    // their owners; barrier B orders those writes before these reads.
     for buf in &mut scratch.write_bufs {
         buf.clear();
     }
-    for (key, grad) in &work.updates {
-        if shared.sharding.is_local(*key, g) {
-            if let Some(row) = cache.get_mut(key) {
-                cache_opt.update_row(*key, row, grad);
+    for (owner, owner_slot) in shared.step.update_slots.iter().enumerate() {
+        let updates = owner_slot.read();
+        // G-entry ownership is the same partition the reduce used, so the
+        // own-shard write buckets fill exclusively from this trainer's
+        // own slot; the cache update still scans every slot (cache
+        // ownership — `key % n` — is a different partition).
+        let bucket_own = proactive && owner == g;
+        for (key, grad) in updates.iter() {
+            if shared.sharding.is_local(*key, g) {
+                if let Some(row) = cache.get_mut(key) {
+                    cache_opt.update_row(*key, row, grad);
+                }
             }
-        }
-        if proactive {
-            let sid = GEntryStore::shard_of(*key);
-            if sid % n == g {
+            if bucket_own {
+                let sid = GEntryStore::shard_of(*key);
                 scratch.write_bufs[sid / n].push((*key, Arc::clone(grad)));
             }
         }
@@ -216,11 +228,14 @@ pub(crate) fn register_phase(
 
         if shared.strategy.registers_reads() {
             // Sample-queue prefetch: the reads of step s + L, own shards
-            // only.
-            if work.read_step < cfg.steps {
-                register_own_reads(shared, g, work.read_step, &work.reads, scratch);
+            // only, drawn from the sample ring (published at the top of
+            // this step by each GPU's own trainer).
+            let read_step = s + cfg.lookahead;
+            if read_step < cfg.steps {
+                register_own_reads(shared, g, read_step, scratch);
                 if cache.uses_lookahead() {
-                    feed_cache_lookahead(shared, g, work.read_step, &work.reads[g], scratch, cache);
+                    let own_list = shared.step.ring.read(g, read_step);
+                    feed_cache_lookahead(shared, g, read_step, own_list.as_slice(), scratch, cache);
                 }
             }
         }
@@ -389,18 +404,28 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
     // each, here, instead of per step.
     let registers_reads = shared.strategy.registers_reads();
 
+    // Bootstrap the sample ring: each trainer publishes its *own* GPU's
+    // batches of steps 0..L — the in-loop publish then keeps the window
+    // one step ahead. One barrier crossing orders every publish before
+    // any cross-GPU ring read (the old bootstrap had each trainer
+    // re-sample all n GPUs' lists itself: n² workload queries).
+    for s0 in 0..cfg.lookahead.min(cfg.steps) {
+        shared.step.ring.publish(g, s0, shared.workload.keys(s0, g));
+    }
+    barrier.wait();
+
     // Initial sample-queue prefetch (paper §3.2): each trainer registers
     // its own shards' reads of steps 0..L before the first step. No writes
-    // exist yet, so this issues no queue operations and needs no
-    // cross-trainer ordering; each trainer only requires its *own*
-    // prefetch done before its own first wait, which program order gives.
+    // exist yet, so this issues no queue operations; each trainer only
+    // requires its *own* prefetch done before its own first wait, which
+    // program order gives.
     if registers_reads {
         let feed_cache = cache.uses_lookahead();
         for s0 in 0..cfg.lookahead.min(cfg.steps) {
-            let lists: Vec<Vec<Key>> = (0..n).map(|gg| shared.workload.keys(s0, gg)).collect();
-            register_own_reads(shared, g, s0, &lists, &mut scratch);
+            register_own_reads(shared, g, s0, &mut scratch);
             if feed_cache {
-                feed_cache_lookahead(shared, g, s0, &lists[g], &mut scratch, &mut cache);
+                let own_list = shared.step.ring.read(g, s0);
+                feed_cache_lookahead(shared, g, s0, own_list.as_slice(), &mut scratch, &mut cache);
             }
         }
     }
@@ -409,6 +434,16 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
         // Advance the cache policy's clock before anything observes step
         // `s` (the oracle prunes spent plan entries here).
         cache.begin_step(s);
+        // Double-buffered sampling: draw step `s + L`'s batch for this
+        // GPU *now*, before the wait condition, so sample generation
+        // overlaps the stall window instead of sitting on the critical
+        // path; the batch consumed below was published L steps ago.
+        let sample_span = rec.span(Phase::Sample);
+        let ahead = s + cfg.lookahead;
+        if ahead < cfg.steps {
+            shared.step.ring.publish(g, ahead, shared.workload.keys(ahead, g));
+        }
+        lane.add(s, LedgerPhase::Sample, sample_span.finish());
         // The strategy's wait condition — P²F's `PQ.top() > s` (§3.3), or
         // FIFO's "all writes < s flushed". The physical wait enforces
         // consistency; the *reported* stall is modeled by
@@ -472,10 +507,11 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
             }
         }
 
-        // Sample: draw this iteration's keys from the workload.
-        let sample_span = rec.span(Phase::Sample);
-        let keys = shared.workload.keys(s, g);
-        lane.add(s, LedgerPhase::Sample, sample_span.finish());
+        // Batch hand-off: this step's keys were published `L` steps ago
+        // (or in the bootstrap). The read guard pins the slot through the
+        // forward pass — safe, because only this trainer republishes the
+        // slot, at step `s + 2`, long after the guard drops.
+        let keys = shared.step.ring.read(g, s);
 
         // Forward pass 1 — cache query: dedup the batch and resolve unique
         // keys against the local cache, collecting the ones every cache
@@ -485,7 +521,7 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
         scratch.index_of.clear();
         scratch.unique.clear();
         scratch.missing.clear();
-        for &key in &keys {
+        for &key in keys.iter() {
             if let std::collections::hash_map::Entry::Vacant(e) = scratch.index_of.entry(key) {
                 e.insert(scratch.unique.len());
                 scratch.unique.push(key);
@@ -554,11 +590,11 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
         }
 
         let compute_span = rec.span(Phase::Compute);
-        let grads = shared.model.forward_backward(g, s, &keys, &scratch.rows);
+        let grads = shared.model.forward_backward(g, s, keys.as_slice(), &scratch.rows);
 
         // Aggregate this GPU's gradients per key in arrival order (the
-        // aggregator arena is reused; `drain`ed by the merge, swapped back
-        // next step).
+        // aggregator arena is reused: swapped into the deposit slot below,
+        // read by the reducers, swapped back and cleared next step).
         for (i, &key) in keys.iter().enumerate() {
             scratch
                 .agg
@@ -583,14 +619,23 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
             ),
             loss: grads.loss,
         };
+        // The batch guard is released before the barrier: the slot is
+        // republished (by this trainer) only at step s + 2.
+        drop(keys);
         // The non-critical-path flush writes are *not* charged — that is
-        // precisely Frugal's point. Frugal-Sync charges them as stall in
-        // the strategy's leader apply.
-        std::mem::swap(&mut *shared.step.agg_slots[g].lock(), &mut scratch.agg);
+        // precisely Frugal's point. Frugal-Sync charges them as stall via
+        // the strategy's `sync_stall`.
+        {
+            let mut slot = shared.step.agg_slots[g].write();
+            std::mem::swap(&mut *slot, &mut scratch.agg);
+        }
+        // The swapped-out arena still holds step s - 1's aggregates (the
+        // reduce only *reads* the deposit slots); its readers all finished
+        // before barrier B of step s - 1, so clearing here is safe.
+        scratch.agg.clear();
         *shared.step.phase_slots[g].lock() = phase.clone();
 
-        // Barrier A: aggregates deposited. The A-leader merges and
-        // publishes the step's work.
+        // Barrier A: aggregates deposited.
         let t_bar = lane.start();
         let a = barrier.wait();
         lane.add_since(s, LedgerPhase::BarrierA, t_bar);
@@ -599,7 +644,21 @@ pub(crate) fn trainer_loop(shared: &RunShared<'_>, barrier: &SpinBarrier, g: usi
             step::leader_prepare(shared, s);
             lane.add_since(s, LedgerPhase::LeaderApply, t_lead);
         }
-        // Barrier B: StepWork visible. Everyone registers their shards.
+        // Decentralized reduce: fold this trainer's owned keys across all
+        // deposit slots (GPU index order — canonical), publish them in
+        // this trainer's update slot, and run the strategy's sharded
+        // synchronous apply (write-through) on the owned rows.
+        let t_red = lane.start();
+        step::reduce_own_shard(shared, g, &mut scratch.merged);
+        {
+            let own = shared.step.update_slots[g].read();
+            shared
+                .strategy
+                .shard_apply(shared.store, shared.rule.as_ref(), &own);
+        }
+        lane.add_since(s, LedgerPhase::Reduce, t_red);
+        // Barrier B: every owner's update slot is published. Everyone
+        // registers their shards.
         let b = barrier.wait();
         register_phase(
             shared,

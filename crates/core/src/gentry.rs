@@ -499,6 +499,14 @@ impl GEntryStore {
         (key as usize) % SHARDS
     }
 
+    /// The trainer that owns `key` in an `n_gpus`-wide cohort: shard
+    /// ownership folded down to trainer index. The decentralized reduce
+    /// and the parallel write-through apply partition keys by this
+    /// function, so every key has exactly one reducer/applier per step.
+    pub fn owner_of(key: Key, n_gpus: usize) -> usize {
+        Self::shard_of(key) % n_gpus
+    }
+
     /// Number of keys with unflushed updates. The engine waits for this to
     /// reach zero when draining at the end of training ("the system waits
     /// for flushing threads to write all deferred parameter updates").

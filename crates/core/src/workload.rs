@@ -37,7 +37,10 @@ impl Workload for SyntheticTrace {
     }
 
     fn keys(&self, step: u64, gpu: usize) -> Vec<Key> {
-        self.step_keys(step).swap_remove(gpu)
+        // One GPU's stream only — `step_keys(step)` would generate (and
+        // discard) every sibling batch, multiplying per-trainer sampling
+        // cost by `n_gpus`.
+        self.gpu_keys(step, gpu)
     }
 }
 

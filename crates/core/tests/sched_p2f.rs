@@ -22,10 +22,11 @@
 #![cfg(feature = "sched")]
 
 use frugal_core::{admits, blocked_at, GEntryStore, InflightTable, PqOpScratch, PriorityPolicy};
+use frugal_embed::GradAggregator;
 use frugal_pq::{PriorityQueue, TwoLevelPq, INFINITE};
 use frugal_sched::{explore, replay, yield_point, ExploreConfig, SimBuilder};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// How the model flusher hands off dequeued entries to the wait condition.
 #[derive(Clone, Copy, PartialEq)]
@@ -668,6 +669,161 @@ fn adjust_insert_before_delete_window_survives_sweep() {
     assert!(
         !outcome.found_violation(),
         "adjust insert-before-delete must keep the wait condition sound: {:?}",
+        outcome.failure
+    );
+    assert_eq!(outcome.runs, 1024);
+}
+
+/// Number of virtual trainers in the sharded-reduce hand-off sweeps.
+const REDUCE_N: usize = 3;
+
+/// Trainer `g`'s per-step gradient contributions: overlapping keys across
+/// trainers (1, 2, 65, 130 — spanning several g-entry shards and owners)
+/// plus one private key, two adds each, with values where f32 summation
+/// order is observable. Mirrors the engine's per-GPU aggregators at
+/// barrier A.
+fn reduce_contribs(g: usize) -> Vec<(u64, [f32; 2])> {
+    let mut out = Vec::new();
+    for &key in &[1u64, 2, 65, 130, 200 + g as u64] {
+        for i in 0..2u32 {
+            let v = (g as f32 + 1.0) * 0.1 + key as f32 * 1e-4 + i as f32 * 1e-7;
+            out.push((key, [v, -v * 0.5]));
+        }
+    }
+    out
+}
+
+/// The serial oracle: one leader folds every trainer's aggregator in
+/// trainer-index order, then the merged rows are partitioned by
+/// [`GEntryStore::owner_of`]. Returns, per owner, the key-sorted
+/// `(key, f32 bit patterns)` rows the decentralized reduce must reproduce
+/// exactly.
+fn reduce_oracle() -> Vec<Vec<(u64, Vec<u32>)>> {
+    let mut leader = GradAggregator::new(2);
+    for g in 0..REDUCE_N {
+        let mut agg = GradAggregator::new(2);
+        for (key, grad) in reduce_contribs(g) {
+            agg.add(key, &grad);
+        }
+        leader.merge(agg);
+    }
+    let mut per_owner = vec![Vec::new(); REDUCE_N];
+    for (key, grad) in leader.into_sorted() {
+        let bits: Vec<u32> = grad.iter().map(|v| v.to_bits()).collect();
+        per_owner[GEntryStore::owner_of(key, REDUCE_N)].push((key, bits));
+    }
+    per_owner
+}
+
+/// The decentralized-reduce hand-off (DESIGN.md §16): every trainer
+/// deposits its per-GPU aggregator into its slot, and — after barrier A —
+/// reduces the keys it owns across *all* slots in trainer-index order.
+///
+/// * `barriered = false` models the broken hand-off: a trainer starts its
+///   cross-slot shard read right after its own deposit. The explorer must
+///   find an interleaving where a sibling's slot is still empty and the
+///   merge loses that trainer's contribution.
+/// * `barriered = true` models the engine's protocol (deposit → barrier →
+///   reduce); the sweep must be bitwise-clean against the serial oracle.
+///
+/// Slot mutexes are locked only across yield-free critical sections, so a
+/// scheduler-suspended vthread can never be holding one (the harness
+/// counts only yield points).
+fn reduce_handoff(barriered: bool) -> impl FnMut(&mut SimBuilder) {
+    move |sim: &mut SimBuilder| {
+        let slots: Arc<Vec<Mutex<GradAggregator>>> = Arc::new(
+            (0..REDUCE_N)
+                .map(|_| Mutex::new(GradAggregator::new(2)))
+                .collect(),
+        );
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let oracle = Arc::new(reduce_oracle());
+
+        for g in 0..REDUCE_N {
+            let slots = Arc::clone(&slots);
+            let arrived = Arc::clone(&arrived);
+            let oracle = Arc::clone(&oracle);
+            let name: &'static str = ["trainer-0", "trainer-1", "trainer-2"][g];
+            sim.thread(name, move || {
+                // Local accumulation (the step's backward pass).
+                let mut agg = GradAggregator::new(2);
+                for (key, grad) in reduce_contribs(g) {
+                    agg.add(key, &grad);
+                }
+                yield_point("reduce.accumulated");
+                // Deposit: swap the aggregator into this trainer's slot
+                // (no yield inside the critical section).
+                std::mem::swap(&mut *slots[g].lock().unwrap(), &mut agg);
+                arrived.fetch_add(1, Ordering::SeqCst);
+                yield_point("reduce.deposited");
+                if barriered {
+                    // Barrier A modeled as an arrival counter.
+                    for _ in 0..64 {
+                        if arrived.load(Ordering::SeqCst) == REDUCE_N {
+                            break;
+                        }
+                        yield_point("reduce.barrier_wait");
+                    }
+                    assert_eq!(
+                        arrived.load(Ordering::SeqCst),
+                        REDUCE_N,
+                        "barrier starved"
+                    );
+                }
+                // Own-shard reduce across every slot, trainer-index order —
+                // the canonical per-key summation order.
+                let mut merged = GradAggregator::new(2);
+                for slot in slots.iter() {
+                    {
+                        // Guard dropped before the yield below: a vthread
+                        // suspended at a yield point must never hold a
+                        // slot lock a runnable sibling could contend.
+                        let deposited = slot.lock().unwrap();
+                        for (key, grad) in deposited.entries() {
+                            if GEntryStore::owner_of(key, REDUCE_N) == g {
+                                merged.add(key, grad);
+                            }
+                        }
+                    }
+                    yield_point("reduce.slot_read");
+                }
+                let got: Vec<(u64, Vec<u32>)> = merged
+                    .into_sorted()
+                    .into_iter()
+                    .map(|(k, v)| (k, v.iter().map(|x| x.to_bits()).collect()))
+                    .collect();
+                assert_eq!(
+                    got, oracle[g],
+                    "owner {g}'s reduce diverged bitwise from the serial oracle"
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn unbarriered_reduce_handoff_is_found_and_replays() {
+    let cfg = quiet(0..1024);
+    let outcome = explore(&cfg, reduce_handoff(false));
+    let failure = outcome
+        .failure
+        .expect("reduce without the deposit barrier must lose a sibling's contribution");
+    assert!(failure.failures[0]
+        .message
+        .contains("diverged bitwise from the serial oracle"));
+    eprintln!("unbarriered reduce hand-off: replay seed {}", failure.seed);
+    let replayed = replay(failure.seed, &cfg.sim, reduce_handoff(false));
+    assert!(replayed.failed());
+    assert_eq!(replayed.trace, failure.trace);
+}
+
+#[test]
+fn barriered_reduce_handoff_survives_sweep() {
+    let outcome = explore(&quiet(0..1024), reduce_handoff(true));
+    assert!(
+        !outcome.found_violation(),
+        "deposit → barrier → own-shard reduce must stay bitwise-identical \
+         to the serial oracle: {:?}",
         outcome.failure
     );
     assert_eq!(outcome.runs, 1024);

@@ -18,9 +18,11 @@
 #![warn(missing_debug_implementations)]
 
 mod datasets;
+mod hash;
 mod trace;
 mod zipf;
 
 pub use datasets::{KgDatasetSpec, RecDatasetSpec};
+pub use hash::{KeyBuildHasher, KeyHashMap, KeyHashSet, KeyHasher};
 pub use trace::{latent_weight, Key, KgBatch, KgTrace, RecBatch, RecTrace, SyntheticTrace};
-pub use zipf::{DistError, KeyDistribution, KeySampler, Zipf};
+pub use zipf::{DistError, KeyDistribution, KeySampler, Zipf, ZipfAlias, ALIAS_TABLE_MAX};

@@ -112,12 +112,21 @@ impl SyntheticTrace {
     /// The keys each GPU accesses at `step` (outer index: GPU).
     pub fn step_keys(&self, step: u64) -> Vec<Vec<Key>> {
         (0..self.n_gpus)
-            .map(|g| {
-                let mut rng = rng_for(self.seed, step, g as u64, 1);
-                (0..self.batch_per_gpu)
-                    .map(|_| self.sampler.sample(&mut rng))
-                    .collect()
-            })
+            .map(|g| self.gpu_keys(step, g))
+            .collect()
+    }
+
+    /// The keys one GPU accesses at `step`, in sample order. Each GPU's
+    /// stream is seeded independently from `(seed, step, gpu)`, so a single
+    /// batch can be generated without touching its siblings — per-trainer
+    /// sampling loops should use this rather than [`step_keys`], which
+    /// materializes every GPU's batch.
+    ///
+    /// [`step_keys`]: SyntheticTrace::step_keys
+    pub fn gpu_keys(&self, step: u64, gpu: usize) -> Vec<Key> {
+        let mut rng = rng_for(self.seed, step, gpu as u64, 1);
+        (0..self.batch_per_gpu)
+            .map(|_| self.sampler.sample(&mut rng))
             .collect()
     }
 }
@@ -387,6 +396,17 @@ mod tests {
         let t = SyntheticTrace::new(100_000, KeyDistribution::Uniform, 32, 2, 1).unwrap();
         let keys = t.step_keys(0);
         assert_ne!(keys[0], keys[1]);
+    }
+
+    #[test]
+    fn gpu_keys_matches_step_keys_slice() {
+        let t = SyntheticTrace::new(10_000, KeyDistribution::Zipf(0.9), 64, 4, 7).unwrap();
+        for step in [0u64, 3, 17] {
+            let all = t.step_keys(step);
+            for g in 0..4 {
+                assert_eq!(t.gpu_keys(step, g), all[g], "step {step} gpu {g}");
+            }
+        }
     }
 
     #[test]

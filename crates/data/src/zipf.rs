@@ -2,10 +2,21 @@
 //!
 //! The paper's microbenchmark (§4.1) draws embedding keys from a uniform
 //! distribution and from Zipfian distributions with parameters 0.9 and 0.99.
-//! The Zipfian sampler uses rejection-inversion (Hörmann & Derflinger,
-//! "Rejection-inversion to generate variates from monotone discrete
-//! distributions"), which is O(1) per sample and needs no per-key tables, so
-//! it scales to the paper's 10-million-key space.
+//! Two Zipfian samplers are provided:
+//!
+//! * [`ZipfAlias`] — a Vose alias table: O(n) to build, then one range draw
+//!   plus two table reads per sample with *no* transcendental math. Batch
+//!   generation is on the engine's critical path (the sample pipeline
+//!   produces `n_gpus × batch` draws per step), so key spaces small enough
+//!   to afford the 12-bytes-per-rank table use this one.
+//! * [`Zipf`] — rejection-inversion (Hörmann & Derflinger, "Rejection-
+//!   inversion to generate variates from monotone discrete distributions"),
+//!   O(1) memory, several `ln`/`exp` per draw. Key spaces past
+//!   [`ALIAS_TABLE_MAX`] (where the table would cost tens of MB) fall back
+//!   to it, so the paper's 10-million-key space still works untabulated.
+//!
+//! Both are exact samplers of the same distribution; they differ in the
+//! variates a given RNG stream produces, not in the law.
 
 use rand::Rng;
 use std::fmt;
@@ -174,6 +185,110 @@ impl Zipf {
     }
 }
 
+/// Largest key space for which [`KeyDistribution::sampler`] tabulates a
+/// [`ZipfAlias`] (12 bytes per rank → ≤ 24 MiB). Larger spaces fall back to
+/// the O(1)-memory rejection-inversion [`Zipf`].
+pub const ALIAS_TABLE_MAX: u64 = 1 << 21;
+
+/// Zipfian sampler over ranks `0..n` backed by a Vose alias table.
+///
+/// Construction walks the ranks once (deterministically — no RNG and no
+/// per-process state, so the table and therefore the sampled streams are
+/// identical across runs and platforms with IEEE f64). Each sample is one
+/// uniform rank draw, one uniform f64 draw, and at most two table reads.
+///
+/// # Examples
+///
+/// ```
+/// use frugal_data::ZipfAlias;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = ZipfAlias::new(100_000, 0.9)?;
+/// let mut rng = StdRng::seed_from_u64(7);
+/// assert!(zipf.sample(&mut rng) < 100_000);
+/// # Ok::<(), frugal_data::DistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfAlias {
+    theta: f64,
+    /// `prob[i]`: probability that a uniform draw landing on column `i`
+    /// keeps rank `i` (vs. deferring to `alias[i]`), scaled to [0, 1].
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl ZipfAlias {
+    /// Builds the alias table over `n` ranks with exponent `theta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::EmptyKeySpace`] if `n == 0`, and
+    /// [`DistError::BadExponent`] if `theta` is negative or non-finite.
+    /// `n` must also fit the `u32` alias index (any table that large would
+    /// be far past [`ALIAS_TABLE_MAX`] anyway).
+    pub fn new(n: u64, theta: f64) -> Result<Self, DistError> {
+        if n == 0 || n > u32::MAX as u64 {
+            return Err(DistError::EmptyKeySpace);
+        }
+        if !theta.is_finite() || theta < 0.0 {
+            return Err(DistError::BadExponent(theta));
+        }
+        let n_us = n as usize;
+        let weights: Vec<f64> = (0..n_us).map(|r| ((r + 1) as f64).powf(-theta)).collect();
+        let total: f64 = weights.iter().sum();
+        // Vose's algorithm with index stacks walked in ascending rank order
+        // (the construction is deterministic, not just the distribution).
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n_us];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // The large column donates the small column's deficit.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual columns are full (1.0 up to rounding).
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Ok(ZipfAlias { theta, prob, alias })
+    }
+
+    /// Number of ranks in the key space.
+    pub fn n(&self) -> u64 {
+        self.prob.len() as u64
+    }
+
+    /// The skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one rank in `0..n`; rank 0 is the most frequent.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i as u64
+        } else {
+            self.alias[i] as u64
+        }
+    }
+}
+
 /// A key distribution for synthetic traces: the three used by Exp #1.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KeyDistribution {
@@ -192,7 +307,10 @@ impl KeyDistribution {
         }
     }
 
-    /// Builds a sampler over `n` keys.
+    /// Builds a sampler over `n` keys. Zipfian spaces up to
+    /// [`ALIAS_TABLE_MAX`] keys get the tabulated [`ZipfAlias`] (constant
+    /// cost per draw, no transcendental math on the batch-generation path);
+    /// larger spaces fall back to rejection-inversion.
     ///
     /// # Errors
     ///
@@ -205,6 +323,9 @@ impl KeyDistribution {
                 } else {
                     Ok(KeySampler::Uniform { n })
                 }
+            }
+            KeyDistribution::Zipf(theta) if n <= ALIAS_TABLE_MAX => {
+                Ok(KeySampler::ZipfAlias(ZipfAlias::new(n, *theta)?))
             }
             KeyDistribution::Zipf(theta) => Ok(KeySampler::Zipf(Zipf::new(n, *theta)?)),
         }
@@ -219,16 +340,22 @@ pub enum KeySampler {
         /// Key space size.
         n: u64,
     },
-    /// Zipfian sampler.
+    /// Zipfian sampler (rejection-inversion; key spaces past
+    /// [`ALIAS_TABLE_MAX`]).
     Zipf(Zipf),
+    /// Zipfian sampler (alias table; key spaces up to
+    /// [`ALIAS_TABLE_MAX`]).
+    ZipfAlias(ZipfAlias),
 }
 
 impl KeySampler {
     /// Draws one key.
+    #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         match self {
             KeySampler::Uniform { n } => rng.random_range(0..*n),
             KeySampler::Zipf(z) => z.sample(rng),
+            KeySampler::ZipfAlias(z) => z.sample(rng),
         }
     }
 
@@ -237,6 +364,7 @@ impl KeySampler {
         match self {
             KeySampler::Uniform { n } => *n,
             KeySampler::Zipf(z) => z.n(),
+            KeySampler::ZipfAlias(z) => z.n(),
         }
     }
 }
@@ -352,6 +480,72 @@ mod tests {
     fn error_display() {
         assert!(DistError::EmptyKeySpace.to_string().contains("non-empty"));
         assert!(DistError::BadExponent(-1.0).to_string().contains("-1"));
+    }
+
+    #[test]
+    fn alias_empirical_frequencies_match_weights() {
+        let z = ZipfAlias::new(50, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 400_000;
+        let mut counts = [0u64; 50];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let total_w: f64 = (0..50).map(|r| ((r + 1) as f64).powf(-0.9)).sum();
+        for r in [0usize, 1, 5, 20, 49] {
+            let expected = ((r + 1) as f64).powf(-0.9) / total_w;
+            let observed = counts[r] as f64 / trials as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {r}: expected {expected}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_rejects_bad_params() {
+        assert_eq!(ZipfAlias::new(0, 0.9).unwrap_err(), DistError::EmptyKeySpace);
+        assert!(matches!(
+            ZipfAlias::new(10, f64::INFINITY).unwrap_err(),
+            DistError::BadExponent(_)
+        ));
+    }
+
+    #[test]
+    fn alias_theta_zero_is_uniform() {
+        let z = ZipfAlias::new(10, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u64; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 100_000.0;
+            assert!((frac - 0.1).abs() < 0.02, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn alias_construction_is_deterministic() {
+        let a = ZipfAlias::new(10_000, 0.99).unwrap();
+        let b = ZipfAlias::new(10_000, 0.99).unwrap();
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+        }
+    }
+
+    #[test]
+    fn sampler_picks_alias_under_threshold_and_inversion_above() {
+        let small = KeyDistribution::Zipf(0.9).sampler(ALIAS_TABLE_MAX).unwrap();
+        assert!(matches!(small, KeySampler::ZipfAlias(_)));
+        assert_eq!(small.n(), ALIAS_TABLE_MAX);
+        let big = KeyDistribution::Zipf(0.9)
+            .sampler(ALIAS_TABLE_MAX + 1)
+            .unwrap();
+        assert!(matches!(big, KeySampler::Zipf(_)));
+        assert_eq!(big.n(), ALIAS_TABLE_MAX + 1);
     }
 
     #[test]

@@ -13,8 +13,7 @@
 //! trainer on its hot loop.
 
 use crate::kernels;
-use frugal_data::Key;
-use std::collections::HashMap;
+use frugal_data::{Key, KeyHashMap};
 use std::sync::Arc;
 
 /// Accumulates per-key gradients in arrival order.
@@ -33,8 +32,9 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct GradAggregator {
     dim: usize,
-    /// Key → slot index into `order`/`data`.
-    index: HashMap<Key, usize>,
+    /// Key → slot index into `order`/`data` (fast deterministic hasher —
+    /// one probe per sample on the aggregation hot path).
+    index: KeyHashMap<usize>,
     order: Vec<Key>,
     /// Slot `i`'s accumulator is `data[i * dim..(i + 1) * dim]`.
     data: Vec<f32>,
@@ -50,7 +50,7 @@ impl GradAggregator {
         assert!(dim > 0, "dim must be positive");
         GradAggregator {
             dim,
-            index: HashMap::new(),
+            index: KeyHashMap::default(),
             order: Vec::new(),
             data: Vec::new(),
         }
@@ -116,6 +116,19 @@ impl GradAggregator {
     /// True if nothing was accumulated.
     pub fn is_empty(&self) -> bool {
         self.order.is_empty()
+    }
+
+    /// Iterates the accumulated `(key, grad)` pairs in *first-arrival*
+    /// order without draining. This is the read side of the decentralized
+    /// sharded reduce: every trainer scans the per-GPU aggregators in GPU
+    /// index order and folds only the keys its shard owns, so the per-key
+    /// summation order stays identical to the serial leader merge.
+    pub fn entries(&self) -> impl Iterator<Item = (Key, &[f32])> + '_ {
+        let dim = self.dim;
+        self.order
+            .iter()
+            .enumerate()
+            .map(move |(i, &k)| (k, &self.data[i * dim..(i + 1) * dim]))
     }
 
     /// Drains into `(key, grad)` pairs in *first-arrival* order — the
@@ -290,5 +303,63 @@ mod tests {
         let agg = GradAggregator::new(3);
         assert!(agg.is_empty());
         assert!(agg.into_sorted().is_empty());
+    }
+
+    /// Trainer `g`'s step aggregator: overlapping keys with magnitudes
+    /// spread far enough apart that f32 summation order is observable.
+    fn trainer_agg(g: usize) -> GradAggregator {
+        let mut agg = GradAggregator::new(2);
+        for &key in &[1u64, 2, 9] {
+            let v = (g as f32 + 1.0) * 1e4 + key as f32 * 1e-3;
+            agg.add(key, &[v, 1.0 / v]);
+        }
+        agg
+    }
+
+    fn merged_bits(gpu_order: &[usize]) -> Vec<(Key, Vec<u32>)> {
+        let mut merged = GradAggregator::new(2);
+        for &g in gpu_order {
+            merged.merge(trainer_agg(g));
+        }
+        merged
+            .into_sorted()
+            .into_iter()
+            .map(|(k, v)| (k, v.iter().map(|x| x.to_bits()).collect()))
+            .collect()
+    }
+
+    /// The decentralized reduce's core bit-equality argument: trainers may
+    /// *arrive* at the barrier in any order, but the merge always folds the
+    /// per-GPU aggregators in GPU index order, so the merged f32 bits are
+    /// invariant. The guard assertion shows the test has teeth — these
+    /// values really are order-sensitive, so folding in arrival order
+    /// would diverge.
+    #[test]
+    fn merge_is_invariant_under_trainer_arrival_order() {
+        let canonical = merged_bits(&[0, 1, 2, 3]);
+        // Order sensitivity guard: an out-of-index-order fold changes bits.
+        assert_ne!(
+            canonical,
+            merged_bits(&[3, 2, 1, 0]),
+            "values not order-sensitive; the invariance below would be vacuous"
+        );
+        // Arrival permutations all reduce through the same index-order
+        // fold: deposit order must leave no trace in the bits.
+        for arrival in [[1usize, 0, 3, 2], [3, 0, 1, 2], [2, 3, 0, 1]] {
+            let mut slots: Vec<Option<GradAggregator>> = (0..4).map(|_| None).collect();
+            for g in arrival {
+                slots[g] = Some(trainer_agg(g)); // "deposit at barrier A"
+            }
+            let mut merged = GradAggregator::new(2);
+            for slot in &mut slots {
+                merged.merge_from(slot.as_mut().expect("all deposited"));
+            }
+            let bits: Vec<(Key, Vec<u32>)> = merged
+                .into_sorted()
+                .into_iter()
+                .map(|(k, v)| (k, v.iter().map(|x| x.to_bits()).collect()))
+                .collect();
+            assert_eq!(bits, canonical, "arrival {arrival:?} changed merged bits");
+        }
     }
 }

@@ -31,8 +31,7 @@
 use crate::policy::{
     EvictionPolicy, FrequencyAwarePolicy, LruPolicy, OracleBeladyPolicy, StaticHotPolicy,
 };
-use frugal_data::Key;
-use std::collections::HashMap;
+use frugal_data::{Key, KeyBuildHasher, KeyHashMap};
 
 /// Cache admission/eviction policy selector (see [`crate::policy`] for the
 /// behavior behind each variant).
@@ -122,7 +121,7 @@ pub struct GpuCache {
     dim: usize,
     kind: CachePolicy,
     policy: Box<dyn EvictionPolicy>,
-    map: HashMap<Key, usize>,
+    map: KeyHashMap<usize>,
     /// Occupying key per slot; `keys.len() <= capacity` always (slots are
     /// only created while below capacity, evictions reuse the victim slot).
     keys: Vec<Key>,
@@ -158,7 +157,10 @@ impl GpuCache {
             // seed-timed resize into the steady-state fill loop (the
             // zero-alloc guarantee cache_alloc.rs pins). Cost is 16 B per
             // extra slot, noise next to the `dim`-float rows.
-            map: HashMap::with_capacity(capacity.saturating_mul(2).min(1 << 21)),
+            map: KeyHashMap::with_capacity_and_hasher(
+                capacity.saturating_mul(2).min(1 << 21),
+                KeyBuildHasher::default(),
+            ),
             keys: Vec::with_capacity(reserve),
             rows: Vec::with_capacity(reserve * dim),
             hits: 0,

@@ -22,6 +22,11 @@
 /// narrower targets simply split the chunk, wider ones fuse two.
 pub const LANES: usize = 8;
 
+/// Wide lane width for long rows: two AVX2 registers (one AVX-512
+/// register) per iteration. Rows at least this wide take the wide inner
+/// loop; element independence keeps results bit-identical either way.
+pub const LANES_WIDE: usize = 16;
+
 /// Splits `(a, b)` into LANES-aligned heads and a shared-length tail.
 #[inline(always)]
 fn split2<'a>(
@@ -35,6 +40,62 @@ fn split2<'a>(
     (ah, bh, at, bt)
 }
 
+/// `split2` with a LANES_WIDE-aligned head.
+#[inline(always)]
+fn split2_wide<'a>(
+    a: &'a mut [f32],
+    b: &'a [f32],
+) -> (&'a mut [f32], &'a [f32], &'a mut [f32], &'a [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    let head = a.len() - a.len() % LANES_WIDE;
+    let (ah, at) = a.split_at_mut(head);
+    let (bh, bt) = b.split_at(head);
+    (ah, bh, at, bt)
+}
+
+/// Wide-lane accumulate: `acc[i] += grad[i]` with a LANES_WIDE inner loop
+/// and a LANES/scalar remainder. Bit-identical to [`add`] because each
+/// element is independent and uses the same single `+`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn add_wide(acc: &mut [f32], grad: &[f32]) {
+    assert_eq!(acc.len(), grad.len(), "gradient length != dim");
+    let (ah, gh, at, gt) = split2_wide(acc, grad);
+    for (ac, gc) in ah
+        .chunks_exact_mut(LANES_WIDE)
+        .zip(gh.chunks_exact(LANES_WIDE))
+    {
+        for i in 0..LANES_WIDE {
+            ac[i] += gc[i];
+        }
+    }
+    add_narrow(at, gt);
+}
+
+/// Wide-lane SGD step: `row[i] -= lr * grad[i]` over LANES_WIDE chunks.
+/// Bit-identical to [`sgd_step`].
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn sgd_step_wide(row: &mut [f32], grad: &[f32], lr: f32) {
+    assert_eq!(row.len(), grad.len(), "row/gradient length mismatch");
+    let (rh, gh, rt, gt) = split2_wide(row, grad);
+    for (rc, gc) in rh
+        .chunks_exact_mut(LANES_WIDE)
+        .zip(gh.chunks_exact(LANES_WIDE))
+    {
+        for i in 0..LANES_WIDE {
+            rc[i] -= lr * gc[i];
+        }
+    }
+    sgd_step_narrow(rt, gt, lr);
+}
+
 /// SGD step: `row[i] -= lr * grad[i]`.
 ///
 /// # Panics
@@ -43,6 +104,14 @@ fn split2<'a>(
 #[inline]
 pub fn sgd_step(row: &mut [f32], grad: &[f32], lr: f32) {
     assert_eq!(row.len(), grad.len(), "row/gradient length mismatch");
+    if row.len() >= LANES_WIDE {
+        return sgd_step_wide(row, grad, lr);
+    }
+    sgd_step_narrow(row, grad, lr);
+}
+
+#[inline]
+fn sgd_step_narrow(row: &mut [f32], grad: &[f32], lr: f32) {
     let (rh, gh, rt, gt) = split2(row, grad);
     for (rc, gc) in rh.chunks_exact_mut(LANES).zip(gh.chunks_exact(LANES)) {
         for i in 0..LANES {
@@ -96,6 +165,14 @@ pub fn adagrad_step(row: &mut [f32], acc: &mut [f32], grad: &[f32], lr: f32, eps
 #[inline]
 pub fn add(acc: &mut [f32], grad: &[f32]) {
     assert_eq!(acc.len(), grad.len(), "gradient length != dim");
+    if acc.len() >= LANES_WIDE {
+        return add_wide(acc, grad);
+    }
+    add_narrow(acc, grad);
+}
+
+#[inline]
+fn add_narrow(acc: &mut [f32], grad: &[f32]) {
     let (ah, gh, at, gt) = split2(acc, grad);
     for (ac, gc) in ah.chunks_exact_mut(LANES).zip(gh.chunks_exact(LANES)) {
         for i in 0..LANES {
@@ -202,6 +279,25 @@ mod tests {
                 *x += 0.25 * g;
             }
             assert_eq!(a, b, "add_scaled len {n}");
+        }
+    }
+
+    #[test]
+    fn wide_variants_match_scalar_bitwise() {
+        for &n in LENS {
+            let grad: Vec<f32> = (0..n).map(|i| val(i, 9)).collect();
+            let mut a: Vec<f32> = (0..n).map(|i| val(i, 10)).collect();
+            let mut b = a.clone();
+            add_wide(&mut a, &grad);
+            for (x, &g) in b.iter_mut().zip(&grad) {
+                *x += g;
+            }
+            assert_eq!(a, b, "add_wide len {n}");
+            sgd_step_wide(&mut a, &grad, 0.137);
+            for (p, &g) in b.iter_mut().zip(&grad) {
+                *p -= 0.137 * g;
+            }
+            assert_eq!(a, b, "sgd_step_wide len {n}");
         }
     }
 

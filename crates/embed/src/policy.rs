@@ -28,8 +28,8 @@
 //! Caches are single-owner structures (one per trainer thread), so
 //! policies are plain `&mut` state: no locks, no atomics.
 
-use frugal_data::Key;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use frugal_data::{Key, KeyHashMap};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// "No slot" sentinel for the intrusive recency list.
@@ -260,7 +260,7 @@ impl EvictionPolicy for LruPolicy {
 #[derive(Debug)]
 pub struct FrequencyAwarePolicy {
     list: RecencyList,
-    freq: HashMap<Key, u32>,
+    freq: KeyHashMap<u32>,
     accesses: u64,
     decay_every: u64,
     capacity: usize,
@@ -272,7 +272,7 @@ impl FrequencyAwarePolicy {
     pub fn new(capacity: usize) -> Self {
         FrequencyAwarePolicy {
             list: RecencyList::new(),
-            freq: HashMap::new(),
+            freq: KeyHashMap::default(),
             accesses: 0,
             decay_every: 10 * capacity.max(8) as u64,
             capacity,
@@ -358,7 +358,7 @@ impl EvictionPolicy for FrequencyAwarePolicy {
 #[derive(Debug)]
 pub struct OracleBeladyPolicy {
     /// Per-key future use steps, non-decreasing, deduped per step.
-    future: HashMap<Key, VecDeque<u64>>,
+    future: KeyHashMap<VecDeque<u64>>,
     /// Per-step feed retained for prefetch nomination.
     plans: BTreeMap<u64, Vec<Key>>,
     now: u64,
@@ -369,7 +369,7 @@ impl OracleBeladyPolicy {
     /// An oracle policy for a cache of `capacity` slots.
     pub fn new(capacity: usize) -> Self {
         OracleBeladyPolicy {
-            future: HashMap::new(),
+            future: KeyHashMap::default(),
             plans: BTreeMap::new(),
             now: 0,
             capacity,

@@ -45,8 +45,11 @@ pub enum LedgerPhase {
     HostRead,
     /// Forward/backward plus gradient aggregation.
     Compute,
-    /// Waiting on barrier A (slowest-trainer sync before the leader merge).
+    /// Waiting on barrier A (slowest-trainer sync before the reduce).
     BarrierA,
+    /// Decentralized reduce: folding this trainer's key shard across all
+    /// per-GPU aggregator slots, plus the sharded write-through apply.
+    Reduce,
     /// Applying merged gradients to the GPU caches.
     CacheApply,
     /// Registering write/read intents in the g-entry store and PQ.
@@ -63,7 +66,7 @@ pub enum LedgerPhase {
 
 impl LedgerPhase {
     /// Number of phases (cells per step slot).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Every phase, in a fixed order matching `as usize` indices.
     pub const ALL: [LedgerPhase; LedgerPhase::COUNT] = [
@@ -72,6 +75,7 @@ impl LedgerPhase {
         LedgerPhase::HostRead,
         LedgerPhase::Compute,
         LedgerPhase::BarrierA,
+        LedgerPhase::Reduce,
         LedgerPhase::CacheApply,
         LedgerPhase::Registration,
         LedgerPhase::StallWait,
@@ -95,6 +99,7 @@ impl LedgerPhase {
             LedgerPhase::HostRead => "host_read",
             LedgerPhase::Compute => "compute",
             LedgerPhase::BarrierA => "barrier_a",
+            LedgerPhase::Reduce => "reduce",
             LedgerPhase::CacheApply => "cache_apply",
             LedgerPhase::Registration => "registration",
             LedgerPhase::StallWait => "stall_wait",

@@ -107,6 +107,27 @@ fn eight_trainers_agree_with_serial_bitwise() {
     // Checked mode at 8 trainers: the invariant checker and the seqlock
     // race detector must also stay silent at full width.
     runs.push(("frugal-checked-8gpu".into(), frugal_cfg(8).checked()));
+    // The double-buffered sample pipeline across lookahead depths: L = 1
+    // (ring holds 3 slots, rewritten almost immediately), a mid depth, and
+    // L > STEPS (every step's batch is published before step 0 finishes).
+    // Publish/consume races or a slot rewritten before its blocking-rows
+    // count would show up as a divergence here.
+    for lookahead in [1u64, 3, STEPS + 5] {
+        let mut cfg = frugal_cfg(8);
+        cfg.lookahead = lookahead;
+        runs.push((format!("frugal-8gpu-L{lookahead}"), cfg));
+    }
+    // Write-through at 8 trainers: the sharded (parallel) host apply path.
+    runs.push(("frugal-sync-8gpu".into(), frugal_cfg(8).write_through()));
+    // Every cache policy at full trainer width: policies only move copies,
+    // never semantics, and the owner-cache update order is pinned by the
+    // same per-owner update slots the reduce publishes.
+    for policy in frugal::embed::CachePolicy::ALL {
+        runs.push((
+            format!("frugal-8gpu-{}", policy.label()),
+            frugal_cfg(8).with_cache_policy(policy),
+        ));
+    }
     for (name, cfg) in runs {
         let engine = FrugalEngine::new(cfg, N_KEYS, DIM);
         let report = engine.run(&t, &model);
